@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Ablation study of the design choices DESIGN.md calls out, beyond the
+ * paper's own experiments:
+ *
+ *  - the paper's ambiguous-counter tie-break rules vs. the apply-to-stale
+ *    extension (compose the inferred update function onto the stale
+ *    counter value instead of guessing weak/middle states);
+ *  - the reconstruction percentage (20% vs 100%) interacting with each
+ *    resolution mode;
+ *  - an MRRL-style profiled warm-up baseline (Haskins & Skadron), which
+ *    reaches similar territory but needs a profiling pass and pins the
+ *    cluster schedule;
+ *  - SMARTS as the accuracy reference.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/reuse_latency.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace rsr;
+    bench::banner("Ablation: RSR variants and an MRRL baseline",
+                  "design-choice ablations beyond the paper");
+
+    const auto setups = bench::prepareWorkloads(true);
+
+    std::vector<bench::PolicyFactory> factories;
+    for (double f : {0.2, 1.0}) {
+        factories.push_back([f] {
+            return std::unique_ptr<core::WarmupPolicy>(
+                std::make_unique<core::ReverseReconstructionWarmup>(
+                    true, true, f, core::PhtResolveMode::PaperTieBreak));
+        });
+        factories.push_back([f] {
+            return std::unique_ptr<core::WarmupPolicy>(
+                std::make_unique<core::ReverseReconstructionWarmup>(
+                    true, true, f, core::PhtResolveMode::ApplyToStale));
+        });
+    }
+    factories.push_back([] {
+        return std::unique_ptr<core::WarmupPolicy>(
+            core::FunctionalWarmup::smarts());
+    });
+
+    bench::runAndPrintFigure("Ablation", factories, setups, "S$BP");
+
+    // MRRL/BLRL need a per-workload profiling pass against the exact
+    // cluster schedule the sampled run will draw.
+    for (const auto kind :
+         {core::ReuseLatencyKind::Mrrl, core::ReuseLatencyKind::Blrl}) {
+        std::printf("\n%s baseline (99.5th-percentile reuse coverage)\n",
+                    kind == core::ReuseLatencyKind::Mrrl ? "MRRL" : "BLRL");
+        TextTable t({"workload", "rel-error", "time(s)", "profile insts",
+                     "mean warm len"});
+        for (const auto &s : setups) {
+            Rng rng(s.cfg.scheduleSeed);
+            const auto schedule =
+                core::makeSchedule(s.cfg.regimen, s.cfg.totalInsts, rng);
+            const auto profile =
+                core::profileReuseLatency(s.program, schedule, kind, 0.995);
+            double mean_len = 0;
+            for (auto l : profile.warmupLengths)
+                mean_len += static_cast<double>(l);
+            mean_len /= static_cast<double>(profile.warmupLengths.size());
+
+            core::ReuseLatencyWarmup policy(profile);
+            const auto r = core::runSampled(s.program, policy, s.cfg);
+            t.addRow({s.params.name,
+                      TextTable::num(r.estimate.relativeError(s.trueIpc)),
+                      TextTable::num(r.seconds, 3),
+                      std::to_string(profile.profiledInsts),
+                      TextTable::num(mean_len, 0)});
+        }
+        t.print();
+    }
+    std::printf("note: the profiling pass (column 4) is extra work the "
+                "reverse method does not pay, and must be redone whenever "
+                "cluster positions change.\n");
+    return 0;
+}

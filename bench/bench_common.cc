@@ -1,0 +1,199 @@
+#include "bench_common.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace rsr::bench
+{
+
+core::SamplingRegimen
+regimenFor(const std::string &name)
+{
+    // Scaled analogue of the paper's Table-1 regimens: cluster sizes and
+    // counts vary per workload, sampling a few percent of the population.
+    if (name == "ammp")
+        return {60, 4000};
+    if (name == "art")
+        return {60, 4000};
+    if (name == "gcc")
+        return {80, 3000};
+    if (name == "mcf")
+        return {60, 4000};
+    if (name == "parser")
+        return {80, 3000};
+    if (name == "perl")
+        return {80, 3000};
+    if (name == "twolf")
+        return {80, 3000};
+    if (name == "vortex")
+        return {80, 3000};
+    if (name == "vpr")
+        return {70, 3500};
+    rsr_fatal("no regimen for workload ", name);
+}
+
+std::vector<WorkloadSetup>
+prepareWorkloads(bool need_true_ipc, std::uint64_t total_insts)
+{
+    std::vector<WorkloadSetup> out;
+    for (auto &params : workload::standardWorkloadParams()) {
+        WorkloadSetup s;
+        s.params = params;
+        s.program = workload::buildSynthetic(params);
+        s.cfg.totalInsts = total_insts;
+        s.cfg.regimen = regimenFor(params.name);
+        s.cfg.machine = core::MachineConfig::scaledDefault();
+        s.cfg.scheduleSeed = 0x5eed0000 + std::hash<std::string>{}(
+                                              params.name) % 0xffff;
+        if (need_true_ipc) {
+            const auto full =
+                core::runFull(s.program, total_insts, s.cfg.machine);
+            s.trueIpc = full.ipc();
+            s.trueSeconds = full.seconds;
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+double
+PolicyResults::avgRelErr(const std::vector<WorkloadSetup> &setups) const
+{
+    double sum = 0;
+    for (std::size_t i = 0; i < perWorkload.size(); ++i)
+        sum += perWorkload[i].estimate.relativeError(setups[i].trueIpc);
+    return sum / static_cast<double>(perWorkload.size());
+}
+
+double
+PolicyResults::avgSeconds() const
+{
+    double sum = 0;
+    for (const auto &r : perWorkload)
+        sum += r.seconds;
+    return sum / static_cast<double>(perWorkload.size());
+}
+
+double
+PolicyResults::avgWarmUpdates() const
+{
+    double sum = 0;
+    for (const auto &r : perWorkload)
+        sum += static_cast<double>(r.warmWork.totalUpdates());
+    return sum / static_cast<double>(perWorkload.size());
+}
+
+double
+PolicyResults::avgLoggedRecords() const
+{
+    double sum = 0;
+    for (const auto &r : perWorkload)
+        sum += static_cast<double>(r.warmWork.loggedRecords);
+    return sum / static_cast<double>(perWorkload.size());
+}
+
+unsigned
+PolicyResults::ciPasses(const std::vector<WorkloadSetup> &setups) const
+{
+    unsigned n = 0;
+    for (std::size_t i = 0; i < perWorkload.size(); ++i)
+        n += perWorkload[i].estimate.passesCi(setups[i].trueIpc) ? 1 : 0;
+    return n;
+}
+
+PolicyResults
+runPolicy(core::WarmupPolicy &policy,
+          const std::vector<WorkloadSetup> &setups, unsigned repeats)
+{
+    rsr_assert(repeats >= 1, "need at least one run");
+    PolicyResults res;
+    res.name = policy.name();
+    for (const auto &s : setups) {
+        auto best = core::runSampled(s.program, policy, s.cfg);
+        for (unsigned r = 1; r < repeats; ++r) {
+            auto again = core::runSampled(s.program, policy, s.cfg);
+            best.seconds = std::min(best.seconds, again.seconds);
+        }
+        res.perWorkload.push_back(std::move(best));
+    }
+    return res;
+}
+
+void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Reproduces: %s\n", paper_ref.c_str());
+    std::printf("==============================================================\n");
+}
+
+void
+runAndPrintFigure(const std::string &title,
+                  const std::vector<PolicyFactory> &factories,
+                  const std::vector<WorkloadSetup> &setups,
+                  const std::string &speedup_baseline)
+{
+    std::vector<PolicyResults> all;
+    for (const auto &make : factories) {
+        auto policy = make();
+        std::printf("running %-12s ...\n", policy->name().c_str());
+        std::fflush(stdout);
+        all.push_back(runPolicy(*policy, setups));
+    }
+
+    const PolicyResults *baseline = nullptr;
+    for (const auto &r : all)
+        if (r.name == speedup_baseline)
+            baseline = &r;
+
+    std::printf("\n%s — averages over %zu workloads\n", title.c_str(),
+                setups.size());
+    TextTable avg({"method", "rel-error", "time(s)", "warm-updates",
+                   "logged", "CI-pass", baseline ? "speedup" : "-"});
+    for (const auto &r : all) {
+        std::string speed = "-";
+        if (baseline && &r != baseline)
+            speed = TextTable::num(baseline->avgSeconds() / r.avgSeconds(),
+                                   2);
+        else if (baseline)
+            speed = "1.00";
+        avg.addRow({r.name, TextTable::num(r.avgRelErr(setups)),
+                    TextTable::num(r.avgSeconds(), 3),
+                    TextTable::num(r.avgWarmUpdates(), 0),
+                    TextTable::num(r.avgLoggedRecords(), 0),
+                    std::to_string(r.ciPasses(setups)) + "/" +
+                        std::to_string(setups.size()),
+                    speed});
+    }
+    avg.print();
+
+    std::printf("\nper-workload relative error\n");
+    std::vector<std::string> headers{"method"};
+    for (const auto &s : setups)
+        headers.push_back(s.params.name);
+    TextTable per(headers);
+    for (const auto &r : all) {
+        std::vector<std::string> row{r.name};
+        for (std::size_t i = 0; i < setups.size(); ++i)
+            row.push_back(TextTable::num(
+                r.perWorkload[i].estimate.relativeError(setups[i].trueIpc)));
+        per.addRow(row);
+    }
+    per.print();
+
+    std::printf("\nper-workload simulation time (s)\n");
+    TextTable times(headers);
+    for (const auto &r : all) {
+        std::vector<std::string> row{r.name};
+        for (const auto &w : r.perWorkload)
+            row.push_back(TextTable::num(w.seconds, 3));
+        times.addRow(row);
+    }
+    times.print();
+}
+
+} // namespace rsr::bench

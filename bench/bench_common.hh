@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared infrastructure for the per-table/per-figure benchmark harnesses.
+ *
+ * Every experiment follows the paper's protocol (Section 5): the nine
+ * SPEC2000-like workloads each get a fixed sampling regimen (Table 1);
+ * cluster starting positions are drawn once per workload from a uniform
+ * distribution and reused across every warm-up method so sampling bias is
+ * held constant; results are reported as relative error against the true
+ * (full-trace) IPC, wall-clock simulation time, and warm-side work.
+ */
+
+#ifndef RSR_BENCH_COMMON_HH
+#define RSR_BENCH_COMMON_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sampled_sim.hh"
+#include "core/warmup.hh"
+#include "workload/synthetic.hh"
+
+namespace rsr::bench
+{
+
+/** One prepared workload: program, regimen, and (optionally) true IPC. */
+struct WorkloadSetup
+{
+    workload::WorkloadParams params;
+    func::Program program;
+    core::SampledConfig cfg;
+    double trueIpc = 0.0;
+    double trueSeconds = 0.0;
+};
+
+/** Default population size (first N instructions of each workload). */
+constexpr std::uint64_t defaultTotalInsts = 4'000'000;
+
+/** The per-workload sampling regimen (the Table-1 column). */
+core::SamplingRegimen regimenFor(const std::string &name);
+
+/**
+ * Build all nine workloads with their regimens and the scaled Section-4
+ * machine. When @p need_true_ipc is set, also runs the full-trace
+ * reference simulation per workload (the expensive part).
+ */
+std::vector<WorkloadSetup>
+prepareWorkloads(bool need_true_ipc = true,
+                 std::uint64_t total_insts = defaultTotalInsts);
+
+/** Results of one warm-up method across all workloads. */
+struct PolicyResults
+{
+    std::string name;
+    std::vector<core::SampledResult> perWorkload;
+
+    double avgRelErr(const std::vector<WorkloadSetup> &setups) const;
+    double avgSeconds() const;
+    double avgWarmUpdates() const;
+    double avgLoggedRecords() const;
+    unsigned ciPasses(const std::vector<WorkloadSetup> &setups) const;
+};
+
+/**
+ * Run one policy over every workload (fresh machine per workload).
+ * Each (policy, workload) pair is run @p repeats times; results are
+ * bit-identical across repeats (everything is seeded), and the minimum
+ * wall time is reported to suppress scheduler/turbo noise.
+ */
+PolicyResults
+runPolicy(core::WarmupPolicy &policy,
+          const std::vector<WorkloadSetup> &setups, unsigned repeats = 2);
+
+/** Factory signature for building fresh policies by name. */
+using PolicyFactory =
+    std::function<std::unique_ptr<core::WarmupPolicy>()>;
+
+/**
+ * Standard figure harness: run each policy over all workloads and print
+ * (a) the averaged relative-error / time / work table (the paper's bar
+ * charts) and (b) a per-workload relative-error appendix table.
+ */
+void runAndPrintFigure(const std::string &title,
+                       const std::vector<PolicyFactory> &factories,
+                       const std::vector<WorkloadSetup> &setups,
+                       const std::string &speedup_baseline = "");
+
+/** Print the experiment banner. */
+void banner(const std::string &title, const std::string &paper_ref);
+
+} // namespace rsr::bench
+
+#endif // RSR_BENCH_COMMON_HH

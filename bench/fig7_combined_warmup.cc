@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 7: combined cache + branch-predictor warm-up. Compares no
+ * warm-up, fixed-period warming at 20/40/80%, SMARTS warming of both
+ * components (S$BP), and Reverse State Reconstruction of both components
+ * at 20/40/80/100% (R$BP). The paper's findings: None is cheapest and
+ * worst (23% error); S$BP is most accurate (0.9%) and slowest; R$BP
+ * achieves speedups of 1.64/1.51/1.25x at 20/40/80% with accuracy close
+ * to SMARTS; fixed-period is competitive at 20% but the reverse methods
+ * win as percentages rise because logging cost is paid regardless.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace rsr;
+    bench::banner(
+        "Figure 7: combined cache and branch predictor warm-up",
+        "Bryan/Rosier/Conte ISPASS'07, Figure 7");
+
+    const auto setups = bench::prepareWorkloads(true);
+
+    std::vector<bench::PolicyFactory> factories;
+    factories.push_back([] {
+        return std::unique_ptr<core::WarmupPolicy>(
+            std::make_unique<core::NoWarmup>());
+    });
+    for (double f : {0.2, 0.4, 0.8})
+        factories.push_back([f] {
+            return std::unique_ptr<core::WarmupPolicy>(
+                core::FunctionalWarmup::fixedPeriod(f));
+        });
+    factories.push_back([] {
+        return std::unique_ptr<core::WarmupPolicy>(
+            core::FunctionalWarmup::smarts());
+    });
+    for (double f : {0.2, 0.4, 0.8, 1.0})
+        factories.push_back([f] {
+            return std::unique_ptr<core::WarmupPolicy>(
+                core::ReverseReconstructionWarmup::full(f));
+        });
+
+    bench::runAndPrintFigure("Figure 7", factories, setups, "S$BP");
+    return 0;
+}

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Component microbenchmarks (ablation support). The Reverse State
+ * Reconstruction argument is that buffering a reference during cold
+ * simulation costs far less than functionally applying it to the cache
+ * hierarchy or branch predictor, and that the deferred reverse pass then
+ * touches each cache block at most once. These benchmarks measure those
+ * primitive costs directly: functional-simulator stepping, SMARTS-style
+ * warm updates, log appends, reverse reconstruction per logged reference,
+ * the a-priori counter-inference table vs. brute force, and on-demand
+ * branch entry reconstruction.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/branch_reconstructor.hh"
+#include "core/cache_reconstructor.hh"
+#include "core/counter_inference.hh"
+#include "core/machine.hh"
+#include "core/skip_log.hh"
+#include "func/funcsim.hh"
+#include "util/random.hh"
+#include "workload/synthetic.hh"
+
+namespace
+{
+
+using namespace rsr;
+
+const func::Program &
+gccProgram()
+{
+    static const func::Program prog = workload::buildSynthetic(
+        workload::standardWorkloadParams("gcc"));
+    return prog;
+}
+
+void
+BM_FuncSimStep(benchmark::State &state)
+{
+    func::FuncSim fs(gccProgram());
+    func::DynInst d;
+    for (auto _ : state) {
+        fs.step(&d);
+        benchmark::DoNotOptimize(d.pc);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FuncSimStep);
+
+void
+BM_HierarchyWarmAccess(benchmark::State &state)
+{
+    cache::MemoryHierarchy hier(cache::HierarchyParams::paperDefault());
+    Rng rng(1);
+    for (auto _ : state) {
+        const std::uint64_t addr = rng.below(1 << 22);
+        hier.warmAccess(addr, (addr & 7) == 0, false);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HierarchyWarmAccess);
+
+void
+BM_PredictorWarmApply(benchmark::State &state)
+{
+    branch::GsharePredictor bp;
+    Rng rng(2);
+    for (auto _ : state) {
+        const std::uint64_t pc = 0x10000 + (rng.below(4096) << 2);
+        bp.warmApply(pc, isa::BranchKind::Conditional, rng.chance(0.6),
+                     pc + 64);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredictorWarmApply);
+
+void
+BM_SkipLogAppend(benchmark::State &state)
+{
+    core::SkipLog log;
+    log.mem.reserve(1 << 22);
+    Rng rng(3);
+    for (auto _ : state) {
+        log.mem.emplace_back(0x10000, rng.next(), false, false);
+        if (log.mem.size() >= (1u << 22))
+            log.mem.clear();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SkipLogAppend);
+
+void
+BM_ReverseReconstructionPerRef(benchmark::State &state)
+{
+    // Cost per logged reference of a full reverse pass (most references
+    // are ignored once sets fill — that is the point of the algorithm).
+    cache::MemoryHierarchy hier(cache::HierarchyParams::paperDefault());
+    std::vector<core::MemRecord> log;
+    Rng rng(4);
+    for (int i = 0; i < 200'000; ++i)
+        log.emplace_back(0x10000, rng.below(1 << 22), false,
+                         rng.chance(0.25));
+    for (auto _ : state) {
+        const auto res = core::reconstructCaches(hier, log, 1.0);
+        benchmark::DoNotOptimize(res.updatesApplied);
+    }
+    state.SetItemsProcessed(state.iterations() * log.size());
+}
+BENCHMARK(BM_ReverseReconstructionPerRef);
+
+void
+BM_CounterInferenceTable(benchmark::State &state)
+{
+    const auto &ci = core::CounterInference::instance();
+    Rng rng(5);
+    core::CounterInference::StateFn g = core::CounterInference::identity;
+    for (auto _ : state) {
+        g = ci.observeOlder(g, rng.chance(0.5));
+        benchmark::DoNotOptimize(ci.determined(g));
+        if (ci.determined(g))
+            g = core::CounterInference::identity;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterInferenceTable);
+
+void
+BM_CounterInferenceBruteForce(benchmark::State &state)
+{
+    // The non-table alternative the paper avoids: recompute the possible
+    // state set by enumeration on every observed outcome.
+    Rng rng(6);
+    bool hist[16];
+    unsigned len = 0;
+    for (auto _ : state) {
+        if (len == 16)
+            len = 0;
+        hist[len++] = rng.chance(0.5);
+        benchmark::DoNotOptimize(
+            core::CounterInference::bruteForceMask(hist, len));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterInferenceBruteForce);
+
+void
+BM_OnDemandBranchReconstruction(benchmark::State &state)
+{
+    // Full skip-log scan triggered by one demand (amortized per record).
+    branch::GsharePredictor bp(
+        core::MachineConfig::scaledDefault().bp);
+    core::SkipLog log;
+    Rng rng(7);
+    std::uint32_t ghr = 0;
+    for (int i = 0; i < 50'000; ++i) {
+        const std::uint64_t pc = 0x10000 + (rng.below(512) << 2);
+        const bool taken = rng.chance(0.6);
+        log.branches.push_back(
+            {pc, pc + 64, isa::BranchKind::Conditional, taken});
+        ghr = (ghr << 1) | (taken ? 1 : 0);
+    }
+    for (auto _ : state) {
+        core::BranchReconstructor recon(bp);
+        recon.begin(log);
+        recon.ensurePht(0); // forces a full backward scan
+        benchmark::DoNotOptimize(recon.stats().recordsScanned);
+        recon.end();
+    }
+    state.SetItemsProcessed(state.iterations() * log.branches.size());
+}
+BENCHMARK(BM_OnDemandBranchReconstruction);
+
+} // namespace
+
+BENCHMARK_MAIN();

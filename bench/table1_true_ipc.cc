@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Table 1: true IPC and sampling regimen for each workload. The paper's
+ * table lists, per benchmark, the full-trace IPC used as the accuracy
+ * baseline and the sampling regimen (number of clusters x cluster size)
+ * used by every sampled-simulation method.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace rsr;
+    bench::banner("Table 1: true IPC and sampling regimen per workload",
+                  "Bryan/Rosier/Conte ISPASS'07, Table 1");
+
+    const auto setups = bench::prepareWorkloads(true);
+
+    TextTable t({"workload", "true IPC", "clusters", "cluster size",
+                 "sampled insts", "population", "full-sim time(s)"});
+    for (const auto &s : setups) {
+        t.addRow({s.params.name, TextTable::num(s.trueIpc),
+                  std::to_string(s.cfg.regimen.numClusters),
+                  std::to_string(s.cfg.regimen.clusterSize),
+                  std::to_string(s.cfg.regimen.sampledInsts()),
+                  std::to_string(s.cfg.totalInsts),
+                  TextTable::num(s.trueSeconds, 2)});
+    }
+    t.print();
+    return 0;
+}

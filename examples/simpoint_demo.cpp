@@ -1,0 +1,68 @@
+/**
+ * @file
+ * SimPoint demo: profile a workload's basic-block vectors, cluster them
+ * with k-means + BIC, show the chosen simulation points and weights, and
+ * compare the weighted-IPC estimate (with and without SMARTS warming
+ * between points) against the true IPC.
+ *
+ *   ./simpoint_demo [workload] [interval_size]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/sampled_sim.hh"
+#include "simpoint/simpoint.hh"
+#include "util/table.hh"
+#include "workload/synthetic.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rsr;
+
+    const std::string name = argc > 1 ? argv[1] : "gcc";
+    const std::uint64_t interval =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2000ull;
+    const std::uint64_t total = 2'000'000;
+
+    const auto program =
+        workload::buildSynthetic(workload::standardWorkloadParams(name));
+    const auto machine = core::MachineConfig::scaledDefault();
+
+    std::printf("profiling %s: %llu insts at interval %llu...\n",
+                name.c_str(), static_cast<unsigned long long>(total),
+                static_cast<unsigned long long>(interval));
+    const auto prof = simpoint::profileBbv(program, total, interval);
+    std::printf("  %zu intervals, %u distinct basic blocks\n",
+                prof.intervals.size(), prof.numBlocks);
+
+    simpoint::SimPointConfig cfg;
+    cfg.intervalSize = interval;
+    cfg.maxK = 30;
+    const auto sel = simpoint::pickSimPoints(program, total, cfg);
+    std::printf("  BIC selected k = %u simulation points\n\n", sel.k);
+
+    TextTable t({"point", "interval", "start inst", "weight"});
+    for (std::size_t i = 0; i < sel.intervals.size(); ++i)
+        t.addRow({std::to_string(i),
+                  std::to_string(sel.intervals[i]),
+                  std::to_string(sel.intervals[i] * interval),
+                  TextTable::num(sel.weights[i])});
+    t.print();
+
+    std::printf("\ncomputing true IPC...\n");
+    const double true_ipc = core::runFull(program, total, machine).ipc();
+
+    const auto cold = simpoint::runSimPoints(program, sel, false, machine);
+    const auto warm = simpoint::runSimPoints(program, sel, true, machine);
+    std::printf("\ntrue IPC            %.4f\n", true_ipc);
+    std::printf("SimPoint (no warm)  %.4f  (RE %.2f%%, %.2fs)\n", cold.ipc,
+                100 * std::abs(cold.ipc - true_ipc) / true_ipc,
+                cold.seconds);
+    std::printf("SimPoint (SMARTS)   %.4f  (RE %.2f%%, %.2fs)\n", warm.ipc,
+                100 * std::abs(warm.ipc - true_ipc) / true_ipc,
+                warm.seconds);
+    return 0;
+}

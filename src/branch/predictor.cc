@@ -1,0 +1,214 @@
+#include "predictor.hh"
+
+#include "util/bitutil.hh"
+#include "util/logging.hh"
+
+namespace rsr::branch
+{
+
+using isa::BranchKind;
+
+GsharePredictor::GsharePredictor(const PredictorParams &params)
+    : params_(params)
+{
+    rsr_assert(isPowerOf2(params_.phtEntries), "PHT entries must be 2^n");
+    rsr_assert(isPowerOf2(params_.btbEntries), "BTB entries must be 2^n");
+    rsr_assert(params_.historyBits <= 32, "history register too wide");
+    rsr_assert(params_.rasEntries >= 1, "RAS needs at least one entry");
+    phtMask = params_.phtEntries - 1;
+    btbMask = params_.btbEntries - 1;
+    ghrMask = static_cast<std::uint32_t>(maskBits(params_.historyBits));
+    pht.assign(params_.phtEntries, counter::weaklyNotTaken);
+    btb.assign(params_.btbEntries, BtbEntry{});
+    ras.assign(params_.rasEntries, 0);
+}
+
+void
+GsharePredictor::reset()
+{
+    pht.assign(params_.phtEntries, counter::weaklyNotTaken);
+    btb.assign(params_.btbEntries, BtbEntry{});
+    ras.assign(params_.rasEntries, 0);
+    ghr_ = 0;
+    rasTop = 0;
+    rasCount = 0;
+}
+
+void
+GsharePredictor::rasPush(std::uint64_t return_addr)
+{
+    rasTop = (rasTop + 1) % params_.rasEntries;
+    ras[rasTop] = return_addr;
+    if (rasCount < params_.rasEntries)
+        ++rasCount;
+}
+
+std::uint64_t
+GsharePredictor::rasPop()
+{
+    if (rasCount == 0)
+        return 0;
+    const std::uint64_t v = ras[rasTop];
+    rasTop = (rasTop + params_.rasEntries - 1) % params_.rasEntries;
+    --rasCount;
+    return v;
+}
+
+void
+GsharePredictor::setRasContents(const std::vector<std::uint64_t> &entries)
+{
+    ras.assign(params_.rasEntries, 0);
+    rasTop = 0;
+    rasCount = 0;
+    // Fill bottom-up so the first element of `entries` ends on top.
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it)
+        rasPush(*it);
+}
+
+std::vector<std::uint64_t>
+GsharePredictor::rasContents() const
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(rasCount);
+    unsigned idx = rasTop;
+    for (unsigned i = 0; i < rasCount; ++i) {
+        out.push_back(ras[idx]);
+        idx = (idx + params_.rasEntries - 1) % params_.rasEntries;
+    }
+    return out;
+}
+
+Prediction
+GsharePredictor::predict(std::uint64_t pc, BranchKind kind)
+{
+    ++stats_.lookups;
+    Prediction p;
+    switch (kind) {
+      case BranchKind::Conditional: {
+        const std::uint32_t idx = phtIndex(pc);
+        if (recon)
+            recon->ensurePht(idx);
+        ++stats_.condLookups;
+        p.taken = counter::taken(pht[idx]);
+        if (p.taken) {
+            const std::uint32_t bidx = btbIndex(pc);
+            if (recon)
+                recon->ensureBtb(bidx);
+            if (btb[bidx].valid && btb[bidx].tag == pc) {
+                p.target = btb[bidx].target;
+                p.targetValid = true;
+            }
+        }
+        break;
+      }
+      case BranchKind::DirectJump:
+        // Direct targets are available from decode; treat as predicted.
+        p.taken = true;
+        p.targetValid = false;
+        break;
+      case BranchKind::Call: {
+        p.taken = true;
+        const std::uint32_t bidx = btbIndex(pc);
+        if (recon)
+            recon->ensureBtb(bidx);
+        if (btb[bidx].valid && btb[bidx].tag == pc) {
+            p.target = btb[bidx].target;
+            p.targetValid = true;
+        }
+        rasPush(pc + 4);
+        break;
+      }
+      case BranchKind::Return:
+        p.taken = true;
+        p.target = rasPop();
+        p.targetValid = p.target != 0;
+        break;
+      case BranchKind::IndirectJump: {
+        p.taken = true;
+        const std::uint32_t bidx = btbIndex(pc);
+        if (recon)
+            recon->ensureBtb(bidx);
+        if (btb[bidx].valid && btb[bidx].tag == pc) {
+            p.target = btb[bidx].target;
+            p.targetValid = true;
+        }
+        break;
+      }
+      case BranchKind::NotBranch:
+        rsr_panic("predict() called for a non-branch");
+    }
+    return p;
+}
+
+void
+GsharePredictor::update(std::uint64_t pc, BranchKind kind, bool taken,
+                        std::uint64_t target)
+{
+    if (kind == BranchKind::Conditional) {
+        const std::uint32_t idx = phtIndex(pc);
+        if (recon)
+            recon->ensurePht(idx);
+        pht[idx] = counter::update(pht[idx], taken);
+        ghr_ = ((ghr_ << 1) | (taken ? 1u : 0u)) & ghrMask;
+    }
+    if (taken && kind != BranchKind::Return) {
+        const std::uint32_t bidx = btbIndex(pc);
+        if (recon)
+            recon->ensureBtb(bidx);
+        btb[bidx] = {pc, target, true};
+    }
+}
+
+void
+GsharePredictor::serializeState(ByteSink &out) const
+{
+    out.putU32(params_.phtEntries);
+    out.putU32(params_.btbEntries);
+    out.putU32(params_.rasEntries);
+    out.putBytes(pht.data(), pht.size());
+    out.putU32(ghr_);
+    for (const auto &e : btb) {
+        out.putU64(e.tag);
+        out.putU64(e.target);
+        out.putU8(e.valid ? 1 : 0);
+    }
+    for (auto v : ras)
+        out.putU64(v);
+    out.putU32(rasTop);
+    out.putU32(rasCount);
+}
+
+void
+GsharePredictor::unserializeState(ByteSource &in)
+{
+    rsr_assert(in.getU32() == params_.phtEntries &&
+                   in.getU32() == params_.btbEntries &&
+                   in.getU32() == params_.rasEntries,
+               "predictor checkpoint geometry mismatch");
+    in.getBytes(pht.data(), pht.size());
+    ghr_ = in.getU32();
+    for (auto &e : btb) {
+        e.tag = in.getU64();
+        e.target = in.getU64();
+        e.valid = in.getU8() != 0;
+    }
+    for (auto &v : ras)
+        v = in.getU64();
+    rasTop = in.getU32();
+    rasCount = in.getU32();
+}
+
+void
+GsharePredictor::warmApply(std::uint64_t pc, BranchKind kind, bool taken,
+                           std::uint64_t target)
+{
+    // Mirror predict()'s RAS side effects, then train as update() does.
+    if (kind == BranchKind::Call)
+        rasPush(pc + 4);
+    else if (kind == BranchKind::Return)
+        rasPop();
+    update(pc, kind, taken, target);
+    ++stats_.warmUpdates;
+}
+
+} // namespace rsr::branch

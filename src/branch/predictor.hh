@@ -1,0 +1,227 @@
+/**
+ * @file
+ * The branch unit of the paper's Section-4 machine: a 64K-entry gshare
+ * predictor of 2-bit saturating counters with a 16-bit global history
+ * register, a 4K-entry direct-mapped branch target buffer, and an
+ * eight-entry return address stack.
+ *
+ * The predictor exposes raw-state accessors and pre-access hooks so the
+ * Reverse State Reconstruction algorithm can rebuild entries *on demand*
+ * during hot execution (paper Section 3.2): every PHT/BTB access first
+ * notifies an optional ReconstructionClient, which may reconstruct the
+ * entry from the logged skip-region trace before the access proceeds.
+ */
+
+#ifndef RSR_BRANCH_PREDICTOR_HH
+#define RSR_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/opcode.hh"
+#include "util/serial.hh"
+
+namespace rsr::branch
+{
+
+/** Predictor geometry (defaults are the paper's). */
+struct PredictorParams
+{
+    unsigned phtEntries = 64 * 1024;
+    unsigned historyBits = 16;
+    unsigned btbEntries = 4096;
+    unsigned rasEntries = 8;
+};
+
+/** 2-bit saturating counter helpers. */
+namespace counter
+{
+constexpr std::uint8_t stronglyNotTaken = 0;
+constexpr std::uint8_t weaklyNotTaken = 1;
+constexpr std::uint8_t weaklyTaken = 2;
+constexpr std::uint8_t stronglyTaken = 3;
+
+/** Forward update: saturate toward the outcome. */
+constexpr std::uint8_t
+update(std::uint8_t state, bool taken)
+{
+    if (taken)
+        return state == 3 ? 3 : state + 1;
+    return state == 0 ? 0 : state - 1;
+}
+
+/** Predicted direction. */
+constexpr bool taken(std::uint8_t state) { return state >= 2; }
+} // namespace counter
+
+/** Per-branch prediction produced at fetch. */
+struct Prediction
+{
+    bool taken = false;
+    /** Predicted target; only meaningful when targetValid. */
+    std::uint64_t target = 0;
+    bool targetValid = false;
+};
+
+/** Predictor accounting. */
+struct PredictorStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t condLookups = 0;
+    std::uint64_t condDirMisses = 0;
+    std::uint64_t btbMisses = 0;
+    std::uint64_t rasMisses = 0;
+    std::uint64_t warmUpdates = 0;
+};
+
+/** Hooks invoked before PHT/BTB state is read or written. */
+class ReconstructionClient
+{
+  public:
+    virtual ~ReconstructionClient() = default;
+    /** About to access PHT entry @p index. */
+    virtual void ensurePht(std::uint32_t index) = 0;
+    /** About to access BTB entry @p index. */
+    virtual void ensureBtb(std::uint32_t index) = 0;
+};
+
+/** Gshare + BTB + RAS branch unit. */
+class GsharePredictor
+{
+  public:
+    explicit GsharePredictor(const PredictorParams &params = {});
+
+    const PredictorParams &params() const { return params_; }
+    const PredictorStats &stats() const { return stats_; }
+    void clearStats() { stats_ = PredictorStats{}; }
+
+    /** Install (or remove) the on-demand reconstruction client. */
+    void setReconstructionClient(ReconstructionClient *client)
+    {
+        recon = client;
+    }
+
+    /** PHT index for @p pc under the *current* GHR. */
+    std::uint32_t
+    phtIndex(std::uint64_t pc) const
+    {
+        return phtIndexWith(pc, ghr_);
+    }
+
+    /** PHT index for @p pc under an explicit history value. */
+    std::uint32_t
+    phtIndexWith(std::uint64_t pc, std::uint32_t history) const
+    {
+        return (static_cast<std::uint32_t>(pc >> 2) ^ history) & phtMask;
+    }
+
+    /** BTB index for @p pc. */
+    std::uint32_t
+    btbIndex(std::uint64_t pc) const
+    {
+        return static_cast<std::uint32_t>(pc >> 2) & btbMask;
+    }
+
+    /**
+     * Fetch-time prediction for a control instruction of kind @p kind at
+     * @p pc. Calls push the RAS and returns pop it here (the committed
+     * instruction stream keeps speculative and architectural RAS state
+     * identical in this simulator).
+     */
+    Prediction predict(std::uint64_t pc, isa::BranchKind kind);
+
+    /**
+     * Retire-time training: conditional outcomes update the PHT and shift
+     * the GHR; taken branches install their target in the BTB.
+     */
+    void update(std::uint64_t pc, isa::BranchKind kind, bool taken,
+                std::uint64_t target);
+
+    /**
+     * Full functional warming of one skipped branch (the SMARTS path):
+     * identical state effects as predict()+update() back to back, without
+     * producing a prediction.
+     */
+    void warmApply(std::uint64_t pc, isa::BranchKind kind, bool taken,
+                   std::uint64_t target);
+
+    /** Reset all tables to power-on state. */
+    void reset();
+
+    // --- raw-state access for reconstruction and tests -------------------
+
+    std::uint8_t phtEntry(std::uint32_t index) const { return pht[index]; }
+    void setPhtEntry(std::uint32_t index, std::uint8_t value)
+    {
+        pht[index] = value & 3;
+    }
+
+    std::uint32_t ghr() const { return ghr_; }
+    void setGhr(std::uint32_t value) { ghr_ = value & ghrMask; }
+
+    bool btbEntryValid(std::uint32_t index) const
+    {
+        return btb[index].valid;
+    }
+    std::uint64_t btbEntryTag(std::uint32_t index) const
+    {
+        return btb[index].tag;
+    }
+    std::uint64_t btbEntryTarget(std::uint32_t index) const
+    {
+        return btb[index].target;
+    }
+    void
+    installBtbEntry(std::uint32_t index, std::uint64_t pc,
+                    std::uint64_t target)
+    {
+        btb[index] = {pc, target, true};
+    }
+
+    /**
+     * Replace the RAS contents. @p entries is ordered top (next return
+     * target) first; at most rasEntries are used.
+     */
+    void setRasContents(const std::vector<std::uint64_t> &entries);
+
+    /** Current RAS contents, top first. */
+    std::vector<std::uint64_t> rasContents() const;
+
+    void rasPush(std::uint64_t return_addr);
+    std::uint64_t rasPop();
+
+    /** Serialize PHT/GHR/BTB/RAS state (not statistics) for live-points. */
+    void serializeState(ByteSink &out) const;
+
+    /** Restore state captured by serializeState(); geometry must match. */
+    void unserializeState(ByteSource &in);
+
+  private:
+    struct BtbEntry
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t target = 0;
+        bool valid = false;
+    };
+
+    PredictorParams params_;
+    std::uint32_t phtMask;
+    std::uint32_t ghrMask;
+    std::uint32_t btbMask;
+
+    std::vector<std::uint8_t> pht;
+    std::vector<BtbEntry> btb;
+    std::uint32_t ghr_ = 0;
+
+    // Circular RAS: top points at the most recent valid entry.
+    std::vector<std::uint64_t> ras;
+    unsigned rasTop = 0;
+    unsigned rasCount = 0;
+
+    PredictorStats stats_;
+    ReconstructionClient *recon = nullptr;
+};
+
+} // namespace rsr::branch
+
+#endif // RSR_BRANCH_PREDICTOR_HH

@@ -1,0 +1,243 @@
+#include "cache.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rsr::cache
+{
+
+Cache::Cache(const CacheParams &params) : params_(params)
+{
+    rsr_assert(isPowerOf2(params_.lineBytes), params_.name,
+               ": line size must be a power of two");
+    rsr_assert(params_.assoc >= 1, "associativity must be >= 1");
+    rsr_assert(params_.sizeBytes % (params_.lineBytes * params_.assoc) == 0,
+               params_.name, ": size not divisible by assoc * line");
+    numSets_ = static_cast<unsigned>(params_.sizeBytes /
+                                     (params_.lineBytes * params_.assoc));
+    rsr_assert(isPowerOf2(numSets_), params_.name,
+               ": set count must be a power of two");
+    lineShift = floorLog2(params_.lineBytes);
+    setShift = floorLog2(numSets_);
+
+    sets.resize(numSets_);
+    for (auto &set : sets) {
+        set.ways.resize(params_.assoc);
+        set.order.resize(params_.assoc);
+        for (unsigned w = 0; w < params_.assoc; ++w)
+            set.order[w] = static_cast<std::uint8_t>(w);
+    }
+}
+
+int
+Cache::findWay(const Set &set, std::uint64_t tag) const
+{
+    for (unsigned w = 0; w < params_.assoc; ++w)
+        if (set.ways[w].valid && set.ways[w].tag == tag)
+            return static_cast<int>(w);
+    return -1;
+}
+
+void
+Cache::placeAt(Set &set, unsigned way, unsigned pos)
+{
+    auto &ord = set.order;
+    auto it = std::find(ord.begin(), ord.end(),
+                        static_cast<std::uint8_t>(way));
+    rsr_assert(it != ord.end(), "way missing from recency order");
+    ord.erase(it);
+    ord.insert(ord.begin() + pos, static_cast<std::uint8_t>(way));
+}
+
+void
+Cache::touch(Set &set, unsigned way)
+{
+    placeAt(set, way, 0);
+}
+
+AccessOutcome
+Cache::access(std::uint64_t addr, bool is_store)
+{
+    AccessOutcome out;
+    Set &set = sets[setOf(addr)];
+    const std::uint64_t tag = tagOf(addr);
+
+    int way = findWay(set, tag);
+    if (way >= 0) {
+        ++stats_.hits;
+        out.hit = true;
+        touch(set, static_cast<unsigned>(way));
+        if (is_store &&
+            params_.writePolicy == WritePolicy::WriteBackAllocate)
+            set.ways[way].dirty = true;
+        return out;
+    }
+
+    ++stats_.misses;
+    if (is_store &&
+        params_.writePolicy == WritePolicy::WriteThroughNoAllocate) {
+        // No-write-allocate: the write is forwarded below; no fill.
+        return out;
+    }
+
+    // Allocate into the LRU way.
+    const unsigned victim = set.order.back();
+    Block &blk = set.ways[victim];
+    if (blk.valid && blk.dirty) {
+        out.victimDirty = true;
+        out.victimLineAddr = (blk.tag << (lineShift + setShift)) |
+                             (setOf(addr) << lineShift);
+        ++stats_.writebacks;
+    }
+    blk.valid = true;
+    blk.tag = tag;
+    blk.dirty = is_store &&
+                params_.writePolicy == WritePolicy::WriteBackAllocate;
+    blk.reconstructed = false;
+    touch(set, victim);
+    ++stats_.fills;
+    out.allocated = true;
+    return out;
+}
+
+bool
+Cache::probe(std::uint64_t addr) const
+{
+    const Set &set = sets[setOf(addr)];
+    return findWay(set, tagOf(addr)) >= 0;
+}
+
+bool
+Cache::setFull(std::uint64_t addr) const
+{
+    const Set &set = sets[setOf(addr)];
+    for (const auto &blk : set.ways)
+        if (!blk.valid)
+            return false;
+    return true;
+}
+
+int
+Cache::recencyOf(std::uint64_t addr) const
+{
+    const Set &set = sets[setOf(addr)];
+    const int way = findWay(set, tagOf(addr));
+    if (way < 0)
+        return -1;
+    auto it = std::find(set.order.begin(), set.order.end(),
+                        static_cast<std::uint8_t>(way));
+    return static_cast<int>(it - set.order.begin());
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &set : sets) {
+        for (auto &blk : set.ways)
+            blk = Block{};
+        for (unsigned w = 0; w < params_.assoc; ++w)
+            set.order[w] = static_cast<std::uint8_t>(w);
+        set.reconCount = 0;
+    }
+}
+
+void
+Cache::beginReconstruction()
+{
+    for (auto &set : sets) {
+        for (auto &blk : set.ways)
+            blk.reconstructed = false;
+        set.reconCount = 0;
+    }
+}
+
+bool
+Cache::reconstructRef(std::uint64_t addr)
+{
+    Set &set = sets[setOf(addr)];
+    if (set.reconCount >= params_.assoc) {
+        // Fully reconstructed set: everything older is ineffectual.
+        ++stats_.reconIgnored;
+        return false;
+    }
+
+    const std::uint64_t tag = tagOf(addr);
+    int way = findWay(set, tag);
+    if (way >= 0 && set.ways[way].reconstructed) {
+        // This block's final state was already determined by a younger
+        // reference; the older one cannot affect it.
+        ++stats_.reconIgnored;
+        return false;
+    }
+
+    if (way < 0) {
+        // Absent: install into the least recently used *stale* block.
+        // Stale blocks occupy order[reconCount..assoc-1] in stale-recency
+        // order, so the overall LRU slot is the stale LRU.
+        way = set.order.back();
+        Block &blk = set.ways[way];
+        blk.valid = true;
+        blk.tag = tag;
+        // Reconstruction cannot know dirtiness; treat as clean. (The
+        // write-through L1s are never dirty; for the write-back L2 this
+        // only suppresses a warm-state writeback, not correctness of the
+        // sampled estimate.)
+        blk.dirty = false;
+        ++stats_.fills;
+    }
+
+    Block &blk = set.ways[way];
+    blk.reconstructed = true;
+    placeAt(set, static_cast<unsigned>(way), set.reconCount);
+    ++set.reconCount;
+    ++stats_.reconApplied;
+    return true;
+}
+
+bool
+Cache::isReconstructed(std::uint64_t addr) const
+{
+    const Set &set = sets[setOf(addr)];
+    const int way = findWay(set, tagOf(addr));
+    return way >= 0 && set.ways[way].reconstructed;
+}
+
+void
+Cache::serializeState(ByteSink &out) const
+{
+    out.putU32(numSets_);
+    out.putU32(params_.assoc);
+    for (const auto &set : sets) {
+        for (const auto &blk : set.ways) {
+            out.putU64(blk.tag);
+            out.putU8(static_cast<std::uint8_t>(
+                (blk.valid ? 1 : 0) | (blk.dirty ? 2 : 0) |
+                (blk.reconstructed ? 4 : 0)));
+        }
+        for (unsigned w = 0; w < params_.assoc; ++w)
+            out.putU8(set.order[w]);
+        out.putU32(set.reconCount);
+    }
+}
+
+void
+Cache::unserializeState(ByteSource &in)
+{
+    rsr_assert(in.getU32() == numSets_ && in.getU32() == params_.assoc,
+               params_.name, ": checkpoint geometry mismatch");
+    for (auto &set : sets) {
+        for (auto &blk : set.ways) {
+            blk.tag = in.getU64();
+            const std::uint8_t flags = in.getU8();
+            blk.valid = flags & 1;
+            blk.dirty = flags & 2;
+            blk.reconstructed = flags & 4;
+        }
+        for (unsigned w = 0; w < params_.assoc; ++w)
+            set.order[w] = in.getU8();
+        set.reconCount = in.getU32();
+    }
+}
+
+} // namespace rsr::cache

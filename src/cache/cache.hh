@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Set-associative cache with true-LRU replacement, write-through/no-write-
+ * allocate and write-back/write-allocate policies, and the per-block
+ * *reconstructed* bits required by the Reverse State Reconstruction
+ * algorithm (paper Section 3.1).
+ *
+ * Replacement state is an explicit per-set recency ordering (MRU..LRU) so
+ * that reverse reconstruction can (a) find the least-recently-used *stale*
+ * block and (b) assign ascending LRU values to reconstructed blocks in scan
+ * order, exactly as Figure 2 of the paper describes.
+ */
+
+#ifndef RSR_CACHE_CACHE_HH
+#define RSR_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bitutil.hh"
+#include "util/serial.hh"
+
+namespace rsr::cache
+{
+
+/** Write policy of one cache level. */
+enum class WritePolicy : std::uint8_t
+{
+    WriteThroughNoAllocate, ///< paper's L1 I/D policy
+    WriteBackAllocate       ///< paper's L2 policy
+};
+
+/** Static geometry and policy of a cache. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned assoc = 4;
+    unsigned lineBytes = 64;
+    WritePolicy writePolicy = WritePolicy::WriteThroughNoAllocate;
+    /** Access (hit) latency in CPU cycles. */
+    unsigned hitLatency = 1;
+};
+
+/** Per-access outcome, consumed by the hierarchy for timing/traffic. */
+struct AccessOutcome
+{
+    bool hit = false;
+    /** A line was allocated (miss fill). */
+    bool allocated = false;
+    /** An allocated fill evicted a dirty line (write-back traffic). */
+    bool victimDirty = false;
+    /** Physical line address of the evicted dirty victim. */
+    std::uint64_t victimLineAddr = 0;
+};
+
+/** Running statistics. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t reconApplied = 0;  ///< reverse-reconstruction inserts
+    std::uint64_t reconIgnored = 0;  ///< redundant/ineffectual refs skipped
+};
+
+/** One cache level. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    const CacheParams &params() const { return params_; }
+    unsigned numSets() const { return numSets_; }
+    const CacheStats &stats() const { return stats_; }
+    void clearStats() { stats_ = CacheStats{}; }
+
+    /** Line-aligned address of @p addr. */
+    std::uint64_t
+    lineAddr(std::uint64_t addr) const
+    {
+        return addr & ~std::uint64_t{params_.lineBytes - 1};
+    }
+
+    /**
+     * Perform one access, updating tags/LRU/dirty state per the write
+     * policy. Used both for timed (hot) accesses and functional (warm)
+     * accesses — the state transition is identical; only the caller's
+     * timing treatment differs.
+     */
+    AccessOutcome access(std::uint64_t addr, bool is_store);
+
+    /** Tag-only presence check with no state change. */
+    bool probe(std::uint64_t addr) const;
+
+    /**
+     * Are all ways of the set holding @p addr valid? (The "primed set"
+     * criterion of sampled cache simulation.)
+     */
+    bool setFull(std::uint64_t addr) const;
+
+    /**
+     * Recency position of @p addr in its set: 0 = MRU, assoc-1 = LRU;
+     * -1 if absent. For tests and the Figure-2 example.
+     */
+    int recencyOf(std::uint64_t addr) const;
+
+    /** Invalidate everything (full machine reset). */
+    void invalidateAll();
+
+    // --- Reverse State Reconstruction hooks (paper Sec. 3.1) -------------
+
+    /**
+     * Clear all reconstructed bits, leaving contents *stale* (the state at
+     * the end of the previous cluster). Called once before consuming the
+     * logged skip-region trace.
+     */
+    void beginReconstruction();
+
+    /**
+     * Apply one logged reference, scanned in reverse (newest-first) order.
+     *
+     * Ignores the reference if its set is fully reconstructed or it maps
+     * to an already-reconstructed block; otherwise marks a block
+     * reconstructed, installing into the LRU-most stale way on absence.
+     * Reconstructed blocks receive ascending LRU ranks in call order
+     * (first call for a set = MRU). Stores allocate even under WTNA
+     * (paper: avoids searching history for a preceding read).
+     *
+     * @return true iff a state update was applied (a warm work unit).
+     */
+    bool reconstructRef(std::uint64_t addr);
+
+    /** Whether the block holding @p addr has its reconstructed bit set. */
+    bool isReconstructed(std::uint64_t addr) const;
+
+    // --- checkpointing ----------------------------------------------------
+
+    /** Serialize tag/LRU/dirty state (not statistics) for live-points. */
+    void serializeState(ByteSink &out) const;
+
+    /**
+     * Restore state captured by serializeState(). The cache must have
+     * the same geometry as when captured.
+     */
+    void unserializeState(ByteSource &in);
+
+  private:
+    struct Block
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool reconstructed = false;
+    };
+
+    struct Set
+    {
+        std::vector<Block> ways;
+        /** Way indices ordered MRU (front) to LRU (back). */
+        std::vector<std::uint8_t> order;
+        /** Number of reconstructed blocks (they occupy order[0..n-1]). */
+        unsigned reconCount = 0;
+    };
+
+    std::uint64_t tagOf(std::uint64_t addr) const
+    {
+        return addr >> (lineShift + setShift);
+    }
+    std::uint64_t setOf(std::uint64_t addr) const
+    {
+        return (addr >> lineShift) & (numSets_ - 1);
+    }
+
+    int findWay(const Set &set, std::uint64_t tag) const;
+    void touch(Set &set, unsigned way);
+    /** Move @p way to recency position @p pos. */
+    void placeAt(Set &set, unsigned way, unsigned pos);
+
+    CacheParams params_;
+    unsigned numSets_;
+    unsigned lineShift;
+    unsigned setShift;
+    std::vector<Set> sets;
+    CacheStats stats_;
+};
+
+} // namespace rsr::cache
+
+#endif // RSR_CACHE_CACHE_HH

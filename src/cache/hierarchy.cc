@@ -1,0 +1,109 @@
+#include "hierarchy.hh"
+
+namespace rsr::cache
+{
+
+HierarchyParams
+HierarchyParams::paperDefault()
+{
+    HierarchyParams p;
+    p.il1 = {"il1", 64 * 1024, 4, 64,
+             WritePolicy::WriteThroughNoAllocate, 1};
+    p.dl1 = {"dl1", 32 * 1024, 4, 64,
+             WritePolicy::WriteThroughNoAllocate, 2};
+    p.l2 = {"l2", 1024 * 1024, 8, 64, WritePolicy::WriteBackAllocate, 12};
+    // 2 GHz core: the 16 B L1 bus runs at 1 GHz (2 CPU cycles per beat),
+    // the 32 B L2 bus at 2 GHz (1 CPU cycle per beat).
+    p.l1Bus = {"l1bus", 16, 2};
+    p.l2Bus = {"l2bus", 32, 1};
+    p.memLatency = 200;
+    return p;
+}
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyParams &params)
+    : params_(params), il1_(params.il1), dl1_(params.dl1), l2_(params.l2),
+      l1Bus_(params.l1Bus), l2Bus_(params.l2Bus)
+{}
+
+std::uint64_t
+MemoryHierarchy::missToL2(std::uint64_t t, std::uint64_t addr)
+{
+    // Line request and transfer over the shared L1-L2 bus.
+    t = l1Bus_.occupy(t, dl1_.params().lineBytes);
+    const AccessOutcome o2 = l2_.access(addr, false);
+    t += l2_.params().hitLatency;
+    if (!o2.hit) {
+        t = l2Bus_.occupy(t, l2_.params().lineBytes);
+        if (o2.victimDirty) {
+            // The dirty victim drains from the writeback buffer right
+            // after the demand transfer; only its bus occupancy is
+            // visible to later requests.
+            l2Bus_.occupy(t, l2_.params().lineBytes);
+        }
+        t += params_.memLatency;
+    }
+    return t;
+}
+
+std::uint64_t
+MemoryHierarchy::timedLoad(std::uint64_t now, std::uint64_t addr)
+{
+    const AccessOutcome o1 = dl1_.access(addr, false);
+    if (o1.hit)
+        return now + dl1_.params().hitLatency;
+    std::uint64_t t = missToL2(now, addr);
+    return t + dl1_.params().hitLatency;
+}
+
+std::uint64_t
+MemoryHierarchy::timedStore(std::uint64_t now, std::uint64_t addr)
+{
+    dl1_.access(addr, true);
+    // Write-through: every store crosses the L1 bus (8 B payload).
+    std::uint64_t t = l1Bus_.occupy(now, 8);
+    const AccessOutcome o2 = l2_.access(addr, true);
+    if (!o2.hit) {
+        // Write-allocate fill from memory.
+        t = l2Bus_.occupy(t, l2_.params().lineBytes);
+        if (o2.victimDirty)
+            l2Bus_.occupy(t, l2_.params().lineBytes);
+        t += params_.memLatency;
+    }
+    return t;
+}
+
+std::uint64_t
+MemoryHierarchy::timedFetch(std::uint64_t now, std::uint64_t addr)
+{
+    const AccessOutcome o1 = il1_.access(addr, false);
+    if (o1.hit)
+        return now + il1_.params().hitLatency;
+    std::uint64_t t = missToL2(now, addr);
+    return t + il1_.params().hitLatency;
+}
+
+void
+MemoryHierarchy::warmAccess(std::uint64_t addr, bool is_store, bool is_instr)
+{
+    Cache &l1 = is_instr ? il1_ : dl1_;
+    const AccessOutcome o1 = l1.access(addr, is_store);
+    ++warmUpdates_;
+    if (is_store || !o1.hit) {
+        // Write-through stores and L1 misses reach the L2.
+        l2_.access(addr, is_store);
+        ++warmUpdates_;
+    }
+}
+
+void
+MemoryHierarchy::reset()
+{
+    il1_.invalidateAll();
+    dl1_.invalidateAll();
+    l2_.invalidateAll();
+    l1Bus_.reset();
+    l2Bus_.reset();
+    warmUpdates_ = 0;
+}
+
+} // namespace rsr::cache

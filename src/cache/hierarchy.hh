@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Two-level memory hierarchy with bus models, implementing the paper's
+ * Section-4 configuration: 32 KB 4-way WTNA L1D, 64 KB 4-way WTNA L1I,
+ * 1 MB 8-way WBWA unified L2, a shared 16 B / 1 GHz L1-L2 bus, a 32 B /
+ * 2 GHz L2-memory bus, all against a 2 GHz core.
+ *
+ * Two access paths share one state machine:
+ *   - timed*()    — hot-phase accesses: update state and model latency,
+ *                   arbitration, contention, and transfer delay;
+ *   - warmAccess() — functional warming (SMARTS / fixed-period): identical
+ *                   state updates, no timing, counted as warm work units.
+ */
+
+#ifndef RSR_CACHE_HIERARCHY_HH
+#define RSR_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+
+#include "cache/bus.hh"
+#include "cache/cache.hh"
+
+namespace rsr::cache
+{
+
+/** Full hierarchy configuration. */
+struct HierarchyParams
+{
+    CacheParams il1;
+    CacheParams dl1;
+    CacheParams l2;
+    BusParams l1Bus;
+    BusParams l2Bus;
+    /** Main-memory access latency in CPU cycles. */
+    std::uint64_t memLatency = 200;
+
+    /** The paper's Section-4 memory system. */
+    static HierarchyParams paperDefault();
+};
+
+/** Two-level hierarchy. */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const HierarchyParams &params);
+
+    Cache &il1() { return il1_; }
+    Cache &dl1() { return dl1_; }
+    Cache &l2() { return l2_; }
+    const Cache &il1() const { return il1_; }
+    const Cache &dl1() const { return dl1_; }
+    const Cache &l2() const { return l2_; }
+    Bus &l1Bus() { return l1Bus_; }
+    Bus &l2Bus() { return l2Bus_; }
+    const Bus &l1Bus() const { return l1Bus_; }
+    const Bus &l2Bus() const { return l2Bus_; }
+    const HierarchyParams &params() const { return params_; }
+
+    /** Timed data load issued at @p now; returns data-ready cycle. */
+    std::uint64_t timedLoad(std::uint64_t now, std::uint64_t addr);
+
+    /**
+     * Timed data store issued at @p now; returns the write-through
+     * completion cycle. The core treats stores as fire-and-forget, but the
+     * bus occupancy they create delays subsequent misses.
+     */
+    std::uint64_t timedStore(std::uint64_t now, std::uint64_t addr);
+
+    /** Timed instruction fetch of the block at @p addr. */
+    std::uint64_t timedFetch(std::uint64_t now, std::uint64_t addr);
+
+    /**
+     * Functional warm access (the SMARTS full-functional warm-up path):
+     * apply the same state transitions as a timed access, with no timing.
+     */
+    void warmAccess(std::uint64_t addr, bool is_store, bool is_instr);
+
+    /** Component state updates applied by warmAccess() so far. */
+    std::uint64_t warmUpdates() const { return warmUpdates_; }
+    void clearWarmUpdates() { warmUpdates_ = 0; }
+
+    /** Invalidate all caches and release all buses. */
+    void reset();
+
+  private:
+    /** Handle an L1 load/fetch miss: fetch the line through L2. */
+    std::uint64_t missToL2(std::uint64_t t, std::uint64_t addr);
+
+    HierarchyParams params_;
+    Cache il1_;
+    Cache dl1_;
+    Cache l2_;
+    Bus l1Bus_;
+    Bus l2Bus_;
+    std::uint64_t warmUpdates_ = 0;
+};
+
+} // namespace rsr::cache
+
+#endif // RSR_CACHE_HIERARCHY_HH

@@ -1,0 +1,129 @@
+#include "miss_ratio.hh"
+
+#include "func/funcsim.hh"
+#include "util/logging.hh"
+
+namespace rsr::cachestudy
+{
+
+const char *
+coldStartName(ColdStart policy)
+{
+    switch (policy) {
+      case ColdStart::CountAll: return "count-all";
+      case ColdStart::PrimedSets: return "primed-sets";
+      case ColdStart::Stale: return "stale";
+      case ColdStart::ColdCorrected: return "cold-corrected";
+    }
+    rsr_panic("bad cold-start policy");
+}
+
+double
+trueMissRatio(const cache::CacheParams &params,
+              const std::vector<std::uint64_t> &addrs)
+{
+    rsr_assert(!addrs.empty(), "empty reference trace");
+    cache::Cache c(params);
+    std::uint64_t misses = 0;
+    for (auto a : addrs)
+        misses += c.access(a, false).hit ? 0 : 1;
+    return static_cast<double>(misses) /
+           static_cast<double>(addrs.size());
+}
+
+MissRatioEstimate
+estimateMissRatio(const cache::CacheParams &params,
+                  const std::vector<std::uint64_t> &addrs,
+                  const std::vector<core::Cluster> &schedule,
+                  ColdStart policy)
+{
+    cache::Cache c(params);
+    MissRatioEstimate est;
+
+    std::uint64_t measured_misses = 0;
+    std::uint64_t primed_refs = 0;
+    std::uint64_t primed_misses = 0;
+    std::uint64_t cold_hits = 0;
+    std::uint64_t cold_unknown = 0;
+
+    for (const auto &cluster : schedule) {
+        rsr_assert(cluster.start + cluster.size <= addrs.size(),
+                   "schedule extends past the reference trace");
+        if (policy != ColdStart::Stale)
+            c.invalidateAll();
+        for (std::uint64_t i = cluster.start;
+             i < cluster.start + cluster.size; ++i) {
+            const bool full = c.setFull(addrs[i]);
+            const bool hit = c.access(addrs[i], false).hit;
+            switch (policy) {
+              case ColdStart::CountAll:
+              case ColdStart::Stale:
+                ++est.measuredRefs;
+                measured_misses += hit ? 0 : 1;
+                break;
+              case ColdStart::PrimedSets:
+                if (full) {
+                    ++est.measuredRefs;
+                    measured_misses += hit ? 0 : 1;
+                } else {
+                    ++est.excludedRefs;
+                }
+                break;
+              case ColdStart::ColdCorrected:
+                ++est.measuredRefs;
+                if (full) {
+                    ++primed_refs;
+                    primed_misses += hit ? 0 : 1;
+                } else if (hit) {
+                    ++cold_hits; // brought in within this sample: true hit
+                } else {
+                    ++cold_unknown; // unknown pre-sample state
+                }
+                break;
+            }
+        }
+    }
+
+    if (policy == ColdStart::ColdCorrected) {
+        // Unknown-state misses are real misses only if the frame would
+        // not have held the block; approximate that probability with the
+        // miss ratio observed on primed references.
+        const double mu =
+            primed_refs
+                ? static_cast<double>(primed_misses) /
+                      static_cast<double>(primed_refs)
+                : 1.0;
+        const double total = static_cast<double>(
+            primed_refs + cold_hits + cold_unknown);
+        est.missRatio =
+            total > 0
+                ? (static_cast<double>(primed_misses) +
+                   mu * static_cast<double>(cold_unknown)) /
+                      total
+                : 0.0;
+        return est;
+    }
+
+    est.missRatio = est.measuredRefs
+                        ? static_cast<double>(measured_misses) /
+                              static_cast<double>(est.measuredRefs)
+                        : 0.0;
+    return est;
+}
+
+std::vector<std::uint64_t>
+dataRefTrace(const func::Program &program, std::uint64_t max_insts)
+{
+    std::vector<std::uint64_t> out;
+    func::FuncSim fs(program);
+    func::DynInst d;
+    for (std::uint64_t i = 0; i < max_insts; ++i) {
+        if (!fs.step(&d))
+            break;
+        if (d.inst.isMem())
+            out.push_back(d.effAddr & ~std::uint64_t{63});
+    }
+    return out;
+}
+
+} // namespace rsr::cachestudy

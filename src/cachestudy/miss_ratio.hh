@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Trace-sampled cache miss-ratio estimation — the lineage the paper's
+ * related-work section traces (Section 2): time sampling of cache
+ * reference traces with different treatments of the cold-start problem.
+ *
+ *  - `CountAll` — flush the cache at each sample and count every miss;
+ *    cold-start misses inflate the estimate (the naive baseline).
+ *  - `PrimedSets` (Fu & Patel; Laha, Patel & Iyer) — flush at each
+ *    sample but record measurements only from references to *primed*
+ *    sets, i.e. sets whose ways have all been filled within the sample;
+ *    unknown-state references are excluded from the estimate.
+ *  - `Stale` — never flush: each sample inherits whatever state the
+ *    previous sample left (the cache-only analogue of the "None"
+ *    warm-up policy in sampled processor simulation).
+ *  - `ColdCorrected` (after Wood, Hill & Kessler's miss-ratio model) —
+ *    flush at each sample; references that hit the unknown (cold) part
+ *    of a set are counted as misses with an estimated probability
+ *    rather than always (here: the miss ratio observed on primed
+ *    references, a practical stand-in for the model's live/dead frame
+ *    probability).
+ *
+ * These estimators operate on raw line-address reference traces with a
+ * single cache level — the historical setting of those papers — and are
+ * exercised by bench/cache_sampling_study.
+ */
+
+#ifndef RSR_CACHESTUDY_MISS_RATIO_HH
+#define RSR_CACHESTUDY_MISS_RATIO_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "core/regimen.hh"
+#include "func/program.hh"
+
+namespace rsr::cachestudy
+{
+
+/** Cold-start treatment for time-sampled cache simulation. */
+enum class ColdStart : std::uint8_t
+{
+    CountAll,
+    PrimedSets,
+    Stale,
+    ColdCorrected,
+};
+
+/** Printable name of a cold-start policy. */
+const char *coldStartName(ColdStart policy);
+
+/** Outcome of a miss-ratio estimation. */
+struct MissRatioEstimate
+{
+    double missRatio = 0.0;
+    /** References that contributed measurements. */
+    std::uint64_t measuredRefs = 0;
+    /** References excluded (unknown-state under PrimedSets). */
+    std::uint64_t excludedRefs = 0;
+};
+
+/** Miss ratio of the full trace from a cold cache (the reference). */
+double trueMissRatio(const cache::CacheParams &params,
+                     const std::vector<std::uint64_t> &addrs);
+
+/**
+ * Estimate the miss ratio from time samples of @p addrs: only references
+ * inside the schedule's clusters are simulated (plus state carry-over
+ * per the chosen policy).
+ */
+MissRatioEstimate
+estimateMissRatio(const cache::CacheParams &params,
+                  const std::vector<std::uint64_t> &addrs,
+                  const std::vector<core::Cluster> &schedule,
+                  ColdStart policy);
+
+/** Extract the data-reference line-address trace of a program prefix. */
+std::vector<std::uint64_t> dataRefTrace(const func::Program &program,
+                                        std::uint64_t max_insts);
+
+} // namespace rsr::cachestudy
+
+#endif // RSR_CACHESTUDY_MISS_RATIO_HH

@@ -1,0 +1,43 @@
+#include "cache_reconstructor.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rsr::core
+{
+
+CacheReconstructionResult
+reconstructCaches(cache::MemoryHierarchy &hier,
+                  const std::vector<MemRecord> &mem_log, double fraction)
+{
+    rsr_assert(fraction >= 0.0 && fraction <= 1.0,
+               "reconstruction fraction out of range: ", fraction);
+
+    CacheReconstructionResult res;
+    hier.il1().beginReconstruction();
+    hier.dl1().beginReconstruction();
+    hier.l2().beginReconstruction();
+
+    const std::size_t n = mem_log.size();
+    const auto take = static_cast<std::size_t>(
+        std::llround(static_cast<double>(n) * fraction));
+    const std::size_t cutoff = n - take;
+
+    for (std::size_t i = n; i-- > cutoff;) {
+        const MemRecord &r = mem_log[i];
+        cache::Cache &l1 = r.isInstr() ? hier.il1() : hier.dl1();
+        // Note: stores allocate here even though the L1s are
+        // no-write-allocate — reconstruction would otherwise have to
+        // search older history for a preceding read (paper Sec. 3.1).
+        const bool a1 = l1.reconstructRef(r.addr);
+        const bool a2 = hier.l2().reconstructRef(r.addr);
+        ++res.refsScanned;
+        res.updatesApplied += (a1 ? 1 : 0) + (a2 ? 1 : 0);
+        if (!a1 && !a2)
+            ++res.refsIgnored;
+    }
+    return res;
+}
+
+} // namespace rsr::core

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Reverse cache reconstruction (paper Section 3.1, Figure 2).
+ *
+ * Immediately before a cluster begins, the most recent fraction of the
+ * logged skip-region reference stream is scanned newest-to-oldest and
+ * applied to the (stale) caches: references to already-reconstructed
+ * blocks or fully reconstructed sets are ignored — they cannot affect the
+ * final pre-cluster state — and absent blocks are installed into the
+ * least-recently-used stale way, with reconstructed blocks receiving
+ * ascending LRU ranks in scan order. Updates are applied directly to both
+ * the L1s and the L2.
+ */
+
+#ifndef RSR_CORE_CACHE_RECONSTRUCTOR_HH
+#define RSR_CORE_CACHE_RECONSTRUCTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "core/skip_log.hh"
+
+namespace rsr::core
+{
+
+/** Accounting from one reconstruction pass. */
+struct CacheReconstructionResult
+{
+    std::uint64_t refsScanned = 0;
+    std::uint64_t updatesApplied = 0;
+    std::uint64_t refsIgnored = 0;
+};
+
+/**
+ * Reconstruct L1I/L1D/L2 state from the logged reference stream.
+ *
+ * @param hier     the (stale) hierarchy to reconstruct
+ * @param mem_log  the skip-region memory log, oldest first
+ * @param fraction apply only the most recent `fraction` of the log
+ *                 (the paper's R$ (20/40/80/100%) knob)
+ */
+CacheReconstructionResult
+reconstructCaches(cache::MemoryHierarchy &hier,
+                  const std::vector<MemRecord> &mem_log, double fraction);
+
+} // namespace rsr::core
+
+#endif // RSR_CORE_CACHE_RECONSTRUCTOR_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Plain-text machine configuration: `key = value` lines (with `#`
+ * comments) that override fields of a MachineConfig, so experiments can
+ * be described in files and swept from the command line without
+ * recompiling. Unknown keys are fatal (typo safety).
+ *
+ * Keys (all integers unless noted):
+ *   il1.size_bytes il1.assoc il1.line_bytes il1.hit_latency
+ *   dl1.*  l2.*                      (same fields as il1)
+ *   l1bus.width_bytes l1bus.cpu_cycles_per_bus_cycle
+ *   l2bus.width_bytes l2bus.cpu_cycles_per_bus_cycle
+ *   mem.latency
+ *   bp.pht_entries bp.history_bits bp.btb_entries bp.ras_entries
+ *   core.fetch_width core.dispatch_width core.issue_width
+ *   core.retire_width core.rob_size core.iq_size core.lsq_size
+ *   core.num_fus core.frontend_delay core.min_mispredict_penalty
+ *   core.max_unresolved_branches core.fetch_buffer_size
+ *   core.int_alu_lat core.int_mul_lat core.int_div_lat
+ *   core.fp_add_lat core.fp_mul_lat core.fp_div_lat
+ *   core.store_forwarding            (0 or 1)
+ */
+
+#ifndef RSR_CORE_CONFIG_FILE_HH
+#define RSR_CORE_CONFIG_FILE_HH
+
+#include <string>
+
+#include "core/machine.hh"
+
+namespace rsr::core
+{
+
+/** Apply a single `key`/`value` override to @p config. Fatal on unknown
+ *  keys or malformed values. */
+void applyMachineOption(MachineConfig &config, const std::string &key,
+                        const std::string &value);
+
+/** Parse `key = value` lines from @p text over @p base. */
+MachineConfig parseMachineConfig(const std::string &text,
+                                 MachineConfig base);
+
+/** Load a configuration file over @p base. Fatal if unreadable. */
+MachineConfig loadMachineConfig(const std::string &path,
+                                MachineConfig base);
+
+} // namespace rsr::core
+
+#endif // RSR_CORE_CONFIG_FILE_HH

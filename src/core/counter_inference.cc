@@ -1,0 +1,105 @@
+#include "counter_inference.hh"
+
+#include "branch/predictor.hh"
+
+namespace rsr::core
+{
+
+namespace
+{
+
+std::uint8_t
+setFn(std::uint8_t g, std::uint8_t c, std::uint8_t v)
+{
+    g &= static_cast<std::uint8_t>(~(3u << (2 * c)));
+    g |= static_cast<std::uint8_t>(v << (2 * c));
+    return g;
+}
+
+} // namespace
+
+CounterInference::CounterInference()
+{
+    for (unsigned g = 0; g < 256; ++g) {
+        std::uint8_t mask = 0;
+        for (std::uint8_t c = 0; c < 4; ++c)
+            mask |= static_cast<std::uint8_t>(
+                1u << apply(static_cast<StateFn>(g), c));
+        image[g] = mask;
+
+        for (unsigned o = 0; o < 2; ++o) {
+            // g' = g ∘ update(·, o): first the older outcome o updates the
+            // unknown counter, then the already-known suffix g runs.
+            StateFn gp = 0;
+            for (std::uint8_t c = 0; c < 4; ++c) {
+                const std::uint8_t mid = branch::counter::update(c, o != 0);
+                gp = setFn(gp, c, apply(static_cast<StateFn>(g), mid));
+            }
+            compose[g][o] = gp;
+        }
+    }
+}
+
+const CounterInference &
+CounterInference::instance()
+{
+    static const CounterInference inst;
+    return inst;
+}
+
+CounterInference::Resolution
+CounterInference::resolve(StateFn g, bool any_history,
+                          bool newest_outcome) const
+{
+    Resolution r;
+    if (!any_history)
+        return r; // stale
+    r.known = true;
+    const std::uint8_t m = image[g];
+    if ((m & (m - 1)) == 0) {
+        // Singleton: exact state.
+        for (std::uint8_t c = 0; c < 4; ++c)
+            if (m & (1u << c))
+                r.value = c;
+        return r;
+    }
+    if ((m & 0b0011) == 0) {
+        r.value = branch::counter::weaklyTaken; // biased taken
+        return r;
+    }
+    if ((m & 0b1100) == 0) {
+        r.value = branch::counter::weaklyNotTaken; // biased not taken
+        return r;
+    }
+    // Count set bits.
+    unsigned n = 0;
+    std::uint8_t values[4];
+    for (std::uint8_t c = 0; c < 4; ++c)
+        if (m & (1u << c))
+            values[n++] = c;
+    if (n == 3) {
+        r.value = values[1]; // middle of three
+        return r;
+    }
+    // Two states straddling the taken/not-taken boundary ({1,2}): weak
+    // form of the most recent outcome.
+    r.value = newest_outcome ? branch::counter::weaklyTaken
+                             : branch::counter::weaklyNotTaken;
+    return r;
+}
+
+std::uint8_t
+CounterInference::bruteForceMask(const bool *newest_first, unsigned len)
+{
+    std::uint8_t mask = 0;
+    for (std::uint8_t c0 = 0; c0 < 4; ++c0) {
+        std::uint8_t c = c0;
+        // Apply outcomes oldest-to-newest.
+        for (unsigned i = len; i-- > 0;)
+            c = branch::counter::update(c, newest_first[i]);
+        mask |= static_cast<std::uint8_t>(1u << c);
+    }
+    return mask;
+}
+
+} // namespace rsr::core

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A-priori inference tables for reconstructing 2-bit saturating counters
+ * from reverse branch histories (paper Section 3.2, Figure 3).
+ *
+ * Scanning a branch entry's outcomes newest-to-oldest, we maintain the
+ * composition g of forward counter updates for the suffix of outcomes seen
+ * so far: if the (unknown) counter value immediately before the oldest
+ * observed outcome is c, the final counter value is g(c). g is a function
+ * {0..3} -> {0..3}, encoded in one byte (2 bits per input state), and each
+ * additional (older) outcome o refines it as g' = g ∘ update(·, o) — one
+ * table lookup, exactly the "table built a priori" the paper describes.
+ *
+ * The image of g is the set of possible final counter values:
+ *   - singleton          → exact state known (e.g. three consecutive
+ *                          identical outcomes anywhere in the history);
+ *   - subset of {2,3}    → biased taken, predict weakly taken;
+ *   - subset of {0,1}    → biased not-taken, predict weakly not-taken;
+ *   - three states       → predict the middle state;
+ *   - {1,2} straddle     → the paper leaves this case open; we choose the
+ *                          weak form of the most recent outcome;
+ *   - no history         → the entry is left stale.
+ */
+
+#ifndef RSR_CORE_COUNTER_INFERENCE_HH
+#define RSR_CORE_COUNTER_INFERENCE_HH
+
+#include <cstdint>
+
+namespace rsr::core
+{
+
+/** Inference over 2-bit-counter reverse histories. */
+class CounterInference
+{
+  public:
+    /** One-byte encoding of a function {0..3}->{0..3}. */
+    using StateFn = std::uint8_t;
+
+    /** The identity function (no outcomes observed yet). */
+    static constexpr StateFn identity = 0b11'10'01'00;
+
+    CounterInference();
+
+    /** Singleton accessor (tables are immutable after construction). */
+    static const CounterInference &instance();
+
+    /** Apply g to a counter value. */
+    static std::uint8_t
+    apply(StateFn g, std::uint8_t c)
+    {
+        return (g >> (2 * c)) & 3;
+    }
+
+    /** Refine @p g with the next-*older* outcome @p taken. */
+    StateFn
+    observeOlder(StateFn g, bool taken) const
+    {
+        return compose[g][taken ? 1 : 0];
+    }
+
+    /** Bitmask (bit c set iff c possible) of final counter values. */
+    std::uint8_t imageOf(StateFn g) const { return image[g]; }
+
+    /** True once the final counter value is uniquely determined. */
+    bool
+    determined(StateFn g) const
+    {
+        const std::uint8_t m = image[g];
+        return (m & (m - 1)) == 0;
+    }
+
+    /** Result of resolving an entry at the end of reconstruction. */
+    struct Resolution
+    {
+        /** False: no usable history; leave the entry stale. */
+        bool known = false;
+        std::uint8_t value = 0;
+    };
+
+    /**
+     * Resolve the final counter estimate for an entry.
+     *
+     * @param g accumulated composition
+     * @param any_history whether any outcome was observed
+     * @param newest_outcome the most recent observed outcome (tie-break)
+     */
+    Resolution resolve(StateFn g, bool any_history,
+                       bool newest_outcome) const;
+
+    /**
+     * Brute-force reference: possible-final-value mask for an explicit
+     * reverse history (newest first). For tests.
+     */
+    static std::uint8_t bruteForceMask(const bool *newest_first,
+                                       unsigned len);
+
+  private:
+    StateFn compose[256][2];
+    std::uint8_t image[256];
+};
+
+} // namespace rsr::core
+
+#endif // RSR_CORE_COUNTER_INFERENCE_HH

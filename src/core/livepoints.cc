@@ -1,0 +1,301 @@
+#include "livepoints.hh"
+
+#include "func/funcsim.hh"
+#include "util/logging.hh"
+#include "util/serial.hh"
+#include "util/timer.hh"
+
+namespace rsr::core
+{
+
+namespace
+{
+
+constexpr std::uint32_t libraryMagic = 0x52535250; // "RSRP"
+constexpr std::uint32_t libraryVersion = 1;
+
+/** Streams committed instructions and records them into a trace. */
+class RecordingSource : public uarch::InstSource
+{
+  public:
+    RecordingSource(func::FuncSim &fs, std::vector<func::DynInst> &trace)
+        : fs(fs), trace(trace)
+    {}
+
+    bool
+    next(func::DynInst &out) override
+    {
+        if (!fs.step(&out))
+            return false;
+        trace.push_back(out);
+        return true;
+    }
+
+  private:
+    func::FuncSim &fs;
+    std::vector<func::DynInst> &trace;
+};
+
+/** Streams a stored trace. */
+class TraceSource : public uarch::InstSource
+{
+  public:
+    explicit TraceSource(const std::vector<func::DynInst> &trace)
+        : trace(trace)
+    {}
+
+    bool
+    next(func::DynInst &out) override
+    {
+        if (pos >= trace.size())
+            return false;
+        out = trace[pos++];
+        return true;
+    }
+
+  private:
+    const std::vector<func::DynInst> &trace;
+    std::size_t pos = 0;
+};
+
+void
+snapshotMachine(const Machine &m, ByteSink &out)
+{
+    m.hier.il1().serializeState(out);
+    m.hier.dl1().serializeState(out);
+    m.hier.l2().serializeState(out);
+    m.bp.serializeState(out);
+}
+
+void
+restoreMachine(Machine &m, ByteSource &in)
+{
+    m.hier.il1().unserializeState(in);
+    m.hier.dl1().unserializeState(in);
+    m.hier.l2().unserializeState(in);
+    m.bp.unserializeState(in);
+}
+
+void
+putCacheParams(ByteSink &out, const cache::CacheParams &p)
+{
+    out.putU64(p.sizeBytes);
+    out.putU32(p.assoc);
+    out.putU32(p.lineBytes);
+    out.putU8(static_cast<std::uint8_t>(p.writePolicy));
+    out.putU32(p.hitLatency);
+}
+
+cache::CacheParams
+getCacheParams(ByteSource &in, const char *name)
+{
+    cache::CacheParams p;
+    p.name = name;
+    p.sizeBytes = in.getU64();
+    p.assoc = in.getU32();
+    p.lineBytes = in.getU32();
+    p.writePolicy = static_cast<cache::WritePolicy>(in.getU8());
+    p.hitLatency = in.getU32();
+    return p;
+}
+
+void
+putMachineConfig(ByteSink &out, const MachineConfig &m)
+{
+    putCacheParams(out, m.hier.il1);
+    putCacheParams(out, m.hier.dl1);
+    putCacheParams(out, m.hier.l2);
+    out.putU32(m.hier.l1Bus.widthBytes);
+    out.putU32(m.hier.l1Bus.cpuCyclesPerBusCycle);
+    out.putU32(m.hier.l2Bus.widthBytes);
+    out.putU32(m.hier.l2Bus.cpuCyclesPerBusCycle);
+    out.putU64(m.hier.memLatency);
+    out.putU32(m.bp.phtEntries);
+    out.putU32(m.bp.historyBits);
+    out.putU32(m.bp.btbEntries);
+    out.putU32(m.bp.rasEntries);
+    const auto &c = m.core;
+    for (std::uint32_t v :
+         {c.fetchWidth, c.dispatchWidth, c.issueWidth, c.retireWidth,
+          c.robSize, c.iqSize, c.lsqSize, c.numFUs, c.frontendDelay,
+          c.minMispredictPenalty, c.maxUnresolvedBranches,
+          c.fetchBufferSize, c.intAluLat, c.intMulLat, c.intDivLat,
+          c.fpAddLat, c.fpMulLat, c.fpDivLat})
+        out.putU32(v);
+}
+
+MachineConfig
+getMachineConfig(ByteSource &in)
+{
+    MachineConfig m;
+    m.hier.il1 = getCacheParams(in, "il1");
+    m.hier.dl1 = getCacheParams(in, "dl1");
+    m.hier.l2 = getCacheParams(in, "l2");
+    m.hier.l1Bus.widthBytes = in.getU32();
+    m.hier.l1Bus.cpuCyclesPerBusCycle = in.getU32();
+    m.hier.l2Bus.widthBytes = in.getU32();
+    m.hier.l2Bus.cpuCyclesPerBusCycle = in.getU32();
+    m.hier.memLatency = in.getU64();
+    m.bp.phtEntries = in.getU32();
+    m.bp.historyBits = in.getU32();
+    m.bp.btbEntries = in.getU32();
+    m.bp.rasEntries = in.getU32();
+    auto &c = m.core;
+    for (std::uint32_t *v :
+         {&c.fetchWidth, &c.dispatchWidth, &c.issueWidth, &c.retireWidth,
+          &c.robSize, &c.iqSize, &c.lsqSize, &c.numFUs, &c.frontendDelay,
+          &c.minMispredictPenalty, &c.maxUnresolvedBranches,
+          &c.fetchBufferSize, &c.intAluLat, &c.intMulLat, &c.intDivLat,
+          &c.fpAddLat, &c.fpMulLat, &c.fpDivLat})
+        *v = in.getU32();
+    return m;
+}
+
+} // namespace
+
+LivePointLibrary
+LivePointLibrary::capture(const func::Program &program,
+                          WarmupPolicy &policy,
+                          const SampledConfig &config)
+{
+    LivePointLibrary lib;
+    lib.machine = config.machine;
+
+    func::FuncSim fs(program);
+    Machine machine(config.machine);
+    policy.clearWork();
+    policy.attach(machine);
+
+    Rng rng(config.scheduleSeed);
+    const auto schedule =
+        makeSchedule(config.regimen, config.totalInsts, rng);
+
+    const std::uint64_t iline_mask =
+        ~std::uint64_t{machine.hier.il1().params().lineBytes - 1};
+
+    std::uint64_t pos = 0;
+    func::DynInst d;
+    for (const Cluster &cluster : schedule) {
+        const std::uint64_t skip_len = cluster.start - pos;
+        policy.beginSkip(skip_len);
+        std::uint64_t last_iblock = ~std::uint64_t{0};
+        for (std::uint64_t i = 0; i < skip_len; ++i) {
+            const bool ok = fs.step(&d);
+            rsr_assert(ok, "workload halted inside a skip region");
+            const std::uint64_t blk = d.pc & iline_mask;
+            policy.onSkipInst(d, blk != last_iblock);
+            last_iblock = blk;
+        }
+        policy.beforeCluster();
+
+        LivePoint lp;
+        lp.clusterStart = cluster.start;
+        ByteSink sink;
+        snapshotMachine(machine, sink);
+        lp.machineState = sink.take();
+        lp.trace.reserve(cluster.size);
+
+        machine.hier.l1Bus().reset();
+        machine.hier.l2Bus().reset();
+        uarch::OoOCore core(config.machine.core, machine.hier, machine.bp);
+        RecordingSource src(fs, lp.trace);
+        const auto rr = core.run(src, cluster.size);
+        rsr_assert(rr.insts == cluster.size,
+                   "workload halted inside a cluster");
+        policy.afterCluster();
+
+        lib.points_.push_back(std::move(lp));
+        pos = cluster.start + cluster.size;
+    }
+    return lib;
+}
+
+SampledResult
+LivePointLibrary::replay(const uarch::CoreParams &core_params) const
+{
+    SampledResult res;
+    WallTimer timer;
+
+    Machine m(machine);
+    for (const LivePoint &lp : points_) {
+        ByteSource state(lp.machineState);
+        restoreMachine(m, state);
+        m.hier.l1Bus().reset();
+        m.hier.l2Bus().reset();
+        uarch::OoOCore core(core_params, m.hier, m.bp);
+        TraceSource src(lp.trace);
+        const auto rr = core.run(src, lp.trace.size());
+        res.clusterIpc.push_back(rr.ipc());
+        res.hotInsts += rr.insts;
+        res.hotCycles += rr.cycles;
+        res.branchMispredicts += rr.branchMispredicts;
+    }
+    res.estimate = summarizeClusters(res.clusterIpc);
+    res.seconds = timer.seconds();
+    return res;
+}
+
+std::uint64_t
+LivePointLibrary::storageBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &lp : points_)
+        total += lp.machineState.size() +
+                 lp.trace.size() * sizeof(func::DynInst);
+    return total;
+}
+
+std::vector<std::uint8_t>
+LivePointLibrary::serialize() const
+{
+    ByteSink out;
+    out.putU32(libraryMagic);
+    out.putU32(libraryVersion);
+    putMachineConfig(out, machine);
+    out.putU64(points_.size());
+    for (const auto &lp : points_) {
+        out.putU64(lp.clusterStart);
+        out.putU64(lp.machineState.size());
+        out.putBytes(lp.machineState.data(), lp.machineState.size());
+        out.putU64(lp.trace.size());
+        for (const auto &d : lp.trace) {
+            out.putU64(d.pc);
+            out.putU64(d.nextPc);
+            out.putU64(d.effAddr);
+            out.putU32(isa::encode(d.inst));
+        }
+    }
+    return out.take();
+}
+
+LivePointLibrary
+LivePointLibrary::deserialize(const std::vector<std::uint8_t> &bytes)
+{
+    ByteSource in(bytes);
+    rsr_assert(in.getU32() == libraryMagic, "not a live-point library");
+    rsr_assert(in.getU32() == libraryVersion,
+               "unsupported live-point library version");
+    LivePointLibrary lib;
+    lib.machine = getMachineConfig(in);
+    const std::uint64_t n = in.getU64();
+    lib.points_.resize(n);
+    std::uint64_t seq = 0;
+    for (auto &lp : lib.points_) {
+        lp.clusterStart = in.getU64();
+        lp.machineState.resize(in.getU64());
+        in.getBytes(lp.machineState.data(), lp.machineState.size());
+        lp.trace.resize(in.getU64());
+        for (auto &d : lp.trace) {
+            d.pc = in.getU64();
+            d.nextPc = in.getU64();
+            d.effAddr = in.getU64();
+            d.inst = isa::decode(in.getU32());
+            d.taken = d.nextPc != d.pc + 4;
+            d.seq = seq++;
+        }
+    }
+    rsr_assert(in.exhausted(), "trailing bytes in live-point library");
+    return lib;
+}
+
+} // namespace rsr::core

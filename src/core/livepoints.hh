@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Live-points: checkpoint-based sampled simulation (after Wenisch,
+ * Wunderlich, Falsafi & Hoe, "Simulation Sampling with Live-Points",
+ * ISPASS 2006 — cited by the paper as reference [18]).
+ *
+ * A *capture* pass runs the sampled-simulation front half once: it
+ * functionally executes the workload, lets a warm-up policy maintain or
+ * reconstruct microarchitectural state, and at every cluster boundary
+ * snapshots (a) the warm cache/branch-predictor state and (b) the
+ * cluster's committed instruction trace. *Replay* then measures any
+ * cluster — or the whole sample — directly from the snapshots, skipping
+ * all functional fast-forwarding. Because the stored state is
+ * microarchitectural-input state while the traces are committed
+ * instruction streams, one capture supports many replays with different
+ * *core* configurations (widths, window sizes, latencies), which is where
+ * checkpointing pays off: design-space sweeps amortize the warming cost
+ * that RSR or SMARTS would otherwise pay per experiment.
+ */
+
+#ifndef RSR_CORE_LIVEPOINTS_HH
+#define RSR_CORE_LIVEPOINTS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sampled_sim.hh"
+
+namespace rsr::core
+{
+
+/** One checkpoint: warm state + the cluster's committed trace. */
+struct LivePoint
+{
+    std::uint64_t clusterStart = 0;
+    /** Serialized il1/dl1/l2/predictor state at the cluster boundary. */
+    std::vector<std::uint8_t> machineState;
+    /** The cluster's committed instructions. */
+    std::vector<func::DynInst> trace;
+};
+
+/** A captured library of live-points for one (workload, schedule). */
+class LivePointLibrary
+{
+  public:
+    /**
+     * Capture live-points by running the sampled-simulation loop once
+     * under @p policy (any warm-up method; the snapshot records whatever
+     * state that method produced at each boundary).
+     *
+     * Note: policies that keep mutating state *during* the measurement —
+     * RSR's on-demand branch reconstruction — are snapshotted before
+     * those demand-driven updates, so replays see slightly staler PHT/BTB
+     * entries than the capture run did. Eager policies (None, FP, SMARTS)
+     * replay bit-exactly.
+     */
+    static LivePointLibrary capture(const func::Program &program,
+                                    WarmupPolicy &policy,
+                                    const SampledConfig &config);
+
+    /**
+     * Measure every stored cluster under core configuration
+     * @p core_params (cache/predictor geometry must match the capture
+     * configuration; the core may differ). Far cheaper than a sampled
+     * run: no functional fast-forwarding, no warming.
+     */
+    SampledResult replay(const uarch::CoreParams &core_params) const;
+
+    /** Replay with the capture-time core configuration. */
+    SampledResult replay() const { return replay(machine.core); }
+
+    const std::vector<LivePoint> &points() const { return points_; }
+    const MachineConfig &machineConfig() const { return machine; }
+
+    /** Total checkpoint storage (state blobs + traces), in bytes. */
+    std::uint64_t storageBytes() const;
+
+    /** Serialize the whole library (for persistence tests/tools). */
+    std::vector<std::uint8_t> serialize() const;
+
+    /** Rebuild a library serialized with serialize(). */
+    static LivePointLibrary deserialize(const std::vector<std::uint8_t> &);
+
+  private:
+    MachineConfig machine;
+    std::vector<LivePoint> points_;
+};
+
+} // namespace rsr::core
+
+#endif // RSR_CORE_LIVEPOINTS_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Bundled simulated machine: the memory hierarchy, branch unit, and core
+ * parameters from the paper's Section 4, constructed as one unit so every
+ * experiment runs the identical configuration.
+ */
+
+#ifndef RSR_CORE_MACHINE_HH
+#define RSR_CORE_MACHINE_HH
+
+#include "branch/predictor.hh"
+#include "cache/hierarchy.hh"
+#include "uarch/core.hh"
+
+namespace rsr::core
+{
+
+/** Full machine configuration. */
+struct MachineConfig
+{
+    cache::HierarchyParams hier = cache::HierarchyParams::paperDefault();
+    branch::PredictorParams bp;
+    uarch::CoreParams core;
+
+    /** The paper's Section-4 machine. */
+    static MachineConfig
+    paperDefault()
+    {
+        return MachineConfig{};
+    }
+
+    /**
+     * The Section-4 machine with the cache capacities scaled down 8x
+     * (identical organization: associativities, line size, write
+     * policies, buses, latencies, and branch unit).
+     *
+     * The paper simulates 6-billion-instruction populations, so each
+     * skip region contains enough references to cover the L2 many times
+     * and enough branches to cover the predictor entries the next cluster
+     * will touch; our experiments run millions of instructions to finish
+     * in minutes. Scaling capacity with the population preserves the
+     * regime the algorithms operate in — skip-region references per cache
+     * line and logged branches per predictor entry — which is what
+     * warm-up behaviour depends on. Used by the bench harnesses; see
+     * DESIGN.md.
+     */
+    static MachineConfig
+    scaledDefault()
+    {
+        MachineConfig m;
+        m.hier.il1.sizeBytes = 16 * 1024;
+        m.hier.dl1.sizeBytes = 8 * 1024;
+        m.hier.l2.sizeBytes = 128 * 1024;
+        m.bp.phtEntries = 2048;
+        m.bp.historyBits = 10;
+        m.bp.btbEntries = 512;
+        return m;
+    }
+};
+
+/** Stateful machine components shared across a whole sampled run. */
+struct Machine
+{
+    explicit Machine(const MachineConfig &config)
+        : config(config), hier(config.hier), bp(config.bp)
+    {}
+
+    /** Reset microarchitectural state to power-on (not per cluster!). */
+    void
+    reset()
+    {
+        hier.reset();
+        bp.reset();
+    }
+
+    MachineConfig config;
+    cache::MemoryHierarchy hier;
+    branch::GsharePredictor bp;
+};
+
+} // namespace rsr::core
+
+#endif // RSR_CORE_MACHINE_HH

@@ -1,0 +1,36 @@
+#include "regimen.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rsr::core
+{
+
+std::vector<Cluster>
+makeSchedule(const SamplingRegimen &regimen, std::uint64_t total_insts,
+             Rng &rng)
+{
+    const std::uint64_t n = regimen.numClusters;
+    const std::uint64_t size = regimen.clusterSize;
+    rsr_assert(n > 0 && size > 0, "degenerate sampling regimen");
+    rsr_assert(n * size <= total_insts,
+               "regimen samples more instructions (", n * size,
+               ") than the population (", total_insts, ")");
+
+    // Uniform placement of n non-overlapping length-`size` intervals:
+    // draw n offsets in the leftover gap space, sort, then lay clusters
+    // end to end with those gaps.
+    const std::uint64_t gap_space = total_insts - n * size;
+    std::vector<std::uint64_t> offsets(n);
+    for (auto &o : offsets)
+        o = gap_space ? rng.below(gap_space + 1) : 0;
+    std::sort(offsets.begin(), offsets.end());
+
+    std::vector<Cluster> out(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        out[i] = {offsets[i] + i * size, size};
+    return out;
+}
+
+} // namespace rsr::core

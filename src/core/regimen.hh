@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Sampling regimen and cluster schedule (paper Sections 1 and 5). A
+ * regimen fixes the number of clusters and the cluster size for a
+ * workload; cluster starting positions are then drawn at random from a
+ * uniform distribution, and the same schedule is reused across every
+ * warm-up method so sampling bias is held constant.
+ */
+
+#ifndef RSR_CORE_REGIMEN_HH
+#define RSR_CORE_REGIMEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace rsr::core
+{
+
+/** Number and size of sampling units (clusters). */
+struct SamplingRegimen
+{
+    std::uint64_t numClusters = 50;
+    std::uint64_t clusterSize = 2000;
+
+    std::uint64_t sampledInsts() const { return numClusters * clusterSize; }
+};
+
+/** One measurement cluster: instructions [start, start + size). */
+struct Cluster
+{
+    std::uint64_t start = 0;
+    std::uint64_t size = 0;
+};
+
+/**
+ * Draw a schedule of non-overlapping clusters whose starts are uniformly
+ * distributed over the first @p total_insts instructions. Returned sorted
+ * by start.
+ */
+std::vector<Cluster> makeSchedule(const SamplingRegimen &regimen,
+                                  std::uint64_t total_insts, Rng &rng);
+
+} // namespace rsr::core
+
+#endif // RSR_CORE_REGIMEN_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The sampled-simulation controller: drives the hot/cold/warm execution
+ * phases of Figure 1 over a workload. Between clusters the functional
+ * simulator maintains architectural state while the active warm-up policy
+ * observes every skipped instruction; at each cluster the out-of-order
+ * timing model measures IPC against the persistent cache/branch-predictor
+ * state. Also provides the full-trace (true IPC) reference run.
+ */
+
+#ifndef RSR_CORE_SAMPLED_SIM_HH
+#define RSR_CORE_SAMPLED_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/machine.hh"
+#include "core/regimen.hh"
+#include "core/statistics.hh"
+#include "core/warmup.hh"
+#include "func/program.hh"
+#include "uarch/core.hh"
+
+namespace rsr::core
+{
+
+/** Configuration of one sampled run. */
+struct SampledConfig
+{
+    SamplingRegimen regimen{50, 2000};
+    /** Population: the first totalInsts instructions of the workload. */
+    std::uint64_t totalInsts = 3'000'000;
+    /** Seed for cluster placement (fixed across methods to hold sampling
+     *  bias constant, as the paper does). */
+    std::uint64_t scheduleSeed = 0x5eed;
+    MachineConfig machine = MachineConfig::paperDefault();
+};
+
+/** Everything measured from one sampled run. */
+struct SampledResult
+{
+    std::vector<double> clusterIpc;
+    ClusterEstimate estimate;
+    /** Total cycles across all measured clusters. */
+    std::uint64_t hotCycles = 0;
+
+    /** Pooled estimate hotInsts / hotCycles (ratio estimator). */
+    double
+    aggregateIpc() const
+    {
+        return hotCycles ? static_cast<double>(hotInsts) / hotCycles : 0.0;
+    }
+    /** Wall-clock seconds for the whole sampled simulation. */
+    double seconds = 0.0;
+    WarmupWork warmWork;
+    std::uint64_t hotInsts = 0;
+    std::uint64_t skippedInsts = 0;
+    std::uint64_t branchMispredicts = 0;
+};
+
+/** Run one sampled simulation of @p program under @p policy. */
+SampledResult runSampled(const func::Program &program, WarmupPolicy &policy,
+                         const SampledConfig &config);
+
+/** Result of a full-trace reference simulation. */
+struct FullRunResult
+{
+    uarch::RunResult timing;
+    double seconds = 0.0;
+    double ipc() const { return timing.ipc(); }
+};
+
+/** Cycle-accurate simulation of the first @p total_insts instructions. */
+FullRunResult runFull(const func::Program &program,
+                      std::uint64_t total_insts,
+                      const MachineConfig &machine_config);
+
+} // namespace rsr::core
+
+#endif // RSR_CORE_SAMPLED_SIM_HH

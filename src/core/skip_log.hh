@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The skip-region log (paper Section 3). During cold simulation between
+ * clusters, the Reverse State Reconstruction method records the
+ * information needed to later rebuild cache and branch-predictor state:
+ * memory references (with instruction/data and load/store type) and
+ * branch records (PC, target, kind, outcome). The log is kept only for
+ * the current skip region — it is discarded once the following cluster
+ * completes, bounding the storage traded for speed.
+ */
+
+#ifndef RSR_CORE_SKIP_LOG_HH
+#define RSR_CORE_SKIP_LOG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/opcode.hh"
+
+namespace rsr::core
+{
+
+/**
+ * One logged memory reference, packed to 16 bytes: the reference address,
+ * plus the logging PC and the entry/reference type bits (paper Sec. 3.1:
+ * current PC, address, and two booleans for instruction-vs-data and
+ * load-vs-store) folded into one word. Logging touches this record for
+ * every skipped memory operation, so its footprint is the storage half of
+ * the algorithm's storage-for-speed tradeoff.
+ */
+struct MemRecord
+{
+    MemRecord() = default;
+
+    MemRecord(std::uint64_t pc, std::uint64_t addr, bool is_instr,
+              bool is_store)
+        : addr(addr), meta((pc << 2) | (is_instr ? 1u : 0u) |
+                           (is_store ? 2u : 0u))
+    {}
+
+    std::uint64_t addr = 0;
+    std::uint64_t meta = 0;
+
+    /** PC of the logging instruction. */
+    std::uint64_t pc() const { return meta >> 2; }
+    bool isInstr() const { return meta & 1; }
+    bool isStore() const { return meta & 2; }
+};
+
+static_assert(sizeof(MemRecord) == 16, "log record should stay compact");
+
+/** One logged control transfer. */
+struct BranchRecord
+{
+    std::uint64_t pc = 0;
+    /** Actual next PC (the taken target when taken). */
+    std::uint64_t target = 0;
+    isa::BranchKind kind = isa::BranchKind::NotBranch;
+    bool taken = false;
+};
+
+/** Per-skip-region reconstruction log. */
+class SkipLog
+{
+  public:
+    std::vector<MemRecord> mem;
+    std::vector<BranchRecord> branches;
+    /** Predictor GHR value when the skip region began. */
+    std::uint32_t ghrAtStart = 0;
+
+    void
+    clear()
+    {
+        mem.clear();
+        branches.clear();
+        ghrAtStart = 0;
+    }
+
+    /** Approximate buffered bytes (the storage half of the tradeoff). */
+    std::uint64_t
+    bytes() const
+    {
+        return mem.size() * sizeof(MemRecord) +
+               branches.size() * sizeof(BranchRecord);
+    }
+
+    std::uint64_t records() const { return mem.size() + branches.size(); }
+};
+
+} // namespace rsr::core
+
+#endif // RSR_CORE_SKIP_LOG_HH

@@ -1,0 +1,65 @@
+#include "statistics.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rsr::core
+{
+
+double
+ClusterEstimate::relativeError(double true_value) const
+{
+    rsr_assert(true_value != 0.0, "relative error against zero");
+    return std::fabs(true_value - mean) / std::fabs(true_value);
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : values)
+        s += v;
+    return s / static_cast<double>(values.size());
+}
+
+std::uint64_t
+recommendClusters(const ClusterEstimate &pilot, double target_rel_err,
+                  double z)
+{
+    rsr_assert(target_rel_err > 0.0, "target relative error must be > 0");
+    rsr_assert(pilot.mean > 0.0, "pilot sample has a non-positive mean");
+    rsr_assert(pilot.numClusters >= 2,
+               "need a pilot sample of at least two clusters");
+    const double cv = pilot.stddev / pilot.mean;
+    const double n = (z * cv / target_rel_err) * (z * cv / target_rel_err);
+    return static_cast<std::uint64_t>(std::ceil(n)) + (n == 0.0 ? 1 : 0);
+}
+
+ClusterEstimate
+summarizeClusters(const std::vector<double> &cluster_ipcs)
+{
+    ClusterEstimate e;
+    e.numClusters = cluster_ipcs.size();
+    if (cluster_ipcs.empty())
+        return e;
+    e.mean = mean(cluster_ipcs);
+    if (cluster_ipcs.size() > 1) {
+        double ss = 0.0;
+        for (double v : cluster_ipcs) {
+            const double d = v - e.mean;
+            ss += d * d;
+        }
+        e.stddev =
+            std::sqrt(ss / static_cast<double>(cluster_ipcs.size() - 1));
+        e.stdErr =
+            e.stddev / std::sqrt(static_cast<double>(cluster_ipcs.size()));
+    }
+    e.ciLow = e.mean - 1.96 * e.stdErr;
+    e.ciHigh = e.mean + 1.96 * e.stdErr;
+    return e;
+}
+
+} // namespace rsr::core

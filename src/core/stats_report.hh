@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Human-readable statistics dump — a gem5-`stats.txt`-style flat listing
+ * of every component counter after a run (core, caches, buses, branch
+ * unit), used by the CLI's `--stats` flag and handy when debugging
+ * workload behaviour.
+ */
+
+#ifndef RSR_CORE_STATS_REPORT_HH
+#define RSR_CORE_STATS_REPORT_HH
+
+#include <string>
+
+#include "core/machine.hh"
+#include "uarch/core.hh"
+
+namespace rsr::core
+{
+
+/** Format all machine + run statistics as `name value [note]` lines. */
+std::string formatStats(const Machine &machine,
+                        const uarch::RunResult &run);
+
+} // namespace rsr::core
+
+#endif // RSR_CORE_STATS_REPORT_HH

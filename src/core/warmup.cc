@@ -1,0 +1,286 @@
+#include "warmup.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace rsr::core
+{
+
+using isa::BranchKind;
+
+namespace
+{
+
+std::string
+percentLabel(const char *base, double fraction)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s (%d%%)", base,
+                  static_cast<int>(std::lround(fraction * 100)));
+    return buf;
+}
+
+} // namespace
+
+// --------------------------------------------------------------------------
+// FunctionalWarmup
+// --------------------------------------------------------------------------
+
+FunctionalWarmup::FunctionalWarmup(bool warm_cache, bool warm_bp,
+                                   double fraction, std::string label)
+    : warmCache(warm_cache), warmBp(warm_bp), fraction(fraction),
+      label(std::move(label))
+{
+    rsr_assert(fraction > 0.0 && fraction <= 1.0,
+               "functional warm-up fraction out of range");
+    rsr_assert(warm_cache || warm_bp, "warming nothing is NoWarmup");
+}
+
+void
+FunctionalWarmup::beginSkip(std::uint64_t skip_len)
+{
+    skipLen = skip_len;
+    skipPos = 0;
+    // Warm the instructions in [warmStart, skipLen).
+    warmStart = skip_len - static_cast<std::uint64_t>(std::llround(
+                               static_cast<double>(skip_len) * fraction));
+}
+
+void
+FunctionalWarmup::onSkipInst(const func::DynInst &d, bool new_fetch_block)
+{
+    const bool in_warm = skipPos++ >= warmStart;
+    if (!in_warm)
+        return;
+    if (warmCache) {
+        const std::uint64_t before = machine->hier.warmUpdates();
+        if (new_fetch_block)
+            machine->hier.warmAccess(d.pc, false, true);
+        if (d.inst.isMem())
+            machine->hier.warmAccess(d.effAddr, d.inst.isStore(), false);
+        work_.functionalUpdates += machine->hier.warmUpdates() - before;
+    }
+    if (warmBp && d.isBranch()) {
+        machine->bp.warmApply(d.pc, d.inst.branchKind(), d.taken, d.nextPc);
+        ++work_.functionalUpdates;
+    }
+}
+
+std::unique_ptr<FunctionalWarmup>
+FunctionalWarmup::smarts()
+{
+    return std::make_unique<FunctionalWarmup>(true, true, 1.0, "S$BP");
+}
+
+std::unique_ptr<FunctionalWarmup>
+FunctionalWarmup::smartsCacheOnly()
+{
+    return std::make_unique<FunctionalWarmup>(true, false, 1.0, "S$");
+}
+
+std::unique_ptr<FunctionalWarmup>
+FunctionalWarmup::smartsBpOnly()
+{
+    return std::make_unique<FunctionalWarmup>(false, true, 1.0, "SBP");
+}
+
+std::unique_ptr<FunctionalWarmup>
+FunctionalWarmup::fixedPeriod(double fraction)
+{
+    return std::make_unique<FunctionalWarmup>(true, true, fraction,
+                                              percentLabel("FP", fraction));
+}
+
+// --------------------------------------------------------------------------
+// ReverseReconstructionWarmup
+// --------------------------------------------------------------------------
+
+ReverseReconstructionWarmup::ReverseReconstructionWarmup(
+    bool warm_cache, bool warm_bp, double fraction,
+    PhtResolveMode pht_mode)
+    : warmCache(warm_cache), warmBp(warm_bp), fraction(fraction),
+      phtMode(pht_mode)
+{
+    rsr_assert(fraction > 0.0 && fraction <= 1.0,
+               "reconstruction fraction out of range");
+    rsr_assert(warm_cache || warm_bp, "reconstructing nothing is NoWarmup");
+}
+
+ReverseReconstructionWarmup::~ReverseReconstructionWarmup() = default;
+
+std::string
+ReverseReconstructionWarmup::name() const
+{
+    std::string base;
+    if (warmCache && warmBp)
+        base = percentLabel("R$BP", fraction);
+    else if (warmCache)
+        base = percentLabel("R$", fraction);
+    else
+        base = "RBP";
+    if (phtMode == PhtResolveMode::ApplyToStale)
+        base += "+stale";
+    return base;
+}
+
+void
+ReverseReconstructionWarmup::attach(Machine &m)
+{
+    WarmupPolicy::attach(m);
+    if (warmBp)
+        branchRecon = std::make_unique<BranchReconstructor>(m.bp, phtMode);
+}
+
+void
+ReverseReconstructionWarmup::beginSkip(std::uint64_t skip_len)
+{
+    // Storage is kept only for the current skip region.
+    skipLog.clear();
+    if (warmCache)
+        skipLog.mem.reserve(skip_len / 2);
+    if (warmBp) {
+        skipLog.branches.reserve(skip_len / 4);
+        skipLog.ghrAtStart = machine->bp.ghr();
+    }
+}
+
+void
+ReverseReconstructionWarmup::onSkipInst(const func::DynInst &d,
+                                        bool new_fetch_block)
+{
+    if (warmCache) {
+        if (new_fetch_block) {
+            skipLog.mem.emplace_back(d.pc, d.pc, true, false);
+            ++work_.loggedRecords;
+        }
+        if (d.inst.isMem()) {
+            skipLog.mem.emplace_back(d.pc, d.effAddr, false,
+                                     d.inst.isStore());
+            ++work_.loggedRecords;
+        }
+    }
+    if (warmBp && d.isBranch()) {
+        skipLog.branches.push_back(
+            {d.pc, d.nextPc, d.inst.branchKind(), d.taken});
+        ++work_.loggedRecords;
+    }
+}
+
+void
+ReverseReconstructionWarmup::beforeCluster()
+{
+    work_.peakLogBytes = std::max(work_.peakLogBytes, skipLog.bytes());
+    if (warmCache) {
+        const auto res =
+            reconstructCaches(machine->hier, skipLog.mem, fraction);
+        work_.reconstructionUpdates += res.updatesApplied;
+    }
+    if (warmBp)
+        branchRecon->begin(skipLog);
+}
+
+void
+ReverseReconstructionWarmup::afterCluster()
+{
+    if (warmBp) {
+        // Fold this cluster's on-demand work into the policy counters.
+        const auto &st = branchRecon->stats();
+        work_.reconstructionUpdates += st.phtReconstructed +
+                                       st.btbReconstructed +
+                                       st.rasReconstructed;
+        branchRecon->clearStats();
+        branchRecon->end();
+    }
+    skipLog.clear();
+}
+
+std::unique_ptr<ReverseReconstructionWarmup>
+ReverseReconstructionWarmup::cacheOnly(double fraction)
+{
+    return std::make_unique<ReverseReconstructionWarmup>(true, false,
+                                                         fraction);
+}
+
+std::unique_ptr<ReverseReconstructionWarmup>
+ReverseReconstructionWarmup::bpOnly()
+{
+    return std::make_unique<ReverseReconstructionWarmup>(false, true, 1.0);
+}
+
+std::unique_ptr<ReverseReconstructionWarmup>
+ReverseReconstructionWarmup::full(double fraction)
+{
+    return std::make_unique<ReverseReconstructionWarmup>(true, true,
+                                                         fraction);
+}
+
+// --------------------------------------------------------------------------
+
+std::unique_ptr<WarmupPolicy>
+makePolicyByName(const std::string &name)
+{
+    std::string base = name;
+    PhtResolveMode mode = PhtResolveMode::PaperTieBreak;
+    if (const auto pos = base.rfind("+stale");
+        pos != std::string::npos && pos == base.size() - 6) {
+        mode = PhtResolveMode::ApplyToStale;
+        base = base.substr(0, pos);
+    }
+
+    auto percent_of = [&](std::size_t prefix_len) {
+        const std::string digits = base.substr(prefix_len);
+        rsr_assert(!digits.empty() &&
+                       digits.find_first_not_of("0123456789") ==
+                           std::string::npos,
+                   "bad warm-up percentage in '", name, "'");
+        const int pct = std::atoi(digits.c_str());
+        rsr_assert(pct > 0 && pct <= 100, "warm-up percentage out of "
+                   "range in '", name, "'");
+        return pct / 100.0;
+    };
+
+    if (base == "none")
+        return std::make_unique<NoWarmup>();
+    if (base == "smarts")
+        return FunctionalWarmup::smarts();
+    if (base == "scache")
+        return FunctionalWarmup::smartsCacheOnly();
+    if (base == "sbp")
+        return FunctionalWarmup::smartsBpOnly();
+    if (base.rfind("fp", 0) == 0)
+        return FunctionalWarmup::fixedPeriod(percent_of(2));
+    if (base.rfind("rsr", 0) == 0)
+        return std::make_unique<ReverseReconstructionWarmup>(
+            true, true, percent_of(3), mode);
+    if (base.rfind("rcache", 0) == 0)
+        return std::make_unique<ReverseReconstructionWarmup>(
+            true, false, percent_of(6), mode);
+    if (base == "rbp")
+        return std::make_unique<ReverseReconstructionWarmup>(false, true,
+                                                             1.0, mode);
+    rsr_fatal("unknown warm-up policy '", name,
+              "'; known: none, smarts, scache, sbp, fp<pct>, rsr<pct>, "
+              "rcache<pct>, rbp (+stale suffix for RSR variants)");
+}
+
+std::vector<std::unique_ptr<WarmupPolicy>>
+makeTable2Policies()
+{
+    std::vector<std::unique_ptr<WarmupPolicy>> out;
+    out.push_back(std::make_unique<NoWarmup>());
+    for (double f : {0.2, 0.4, 0.8})
+        out.push_back(FunctionalWarmup::fixedPeriod(f));
+    out.push_back(FunctionalWarmup::smartsCacheOnly());
+    out.push_back(FunctionalWarmup::smartsBpOnly());
+    out.push_back(FunctionalWarmup::smarts());
+    for (double f : {0.2, 0.4, 0.8, 1.0})
+        out.push_back(ReverseReconstructionWarmup::cacheOnly(f));
+    out.push_back(ReverseReconstructionWarmup::bpOnly());
+    for (double f : {0.2, 0.4, 0.8, 1.0})
+        out.push_back(ReverseReconstructionWarmup::full(f));
+    return out;
+}
+
+} // namespace rsr::core

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Warm-up policies for sampled simulation — the full matrix of methods
+ * from the paper's Table 2:
+ *
+ *   None          — caches and branch predictor left stale between clusters
+ *   FP (p%)       — full functional warming over the last p% of each skip
+ *                   region
+ *   S$ / SBP / S$BP — SMARTS full functional warming of the caches, the
+ *                   branch predictor, or both, over the entire skip region
+ *   R$ (p%) / RBP / R$BP (p%) — Reverse State Reconstruction: log during
+ *                   the skip, reconstruct the caches from the most recent
+ *                   p% of the reference log immediately before the
+ *                   cluster, and rebuild branch-predictor entries
+ *                   on demand during the cluster
+ *
+ * A policy observes every skipped instruction (the cold/warm phases) and
+ * is notified at skip and cluster boundaries; the controller in
+ * sampled_sim.hh drives it.
+ */
+
+#ifndef RSR_CORE_WARMUP_HH
+#define RSR_CORE_WARMUP_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/branch_reconstructor.hh"
+#include "core/cache_reconstructor.hh"
+#include "core/machine.hh"
+#include "core/skip_log.hh"
+#include "func/dyninst.hh"
+
+namespace rsr::core
+{
+
+/** Warm-side work accounting, reported with every sampled run. */
+struct WarmupWork
+{
+    /** Cache/BP state updates applied functionally (SMARTS/FP path). */
+    std::uint64_t functionalUpdates = 0;
+    /** Updates applied by reverse reconstruction (RSR path). */
+    std::uint64_t reconstructionUpdates = 0;
+    /** Records appended to the skip-region log. */
+    std::uint64_t loggedRecords = 0;
+    /** Peak bytes buffered in the log (storage-for-speed tradeoff). */
+    std::uint64_t peakLogBytes = 0;
+
+    std::uint64_t
+    totalUpdates() const
+    {
+        return functionalUpdates + reconstructionUpdates;
+    }
+};
+
+/** Interface every warm-up method implements. */
+class WarmupPolicy
+{
+  public:
+    virtual ~WarmupPolicy() = default;
+
+    /** Short identifier as used in the paper (e.g. "R$BP (20%)"). */
+    virtual std::string name() const = 0;
+
+    /** Bind to the machine whose state the policy warms. */
+    virtual void attach(Machine &machine) { this->machine = &machine; }
+
+    /** A new skip region of @p skip_len instructions begins. */
+    virtual void beginSkip(std::uint64_t skip_len) { (void)skip_len; }
+
+    /**
+     * One skipped (functionally executed) instruction.
+     * @param d the committed record
+     * @param new_fetch_block first instruction in a new I-cache line
+     */
+    virtual void onSkipInst(const func::DynInst &d, bool new_fetch_block)
+    {
+        (void)d;
+        (void)new_fetch_block;
+    }
+
+    /** The skip region ended; the next cluster is about to execute. */
+    virtual void beforeCluster() {}
+
+    /** The cluster finished executing. */
+    virtual void afterCluster() {}
+
+    /** Accumulated warm-side work. */
+    const WarmupWork &work() const { return work_; }
+    void clearWork() { work_ = WarmupWork{}; }
+
+  protected:
+    Machine *machine = nullptr;
+    WarmupWork work_;
+};
+
+/** "None": state is left entirely stale between clusters. */
+class NoWarmup : public WarmupPolicy
+{
+  public:
+    std::string name() const override { return "None"; }
+};
+
+/**
+ * SMARTS full functional warming (optionally restricted to the trailing
+ * fraction of each skip region, which yields the paper's fixed-period
+ * policy).
+ */
+class FunctionalWarmup : public WarmupPolicy
+{
+  public:
+    /**
+     * @param warm_cache warm the cache hierarchy
+     * @param warm_bp    warm the branch predictor
+     * @param fraction   apply updates over the last `fraction` of each
+     *                   skip region (1.0 = SMARTS, <1.0 = fixed period)
+     * @param label      presentation name
+     */
+    FunctionalWarmup(bool warm_cache, bool warm_bp, double fraction,
+                     std::string label);
+
+    std::string name() const override { return label; }
+    void beginSkip(std::uint64_t skip_len) override;
+    void onSkipInst(const func::DynInst &d, bool new_fetch_block) override;
+
+    /** SMARTS warming both components (the paper's S$BP). */
+    static std::unique_ptr<FunctionalWarmup> smarts();
+    /** SMARTS cache-only (S$). */
+    static std::unique_ptr<FunctionalWarmup> smartsCacheOnly();
+    /** SMARTS branch-predictor-only (SBP). */
+    static std::unique_ptr<FunctionalWarmup> smartsBpOnly();
+    /** Fixed-period warming of both components (FP (p%)). */
+    static std::unique_ptr<FunctionalWarmup> fixedPeriod(double fraction);
+
+  private:
+    bool warmCache;
+    bool warmBp;
+    double fraction;
+    std::string label;
+    std::uint64_t skipLen = 0;
+    std::uint64_t skipPos = 0;
+    std::uint64_t warmStart = 0;
+};
+
+/** Reverse State Reconstruction (the paper's contribution). */
+class ReverseReconstructionWarmup : public WarmupPolicy
+{
+  public:
+    /**
+     * @param warm_cache reconstruct the cache hierarchy (R$)
+     * @param warm_bp    reconstruct the branch predictor (RBP)
+     * @param fraction   reconstruct from the most recent `fraction` of
+     *                   the logged references (cache side only; the
+     *                   branch side is on-demand over the full log)
+     * @param pht_mode   ambiguous-counter resolution rule (the paper's
+     *                   tie-break, or the apply-to-stale extension)
+     */
+    ReverseReconstructionWarmup(
+        bool warm_cache, bool warm_bp, double fraction,
+        PhtResolveMode pht_mode = PhtResolveMode::PaperTieBreak);
+    ~ReverseReconstructionWarmup() override;
+
+    std::string name() const override;
+    void attach(Machine &machine) override;
+    void beginSkip(std::uint64_t skip_len) override;
+    void onSkipInst(const func::DynInst &d, bool new_fetch_block) override;
+    void beforeCluster() override;
+    void afterCluster() override;
+
+    const SkipLog &log() const { return skipLog; }
+
+    /** R$ (p%). */
+    static std::unique_ptr<ReverseReconstructionWarmup>
+    cacheOnly(double fraction);
+    /** RBP. */
+    static std::unique_ptr<ReverseReconstructionWarmup> bpOnly();
+    /** R$BP (p%). */
+    static std::unique_ptr<ReverseReconstructionWarmup>
+    full(double fraction);
+
+  private:
+    bool warmCache;
+    bool warmBp;
+    double fraction;
+    PhtResolveMode phtMode;
+    SkipLog skipLog;
+    std::unique_ptr<BranchReconstructor> branchRecon;
+};
+
+/**
+ * Build the paper's full Table-2 policy list: None, FP (20/40/80%), S$,
+ * SBP, S$BP, R$ (20/40/80/100%), RBP, R$BP (20/40/80/100%).
+ */
+std::vector<std::unique_ptr<WarmupPolicy>> makeTable2Policies();
+
+/**
+ * Build a policy from a command-line-friendly name:
+ * `none`, `smarts`, `scache`, `sbp`, `fp<percent>`, `rsr<percent>`,
+ * `rcache<percent>`, `rbp` — RSR names accept a `+stale` suffix for the
+ * apply-to-stale counter-resolution extension. Fatal on unknown names.
+ */
+std::unique_ptr<WarmupPolicy> makePolicyByName(const std::string &name);
+
+} // namespace rsr::core
+
+#endif // RSR_CORE_WARMUP_HH

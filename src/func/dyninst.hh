@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Dynamic-instruction record emitted by the functional simulator. The
+ * timing model, warm-up policies, and skip-region logger all consume this
+ * committed-stream record (functional-first simulation, as in
+ * SimpleScalar's sim-outorder).
+ */
+
+#ifndef RSR_FUNC_DYNINST_HH
+#define RSR_FUNC_DYNINST_HH
+
+#include <cstdint>
+
+#include "isa/inst.hh"
+
+namespace rsr::func
+{
+
+/** One executed (committed) instruction. */
+struct DynInst
+{
+    /** Dynamic sequence number (0-based). */
+    std::uint64_t seq = 0;
+    /** Address of this instruction. */
+    std::uint64_t pc = 0;
+    /** Architectural next PC (branch targets resolved). */
+    std::uint64_t nextPc = 0;
+    /** Effective address for memory operations, 0 otherwise. */
+    std::uint64_t effAddr = 0;
+    /** Decoded static instruction. */
+    isa::Inst inst;
+    /** For control transfers: did it redirect (nextPc != pc + 4)? */
+    bool taken = false;
+
+    bool isBranch() const
+    {
+        return inst.branchKind() != isa::BranchKind::NotBranch;
+    }
+};
+
+} // namespace rsr::func
+
+#endif // RSR_FUNC_DYNINST_HH

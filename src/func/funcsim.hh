@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The functional (architectural) simulator. It executes a Program exactly
+ * — registers, memory, and control flow — and emits DynInst records that
+ * drive the timing model, the warm-up policies, and the skip-region log.
+ *
+ * In the paper's framework the functional simulator has two jobs: it keeps
+ * architectural state valid while instructions are skipped (cold/warm
+ * phases), and its register values seed the timing simulator at each
+ * cluster boundary. This implementation is functional-first: the timing
+ * model consumes the committed dynamic stream, so architectural state is
+ * always owned here.
+ */
+
+#ifndef RSR_FUNC_FUNCSIM_HH
+#define RSR_FUNC_FUNCSIM_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "func/dyninst.hh"
+#include "func/program.hh"
+#include "mem/memory.hh"
+
+namespace rsr::func
+{
+
+/** Architectural register and PC state. */
+struct ArchState
+{
+    std::uint64_t pc = 0;
+    std::array<std::uint64_t, isa::numRegs> regs{};
+    std::array<double, isa::numRegs> fregs{};
+};
+
+/** Execution-driven functional simulator. */
+class FuncSim
+{
+  public:
+    /** Load @p program and reset architectural state. */
+    explicit FuncSim(const Program &program);
+
+    /** Re-load the program image and reset all state. */
+    void reset();
+
+    /**
+     * Execute one instruction.
+     *
+     * @param out If non-null, filled with the committed record.
+     * @return false once the program has halted (the halt instruction
+     *         itself is not reported).
+     */
+    bool step(DynInst *out = nullptr);
+
+    /** Run at most @p n instructions; returns the number executed. */
+    std::uint64_t run(std::uint64_t n);
+
+    bool halted() const { return isHalted; }
+    std::uint64_t instCount() const { return icount; }
+    std::uint64_t pc() const { return state_.pc; }
+
+    const ArchState &state() const { return state_; }
+    ArchState &state() { return state_; }
+    const mem::Memory &memory() const { return mem_; }
+    mem::Memory &memory() { return mem_; }
+
+    /** Read an integer register (r0 reads as zero). */
+    std::uint64_t reg(unsigned idx) const { return state_.regs[idx]; }
+    /** Read an FP register. */
+    double freg(unsigned idx) const { return state_.fregs[idx]; }
+
+  private:
+    const isa::Inst *fetchDecoded(std::uint64_t pc) const;
+    void writeReg(unsigned idx, std::uint64_t value);
+
+    const Program &program;
+    /** Pre-decoded code segment, indexed by (pc - codeBase) / 4. */
+    std::vector<isa::Inst> decoded;
+    ArchState state_;
+    mem::Memory mem_;
+    std::uint64_t icount = 0;
+    bool isHalted = false;
+    isa::Inst haltInst;
+};
+
+} // namespace rsr::func
+
+#endif // RSR_FUNC_FUNCSIM_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * A loadable program image: contiguous code segment plus initialized data
+ * segments. Produced by the workload generators, consumed by the
+ * functional simulator.
+ */
+
+#ifndef RSR_FUNC_PROGRAM_HH
+#define RSR_FUNC_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rsr::func
+{
+
+/** One initialized data region. */
+struct DataSegment
+{
+    std::uint64_t base = 0;
+    std::vector<std::uint8_t> bytes;
+};
+
+/** A complete program image. */
+struct Program
+{
+    std::string name;
+    /** Base virtual address of the code segment. */
+    std::uint64_t codeBase = 0x10000;
+    /** Encoded instruction words, contiguous from codeBase. */
+    std::vector<std::uint32_t> code;
+    /** Entry PC. */
+    std::uint64_t entry = 0x10000;
+    /** Initial stack pointer value loaded into the SP register. */
+    std::uint64_t initialSp = 0x7fff0000;
+    /** Initialized data segments. */
+    std::vector<DataSegment> data;
+
+    /** One past the last code address. */
+    std::uint64_t
+    codeEnd() const
+    {
+        return codeBase + 4 * code.size();
+    }
+};
+
+} // namespace rsr::func
+
+#endif // RSR_FUNC_PROGRAM_HH

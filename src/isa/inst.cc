@@ -1,0 +1,182 @@
+#include "inst.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/bitutil.hh"
+#include "util/logging.hh"
+
+namespace rsr::isa
+{
+
+namespace
+{
+
+constexpr unsigned opShift = 26;
+constexpr unsigned rdShift = 21;
+constexpr unsigned rs1ShiftI = 16; // rs1 in R/I/JR formats
+constexpr unsigned rs2ShiftR = 11; // rs2 in R format
+constexpr unsigned rs1ShiftS = 21; // rs1 in S/B formats
+constexpr unsigned rs2ShiftS = 16; // rs2 in S/B formats
+
+void
+checkReg(unsigned r)
+{
+    rsr_assert(r < numRegs, "register index out of range: ", r);
+}
+
+void
+checkImm(std::int64_t imm, unsigned bits_wide)
+{
+    const std::int64_t lo = -(std::int64_t{1} << (bits_wide - 1));
+    const std::int64_t hi = (std::int64_t{1} << (bits_wide - 1)) - 1;
+    rsr_assert(imm >= lo && imm <= hi, "immediate ", imm,
+               " does not fit in ", bits_wide, " bits");
+}
+
+} // namespace
+
+std::uint32_t
+encode(const Inst &inst)
+{
+    rsr_assert(inst.op < Opcode::NumOpcodes, "bad opcode");
+    std::uint32_t w = static_cast<std::uint32_t>(inst.op) << opShift;
+    switch (opcodeFormat(inst.op)) {
+      case Format::R:
+        checkReg(inst.rd);
+        checkReg(inst.rs1);
+        checkReg(inst.rs2);
+        w |= std::uint32_t{inst.rd} << rdShift;
+        w |= std::uint32_t{inst.rs1} << rs1ShiftI;
+        w |= std::uint32_t{inst.rs2} << rs2ShiftR;
+        break;
+      case Format::I:
+        checkReg(inst.rd);
+        checkReg(inst.rs1);
+        checkImm(inst.imm, 16);
+        w |= std::uint32_t{inst.rd} << rdShift;
+        w |= std::uint32_t{inst.rs1} << rs1ShiftI;
+        w |= static_cast<std::uint32_t>(inst.imm) & 0xffffu;
+        break;
+      case Format::S:
+      case Format::B:
+        checkReg(inst.rs1);
+        checkReg(inst.rs2);
+        checkImm(inst.imm, 16);
+        w |= std::uint32_t{inst.rs1} << rs1ShiftS;
+        w |= std::uint32_t{inst.rs2} << rs2ShiftS;
+        w |= static_cast<std::uint32_t>(inst.imm) & 0xffffu;
+        break;
+      case Format::J26:
+        checkImm(inst.imm, 26);
+        w |= static_cast<std::uint32_t>(inst.imm) & 0x3ffffffu;
+        break;
+      case Format::J21:
+        checkReg(inst.rd);
+        checkImm(inst.imm, 21);
+        w |= std::uint32_t{inst.rd} << rdShift;
+        w |= static_cast<std::uint32_t>(inst.imm) & 0x1fffffu;
+        break;
+      case Format::JR:
+        checkReg(inst.rd);
+        checkReg(inst.rs1);
+        w |= std::uint32_t{inst.rd} << rdShift;
+        w |= std::uint32_t{inst.rs1} << rs1ShiftI;
+        break;
+    }
+    return w;
+}
+
+Inst
+decode(std::uint32_t word)
+{
+    Inst inst;
+    const auto raw_op = bits(word, opShift, 6);
+    if (raw_op >= static_cast<std::uint64_t>(Opcode::NumOpcodes)) {
+        inst.op = Opcode::Halt;
+        return inst;
+    }
+    inst.op = static_cast<Opcode>(raw_op);
+    switch (opcodeFormat(inst.op)) {
+      case Format::R:
+        inst.rd = static_cast<std::uint8_t>(bits(word, rdShift, 5));
+        inst.rs1 = static_cast<std::uint8_t>(bits(word, rs1ShiftI, 5));
+        inst.rs2 = static_cast<std::uint8_t>(bits(word, rs2ShiftR, 5));
+        break;
+      case Format::I:
+        inst.rd = static_cast<std::uint8_t>(bits(word, rdShift, 5));
+        inst.rs1 = static_cast<std::uint8_t>(bits(word, rs1ShiftI, 5));
+        inst.imm = static_cast<std::int32_t>(signExtend(word & 0xffffu, 16));
+        break;
+      case Format::S:
+      case Format::B:
+        inst.rs1 = static_cast<std::uint8_t>(bits(word, rs1ShiftS, 5));
+        inst.rs2 = static_cast<std::uint8_t>(bits(word, rs2ShiftS, 5));
+        inst.imm = static_cast<std::int32_t>(signExtend(word & 0xffffu, 16));
+        break;
+      case Format::J26:
+        inst.imm =
+            static_cast<std::int32_t>(signExtend(word & 0x3ffffffu, 26));
+        break;
+      case Format::J21:
+        inst.rd = static_cast<std::uint8_t>(bits(word, rdShift, 5));
+        inst.imm =
+            static_cast<std::int32_t>(signExtend(word & 0x1fffffu, 21));
+        break;
+      case Format::JR:
+        inst.rd = static_cast<std::uint8_t>(bits(word, rdShift, 5));
+        inst.rs1 = static_cast<std::uint8_t>(bits(word, rs1ShiftI, 5));
+        break;
+    }
+    return inst;
+}
+
+std::string
+disassemble(const Inst &inst, std::uint64_t pc)
+{
+    char buf[96];
+    const char *name = opcodeName(inst.op);
+    switch (opcodeFormat(inst.op)) {
+      case Format::R:
+        if (inst.op == Opcode::Nop || inst.op == Opcode::Halt) {
+            std::snprintf(buf, sizeof(buf), "%s", name);
+        } else {
+            std::snprintf(buf, sizeof(buf), "%s r%u, r%u, r%u", name,
+                          inst.rd, inst.rs1, inst.rs2);
+        }
+        break;
+      case Format::I:
+        if (inst.isLoad()) {
+            std::snprintf(buf, sizeof(buf), "%s r%u, %d(r%u)", name,
+                          inst.rd, inst.imm, inst.rs1);
+        } else {
+            std::snprintf(buf, sizeof(buf), "%s r%u, r%u, %d", name,
+                          inst.rd, inst.rs1, inst.imm);
+        }
+        break;
+      case Format::S:
+        std::snprintf(buf, sizeof(buf), "%s r%u, %d(r%u)", name, inst.rs2,
+                      inst.imm, inst.rs1);
+        break;
+      case Format::B:
+        std::snprintf(buf, sizeof(buf), "%s r%u, r%u, 0x%" PRIx64, name,
+                      inst.rs1, inst.rs2,
+                      pc + 4 + (std::int64_t{inst.imm} << 2));
+        break;
+      case Format::J26:
+        std::snprintf(buf, sizeof(buf), "%s 0x%" PRIx64, name,
+                      pc + 4 + (std::int64_t{inst.imm} << 2));
+        break;
+      case Format::J21:
+        std::snprintf(buf, sizeof(buf), "%s r%u, 0x%" PRIx64, name, inst.rd,
+                      pc + 4 + (std::int64_t{inst.imm} << 2));
+        break;
+      case Format::JR:
+        std::snprintf(buf, sizeof(buf), "%s r%u, r%u", name, inst.rd,
+                      inst.rs1);
+        break;
+    }
+    return buf;
+}
+
+} // namespace rsr::isa

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Decoded-instruction representation, encoder, and decoder.
+ *
+ * Encoding layout (32-bit words):
+ *   [31:26] major opcode
+ *   R:   rd[25:21] rs1[20:16] rs2[15:11]
+ *   I:   rd[25:21] rs1[20:16] imm16[15:0]   (sign-extended)
+ *   S:   rs1[25:21] rs2[20:16] imm16[15:0]  (rs2 holds the store data)
+ *   B:   rs1[25:21] rs2[20:16] imm16[15:0]  (word offset from next PC)
+ *   J26: imm26[25:0]                        (word offset from next PC)
+ *   J21: rd[25:21] imm21[20:0]              (word offset from next PC)
+ *   JR:  rd[25:21] rs1[20:16]
+ */
+
+#ifndef RSR_ISA_INST_HH
+#define RSR_ISA_INST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcode.hh"
+
+namespace rsr::isa
+{
+
+/** A fully decoded instruction plus its static metadata. */
+struct Inst
+{
+    Opcode op = Opcode::Nop;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    /** Sign-extended immediate (word offset for control transfers). */
+    std::int32_t imm = 0;
+
+    /** Functional-unit class. */
+    OpClass opClass() const { return opcodeClass(op); }
+    bool isLoad() const { return opcodeIsLoad(op); }
+    bool isStore() const { return opcodeIsStore(op); }
+    bool isMem() const { return isLoad() || isStore(); }
+    unsigned memBytes() const { return opcodeMemBytes(op); }
+    bool isControl() const { return opcodeIsControl(op); }
+    bool isFp() const
+    {
+        switch (op) {
+          case Opcode::Fadd:
+          case Opcode::Fsub:
+          case Opcode::Fmul:
+          case Opcode::Fdiv:
+          case Opcode::Fcmplt:
+          case Opcode::Fld:
+          case Opcode::Fsd:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /**
+     * Control-transfer sub-kind. For Jalr the kind depends on operands:
+     * a linking Jalr is a call, a non-linking Jalr through the link
+     * register is a return, anything else is an indirect jump.
+     */
+    BranchKind
+    branchKind() const
+    {
+        switch (op) {
+          case Opcode::Beq:
+          case Opcode::Bne:
+          case Opcode::Blt:
+          case Opcode::Bge:
+            return BranchKind::Conditional;
+          case Opcode::J:
+            return BranchKind::DirectJump;
+          case Opcode::Jal:
+            return rd != 0 ? BranchKind::Call : BranchKind::DirectJump;
+          case Opcode::Jalr:
+            if (rd != 0)
+                return BranchKind::Call;
+            return rs1 == regRa ? BranchKind::Return
+                                : BranchKind::IndirectJump;
+          default:
+            return BranchKind::NotBranch;
+        }
+    }
+
+    bool operator==(const Inst &other) const = default;
+};
+
+/** Encode a decoded instruction into its 32-bit word. */
+std::uint32_t encode(const Inst &inst);
+
+/** Decode a 32-bit instruction word. Unknown opcodes decode as Halt. */
+Inst decode(std::uint32_t word);
+
+/** Human-readable rendering of an instruction at address @p pc. */
+std::string disassemble(const Inst &inst, std::uint64_t pc = 0);
+
+} // namespace rsr::isa
+
+#endif // RSR_ISA_INST_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Opcode set and static instruction metadata for the synthetic RISC ISA.
+ *
+ * The ISA stands in for the Alpha/PISA binaries a SimpleScalar-derived
+ * simulator would execute: 32 64-bit integer registers (r0 hardwired to
+ * zero), 32 double-precision FP registers, 32-bit instruction words,
+ * loads/stores with register+immediate addressing, PC-relative conditional
+ * branches, and direct/indirect calls and returns for exercising the BTB
+ * and return address stack.
+ */
+
+#ifndef RSR_ISA_OPCODE_HH
+#define RSR_ISA_OPCODE_HH
+
+#include <cstdint>
+
+namespace rsr::isa
+{
+
+/** All instruction opcodes. Values are the 6-bit major opcode field. */
+enum class Opcode : std::uint8_t
+{
+    Nop = 0,
+    Halt,
+
+    // R-type integer ALU.
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+    Slt,
+    Sltu,
+    Mul,
+    Div,
+
+    // I-type integer ALU.
+    Addi,
+    Andi,
+    Ori,
+    Xori,
+    Slti,
+    Slli,
+    Srli,
+    Lui,
+
+    // Loads (I-type).
+    Lb,
+    Lh,
+    Lw,
+    Ld,
+
+    // Stores (S-type: rs2 is the data register).
+    Sb,
+    Sh,
+    Sw,
+    Sd,
+
+    // Floating point (R-type on FP registers).
+    Fadd,
+    Fsub,
+    Fmul,
+    Fdiv,
+    Fcmplt, ///< integer rd = (f[rs1] < f[rs2]) ? 1 : 0
+    Fcvt,   ///< f[rd] = double(int r[rs1])
+
+    // FP memory (I-type; base register is an integer register).
+    Fld,
+    Fsd,
+
+    // Control transfer.
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    J,    ///< direct unconditional jump
+    Jal,  ///< direct call, links into rd
+    Jalr, ///< indirect jump through rs1; rd != r0 makes it a call
+
+    NumOpcodes
+};
+
+/** Functional-unit class an instruction occupies. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,
+    IntMul,
+    IntDiv,
+    FpAdd,
+    FpMul,
+    FpDiv,
+    Load,
+    Store,
+    Control,
+    NumClasses
+};
+
+/** Control-transfer sub-kind, as seen by the branch unit. */
+enum class BranchKind : std::uint8_t
+{
+    NotBranch,
+    Conditional, ///< Beq/Bne/Blt/Bge
+    DirectJump,  ///< J
+    Call,        ///< Jal with link, or Jalr that links
+    Return,      ///< Jalr r0, ra
+    IndirectJump ///< Jalr r0, rs1 != ra
+};
+
+/** Encoding layout family of an opcode. */
+enum class Format : std::uint8_t
+{
+    R,  ///< rd, rs1, rs2
+    I,  ///< rd, rs1, imm16
+    S,  ///< rs1, rs2, imm16 (stores)
+    B,  ///< rs1, rs2, imm16 word offset (conditional branches)
+    J26,///< imm26 word offset (J)
+    J21,///< rd, imm21 word offset (Jal)
+    JR  ///< rd, rs1 (Jalr)
+};
+
+/** Number of architectural integer (and FP) registers. */
+constexpr unsigned numRegs = 32;
+
+/** Link (return-address) register used by the ABI of generated code. */
+constexpr unsigned regRa = 31;
+
+/** Stack-pointer register used by the ABI of generated code. */
+constexpr unsigned regSp = 30;
+
+/** Mnemonic for an opcode (for the disassembler). */
+const char *opcodeName(Opcode op);
+
+/** Encoding format of an opcode. */
+Format opcodeFormat(Opcode op);
+
+/** Functional-unit class of an opcode. */
+OpClass opcodeClass(Opcode op);
+
+/** Access width in bytes for memory opcodes, 0 otherwise. */
+unsigned opcodeMemBytes(Opcode op);
+
+/** True for Lb/Lh/Lw/Ld/Fld. */
+bool opcodeIsLoad(Opcode op);
+
+/** True for Sb/Sh/Sw/Sd/Fsd. */
+bool opcodeIsStore(Opcode op);
+
+/** True for any control transfer (including J/Jal/Jalr). */
+bool opcodeIsControl(Opcode op);
+
+} // namespace rsr::isa
+
+#endif // RSR_ISA_OPCODE_HH

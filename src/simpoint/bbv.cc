@@ -1,0 +1,93 @@
+#include "bbv.hh"
+
+#include "func/funcsim.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace rsr::simpoint
+{
+
+BbvProfile
+profileBbv(const func::Program &program, std::uint64_t total_insts,
+           std::uint64_t interval_size)
+{
+    rsr_assert(interval_size > 0, "interval size must be positive");
+    BbvProfile prof;
+    prof.intervalSize = interval_size;
+
+    func::FuncSim fs(program);
+    std::unordered_map<std::uint64_t, std::uint32_t> block_ids;
+    std::unordered_map<std::uint32_t, std::uint32_t> current; // id -> insts
+
+    std::uint64_t block_leader = program.entry;
+    std::uint32_t block_len = 0;
+    std::uint64_t in_interval = 0;
+
+    auto flush_block = [&]() {
+        if (block_len == 0)
+            return;
+        const auto [it, inserted] = block_ids.try_emplace(
+            block_leader, static_cast<std::uint32_t>(block_ids.size()));
+        current[it->second] += block_len;
+        block_len = 0;
+    };
+
+    auto flush_interval = [&]() {
+        flush_block();
+        IntervalBbv iv;
+        iv.totalInsts = in_interval;
+        iv.counts.assign(current.begin(), current.end());
+        prof.intervals.push_back(std::move(iv));
+        current.clear();
+        in_interval = 0;
+    };
+
+    func::DynInst d;
+    for (std::uint64_t i = 0; i < total_insts; ++i) {
+        if (!fs.step(&d))
+            break;
+        ++block_len;
+        ++in_interval;
+        if (d.isBranch() || d.nextPc != d.pc + 4) {
+            flush_block();
+            block_leader = d.nextPc;
+        }
+        if (in_interval == interval_size)
+            flush_interval();
+    }
+    if (in_interval > 0)
+        flush_interval();
+
+    prof.numBlocks = static_cast<std::uint32_t>(block_ids.size());
+    return prof;
+}
+
+std::vector<std::vector<double>>
+projectBbv(const BbvProfile &profile, unsigned dims, std::uint64_t seed)
+{
+    // One deterministic projection row per basic block, generated lazily:
+    // entries uniform in [-1, 1), keyed by (block, dim) via a seeded hash.
+    auto proj_entry = [&](std::uint32_t block, unsigned dim) {
+        Rng r(seed ^ (std::uint64_t{block} << 20) ^ dim ^
+              0x517cc1b727220a95ull);
+        r.next();
+        return r.uniform() * 2.0 - 1.0;
+    };
+
+    std::vector<std::vector<double>> out;
+    out.reserve(profile.intervals.size());
+    for (const IntervalBbv &iv : profile.intervals) {
+        std::vector<double> v(dims, 0.0);
+        const double total =
+            iv.totalInsts ? static_cast<double>(iv.totalInsts) : 1.0;
+        for (const auto &[block, count] : iv.counts) {
+            const double f = static_cast<double>(count) / total;
+            for (unsigned j = 0; j < dims; ++j)
+                v[j] += f * proj_entry(block, j);
+        }
+        out.push_back(std::move(v));
+    }
+    return out;
+}
+
+} // namespace rsr::simpoint

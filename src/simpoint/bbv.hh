@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Basic-block-vector profiling for SimPoint-style phase analysis
+ * (Sherwood et al., ASPLOS 2002; SimPoint v3.2 defaults). Execution is
+ * divided into fixed-size intervals; for each interval, the number of
+ * instructions executed in each static basic block is counted. Vectors
+ * are frequency-normalized and randomly projected to a small dimension
+ * before clustering.
+ */
+
+#ifndef RSR_SIMPOINT_BBV_HH
+#define RSR_SIMPOINT_BBV_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "func/program.hh"
+
+namespace rsr::simpoint
+{
+
+/** Sparse basic-block vector for one interval. */
+struct IntervalBbv
+{
+    /** (block dimension id, instructions executed in that block). */
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> counts;
+    std::uint64_t totalInsts = 0;
+};
+
+/** Profile of a whole run. */
+struct BbvProfile
+{
+    std::uint64_t intervalSize = 0;
+    std::vector<IntervalBbv> intervals;
+    /** Number of distinct basic blocks (the sparse dimensionality). */
+    std::uint32_t numBlocks = 0;
+};
+
+/**
+ * Profile the first @p total_insts instructions of @p program with
+ * interval size @p interval_size. Basic blocks are delimited by control
+ * transfers and identified by their leader PC.
+ */
+BbvProfile profileBbv(const func::Program &program,
+                      std::uint64_t total_insts,
+                      std::uint64_t interval_size);
+
+/**
+ * Frequency-normalize and randomly project a profile to @p dims
+ * dimensions (SimPoint v3.2 projects to 15). Deterministic in @p seed.
+ */
+std::vector<std::vector<double>> projectBbv(const BbvProfile &profile,
+                                            unsigned dims,
+                                            std::uint64_t seed);
+
+} // namespace rsr::simpoint
+
+#endif // RSR_SIMPOINT_BBV_HH

@@ -1,0 +1,186 @@
+#include "kmeans.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace rsr::simpoint
+{
+
+namespace
+{
+
+double
+sqDist(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        s += d * d;
+    }
+    return s;
+}
+
+/** Spherical-Gaussian BIC (x-means formulation). */
+double
+bicScore(const std::vector<std::vector<double>> &data,
+         const Clustering &c)
+{
+    const double r = static_cast<double>(data.size());
+    const double m = static_cast<double>(data.empty() ? 1 : data[0].size());
+    const double k = static_cast<double>(c.k);
+
+    double ss = 0.0;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        ss += sqDist(data[i], c.means[c.assignment[i]]);
+
+    const double denom = r - k;
+    double sigma2 = denom > 0 ? ss / (m * denom) : 0.0;
+    if (sigma2 <= 1e-12)
+        sigma2 = 1e-12; // degenerate: perfectly tight clusters
+
+    double loglik = 0.0;
+    for (unsigned i = 0; i < c.k; ++i) {
+        const double ri = static_cast<double>(c.sizes[i]);
+        if (ri <= 0)
+            continue;
+        loglik += ri * std::log(ri / r);
+    }
+    loglik -= r * m / 2.0 * std::log(2.0 * M_PI * sigma2);
+    loglik -= (r - k) * m / 2.0;
+
+    const double params = k * (m + 1.0);
+    return loglik - params / 2.0 * std::log(r);
+}
+
+} // namespace
+
+Clustering
+kmeans(const std::vector<std::vector<double>> &data, unsigned k,
+       std::uint64_t seed, unsigned max_iters)
+{
+    rsr_assert(!data.empty(), "kmeans on empty data");
+    rsr_assert(k >= 1, "kmeans needs k >= 1");
+    if (k > data.size())
+        k = static_cast<unsigned>(data.size());
+
+    const std::size_t n = data.size();
+    const std::size_t dims = data[0].size();
+    Rng rng(seed ^ (k * 0x9e3779b97f4a7c15ull));
+
+    // k-means++ seeding.
+    Clustering c;
+    c.k = k;
+    c.means.clear();
+    std::vector<double> min_d2(n, std::numeric_limits<double>::max());
+    c.means.push_back(data[rng.below(n)]);
+    while (c.means.size() < k) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            min_d2[i] = std::min(min_d2[i], sqDist(data[i], c.means.back()));
+            total += min_d2[i];
+        }
+        if (total <= 0.0) {
+            c.means.push_back(data[rng.below(n)]);
+            continue;
+        }
+        double pick = rng.uniform() * total;
+        std::size_t chosen = n - 1;
+        for (std::size_t i = 0; i < n; ++i) {
+            pick -= min_d2[i];
+            if (pick <= 0.0) {
+                chosen = i;
+                break;
+            }
+        }
+        c.means.push_back(data[chosen]);
+    }
+
+    c.assignment.assign(n, -1);
+    c.sizes.assign(k, 0);
+    for (unsigned iter = 0; iter < max_iters; ++iter) {
+        bool changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            int best = 0;
+            double best_d = std::numeric_limits<double>::max();
+            for (unsigned j = 0; j < k; ++j) {
+                const double d = sqDist(data[i], c.means[j]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = static_cast<int>(j);
+                }
+            }
+            if (c.assignment[i] != best) {
+                c.assignment[i] = best;
+                changed = true;
+            }
+        }
+        if (!changed && iter > 0)
+            break;
+
+        std::vector<std::vector<double>> sums(
+            k, std::vector<double>(dims, 0.0));
+        c.sizes.assign(k, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const int a = c.assignment[i];
+            ++c.sizes[a];
+            for (std::size_t j = 0; j < dims; ++j)
+                sums[a][j] += data[i][j];
+        }
+        for (unsigned j = 0; j < k; ++j) {
+            if (c.sizes[j] == 0) {
+                // Re-seed an empty cluster on a random point.
+                c.means[j] = data[rng.below(n)];
+                continue;
+            }
+            for (std::size_t d = 0; d < dims; ++d)
+                c.means[j][d] =
+                    sums[j][d] / static_cast<double>(c.sizes[j]);
+        }
+    }
+
+    c.bic = bicScore(data, c);
+    return c;
+}
+
+Clustering
+pickClustering(const std::vector<std::vector<double>> &data, unsigned max_k,
+               std::uint64_t seed, double bic_threshold)
+{
+    rsr_assert(max_k >= 1, "need max_k >= 1");
+    std::vector<Clustering> candidates;
+    double best = -std::numeric_limits<double>::max();
+    double worst = std::numeric_limits<double>::max();
+    for (unsigned k = 1; k <= max_k && k <= data.size(); ++k) {
+        candidates.push_back(kmeans(data, k, seed));
+        best = std::max(best, candidates.back().bic);
+        worst = std::min(worst, candidates.back().bic);
+    }
+    const double cut = worst + bic_threshold * (best - worst);
+    for (auto &c : candidates)
+        if (c.bic >= cut)
+            return std::move(c);
+    return std::move(candidates.back());
+}
+
+std::vector<std::size_t>
+representativePoints(const std::vector<std::vector<double>> &data,
+                     const Clustering &clustering)
+{
+    std::vector<std::size_t> rep(clustering.k, 0);
+    std::vector<double> best(clustering.k,
+                             std::numeric_limits<double>::max());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const int a = clustering.assignment[i];
+        const double d = sqDist(data[i], clustering.means[a]);
+        if (d < best[a]) {
+            best[a] = d;
+            rep[a] = i;
+        }
+    }
+    return rep;
+}
+
+} // namespace rsr::simpoint

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * K-means clustering with BIC model selection, as used by SimPoint v3.2:
+ * k-means++ seeding, Lloyd iterations, a spherical-Gaussian BIC score,
+ * and SimPoint's rule of choosing the smallest k whose score reaches 90%
+ * of the best score across candidate ks.
+ */
+
+#ifndef RSR_SIMPOINT_KMEANS_HH
+#define RSR_SIMPOINT_KMEANS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace rsr::simpoint
+{
+
+/** One clustering outcome. */
+struct Clustering
+{
+    unsigned k = 0;
+    std::vector<int> assignment;             ///< point -> cluster
+    std::vector<std::vector<double>> means;  ///< cluster centroids
+    std::vector<std::uint64_t> sizes;        ///< points per cluster
+    double bic = 0.0;
+};
+
+/** Run k-means for a fixed k. Deterministic in @p seed. */
+Clustering kmeans(const std::vector<std::vector<double>> &data, unsigned k,
+                  std::uint64_t seed, unsigned max_iters = 100);
+
+/**
+ * Try k = 1..max_k and return the SimPoint choice: the smallest k whose
+ * BIC reaches @p bic_threshold of the way from the worst to the best
+ * score (SimPoint default 0.9).
+ */
+Clustering pickClustering(const std::vector<std::vector<double>> &data,
+                          unsigned max_k, std::uint64_t seed,
+                          double bic_threshold = 0.9);
+
+/** Index of the point closest to each cluster centroid. */
+std::vector<std::size_t>
+representativePoints(const std::vector<std::vector<double>> &data,
+                     const Clustering &clustering);
+
+} // namespace rsr::simpoint
+
+#endif // RSR_SIMPOINT_KMEANS_HH

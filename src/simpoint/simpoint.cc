@@ -1,0 +1,112 @@
+#include "simpoint.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/warmup.hh"
+#include "func/funcsim.hh"
+#include "uarch/core.hh"
+#include "util/logging.hh"
+#include "util/timer.hh"
+
+namespace rsr::simpoint
+{
+
+SimPointSelection
+pickSimPoints(const func::Program &program, std::uint64_t total_insts,
+              const SimPointConfig &config)
+{
+    const BbvProfile prof =
+        profileBbv(program, total_insts, config.intervalSize);
+    const auto projected =
+        projectBbv(prof, config.projectedDims, config.seed);
+    const Clustering clustering = pickClustering(
+        projected, config.maxK, config.seed, config.bicThreshold);
+    const auto reps = representativePoints(projected, clustering);
+
+    // Sort points by execution order, carrying their weights along.
+    std::vector<std::size_t> order(reps.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return reps[a] < reps[b]; });
+
+    SimPointSelection sel;
+    sel.intervalSize = config.intervalSize;
+    sel.k = clustering.k;
+    const double total = static_cast<double>(projected.size());
+    for (std::size_t c : order) {
+        sel.intervals.push_back(reps[c]);
+        sel.weights.push_back(
+            static_cast<double>(clustering.sizes[c]) / total);
+    }
+    return sel;
+}
+
+SimPointRunResult
+runSimPoints(const func::Program &program,
+             const SimPointSelection &selection, bool smarts_warmup,
+             const core::MachineConfig &machine_config)
+{
+    SimPointRunResult res;
+    WallTimer timer;
+
+    func::FuncSim fs(program);
+    core::Machine machine(machine_config);
+
+    // Reuse the SMARTS policy for the optional warming between points.
+    std::unique_ptr<core::FunctionalWarmup> warm;
+    if (smarts_warmup) {
+        warm = core::FunctionalWarmup::smarts();
+        warm->attach(machine);
+    }
+
+    class Source : public uarch::InstSource
+    {
+      public:
+        explicit Source(func::FuncSim &fs) : fs(fs) {}
+        bool next(func::DynInst &out) override { return fs.step(&out); }
+
+      private:
+        func::FuncSim &fs;
+    };
+
+    const std::uint64_t iline_mask =
+        ~std::uint64_t{machine.hier.il1().params().lineBytes - 1};
+
+    double weighted_ipc = 0.0;
+    func::DynInst d;
+    for (std::size_t p = 0; p < selection.intervals.size(); ++p) {
+        const std::uint64_t start =
+            selection.intervals[p] * selection.intervalSize;
+        rsr_assert(fs.instCount() <= start,
+                   "simulation points overlap or are unsorted");
+        const std::uint64_t skip_len = start - fs.instCount();
+        if (warm)
+            warm->beginSkip(skip_len);
+        std::uint64_t last_iblock = ~std::uint64_t{0};
+        for (std::uint64_t i = 0; i < skip_len; ++i) {
+            const bool ok = fs.step(&d);
+            rsr_assert(ok, "workload halted before a simulation point");
+            if (warm) {
+                const std::uint64_t blk = d.pc & iline_mask;
+                warm->onSkipInst(d, blk != last_iblock);
+                last_iblock = blk;
+            }
+        }
+
+        machine.hier.l1Bus().reset();
+        machine.hier.l2Bus().reset();
+        uarch::OoOCore core(machine_config.core, machine.hier, machine.bp);
+        Source src(fs);
+        const uarch::RunResult rr =
+            core.run(src, selection.intervalSize);
+        res.hotInsts += rr.insts;
+        weighted_ipc += selection.weights[p] * rr.ipc();
+    }
+
+    res.ipc = weighted_ipc;
+    res.seconds = timer.seconds();
+    return res;
+}
+
+} // namespace rsr::simpoint

@@ -1,0 +1,204 @@
+#include "trace.hh"
+
+#include "func/funcsim.hh"
+#include "isa/inst.hh"
+#include "util/logging.hh"
+#include "util/serial.hh"
+
+namespace rsr::trace
+{
+
+namespace
+{
+
+constexpr std::uint64_t traceMagic = 0x52535254524143ull; // "RSRTRAC"
+constexpr std::size_t headerBytes = 16; // magic (8) + record count (8)
+constexpr std::size_t flushThreshold = 1 << 20;
+
+constexpr std::uint8_t kindSequential = 1;
+constexpr std::uint8_t kindMem = 2;
+constexpr std::uint8_t kindTaken = 4;
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path) : path(path)
+{
+    file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        rsr_fatal("cannot open trace file for writing: ", path);
+    // Placeholder header; patched in close().
+    const std::uint8_t zeros[headerBytes] = {};
+    std::fwrite(zeros, 1, headerBytes, file);
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::append(const func::DynInst &d)
+{
+    ByteSink sink;
+    std::uint8_t kind = 0;
+    if (records_ > 0 && d.pc == prevNextPc)
+        kind |= kindSequential;
+    if (d.inst.isMem())
+        kind |= kindMem;
+    if (d.taken)
+        kind |= kindTaken;
+    sink.putU8(kind);
+    if (!(kind & kindSequential))
+        putVarint(sink, zigzagEncode(static_cast<std::int64_t>(d.pc) -
+                                     static_cast<std::int64_t>(prevPc)));
+    sink.putU32(isa::encode(d.inst));
+    if (kind & kindTaken)
+        putVarint(sink,
+                  zigzagEncode(static_cast<std::int64_t>(d.nextPc) -
+                               static_cast<std::int64_t>(d.pc + 4)));
+    if (kind & kindMem)
+        putVarint(sink,
+                  zigzagEncode(static_cast<std::int64_t>(d.effAddr) -
+                               static_cast<std::int64_t>(prevEffAddr)));
+
+    const auto &bytes = sink.bytes();
+    buffer.insert(buffer.end(), bytes.begin(), bytes.end());
+    payloadBytes_ += bytes.size();
+    ++records_;
+    prevPc = d.pc;
+    prevNextPc = d.nextPc;
+    if (kind & kindMem)
+        prevEffAddr = d.effAddr;
+    if (buffer.size() >= flushThreshold)
+        flushBuffer();
+}
+
+void
+TraceWriter::flushBuffer()
+{
+    if (!buffer.empty()) {
+        std::fwrite(buffer.data(), 1, buffer.size(), file);
+        buffer.clear();
+    }
+}
+
+void
+TraceWriter::close()
+{
+    if (!file)
+        return;
+    flushBuffer();
+    // Patch the header with the magic and final record count.
+    std::fseek(file, 0, SEEK_SET);
+    ByteSink header;
+    header.putU64(traceMagic);
+    header.putU64(records_);
+    std::fwrite(header.bytes().data(), 1, header.size(), file);
+    std::fclose(file);
+    file = nullptr;
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        rsr_fatal("cannot open trace file: ", path);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    if (size < static_cast<long>(headerBytes)) {
+        std::fclose(f);
+        rsr_fatal("trace file too small: ", path);
+    }
+    std::vector<std::uint8_t> header(headerBytes);
+    if (std::fread(header.data(), 1, headerBytes, f) != headerBytes) {
+        std::fclose(f);
+        rsr_fatal("cannot read trace header: ", path);
+    }
+    ByteSource hs(header);
+    if (hs.getU64() != traceMagic) {
+        std::fclose(f);
+        rsr_fatal("not a trace file: ", path);
+    }
+    records_ = hs.getU64();
+    payload.resize(static_cast<std::size_t>(size) - headerBytes);
+    if (!payload.empty() &&
+        std::fread(payload.data(), 1, payload.size(), f) !=
+            payload.size()) {
+        std::fclose(f);
+        rsr_fatal("truncated trace file: ", path);
+    }
+    std::fclose(f);
+}
+
+bool
+TraceReader::next(func::DynInst &out)
+{
+    if (consumed_ >= records_)
+        return false;
+    ByteSource in(payload.data() + pos, payload.size() - pos);
+    const std::size_t before = in.remaining();
+
+    const std::uint8_t kind = in.getU8();
+    std::uint64_t pc;
+    if (kind & kindSequential) {
+        pc = prevNextPc;
+    } else {
+        pc = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(prevPc) +
+            zigzagDecode(getVarint(in)));
+    }
+    const isa::Inst inst = isa::decode(in.getU32());
+    std::uint64_t next_pc = pc + 4;
+    if (kind & kindTaken)
+        next_pc = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(pc + 4) +
+            zigzagDecode(getVarint(in)));
+    std::uint64_t eff = 0;
+    if (kind & kindMem) {
+        eff = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(prevEffAddr) +
+            zigzagDecode(getVarint(in)));
+        prevEffAddr = eff;
+    }
+
+    pos += before - in.remaining();
+    prevPc = pc;
+    prevNextPc = next_pc;
+
+    out.seq = consumed_++;
+    out.pc = pc;
+    out.nextPc = next_pc;
+    out.effAddr = eff;
+    out.inst = inst;
+    out.taken = (kind & kindTaken) != 0;
+    return true;
+}
+
+void
+TraceReader::rewind()
+{
+    consumed_ = 0;
+    pos = 0;
+    prevPc = 0;
+    prevNextPc = 0;
+    prevEffAddr = 0;
+}
+
+std::uint64_t
+recordTrace(const func::Program &program, std::uint64_t n,
+            const std::string &path)
+{
+    func::FuncSim fs(program);
+    TraceWriter writer(path);
+    func::DynInst d;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (!fs.step(&d))
+            break;
+        writer.append(d);
+    }
+    writer.close();
+    return writer.records();
+}
+
+} // namespace rsr::trace

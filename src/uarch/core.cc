@@ -1,0 +1,480 @@
+#include "core.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.hh"
+
+namespace rsr::uarch
+{
+
+using func::DynInst;
+using isa::BranchKind;
+using isa::Format;
+using isa::Opcode;
+using isa::OpClass;
+
+unsigned
+CoreParams::latencyFor(OpClass cls) const
+{
+    switch (cls) {
+      case OpClass::IntMul: return intMulLat;
+      case OpClass::IntDiv: return intDivLat;
+      case OpClass::FpAdd: return fpAddLat;
+      case OpClass::FpMul: return fpMulLat;
+      case OpClass::FpDiv: return fpDivLat;
+      default: return intAluLat;
+    }
+}
+
+namespace
+{
+
+constexpr std::uint64_t noSeq = ~std::uint64_t{0};
+constexpr unsigned fpRegBase = 32; ///< FP regs occupy slots 32..63.
+
+/**
+ * Collect the (unified int+FP) source register slots of an instruction.
+ * Returns the number written into @p out (at most 2). r0 is skipped.
+ */
+unsigned
+gatherSrcs(const isa::Inst &in, unsigned out[2])
+{
+    unsigned n = 0;
+    auto add_int = [&](unsigned r) {
+        if (r != 0)
+            out[n++] = r;
+    };
+    auto add_fp = [&](unsigned r) { out[n++] = fpRegBase + r; };
+
+    switch (in.op) {
+      case Opcode::Nop:
+      case Opcode::Halt:
+      case Opcode::Lui:
+      case Opcode::J:
+      case Opcode::Jal:
+        break;
+      case Opcode::Fadd:
+      case Opcode::Fsub:
+      case Opcode::Fmul:
+      case Opcode::Fdiv:
+      case Opcode::Fcmplt:
+        add_fp(in.rs1);
+        add_fp(in.rs2);
+        break;
+      case Opcode::Fcvt:
+        add_int(in.rs1);
+        break;
+      case Opcode::Fsd:
+        add_int(in.rs1);
+        add_fp(in.rs2);
+        break;
+      default:
+        switch (isa::opcodeFormat(in.op)) {
+          case Format::R:
+          case Format::S:
+          case Format::B:
+            add_int(in.rs1);
+            add_int(in.rs2);
+            break;
+          case Format::I:
+          case Format::JR:
+            add_int(in.rs1);
+            break;
+          default:
+            break;
+        }
+    }
+    return n;
+}
+
+/** Destination register slot, or -1 if none. */
+int
+destOf(const isa::Inst &in)
+{
+    switch (in.op) {
+      case Opcode::Fadd:
+      case Opcode::Fsub:
+      case Opcode::Fmul:
+      case Opcode::Fdiv:
+      case Opcode::Fcvt:
+      case Opcode::Fld:
+        return static_cast<int>(fpRegBase + in.rd);
+      case Opcode::Fcmplt:
+        return in.rd == 0 ? -1 : static_cast<int>(in.rd);
+      case Opcode::Nop:
+      case Opcode::Halt:
+      case Opcode::J:
+        return -1;
+      default:
+        break;
+    }
+    switch (isa::opcodeFormat(in.op)) {
+      case Format::S:
+      case Format::B:
+      case Format::J26:
+        return -1;
+      default:
+        return in.rd == 0 ? -1 : static_cast<int>(in.rd);
+    }
+}
+
+/** Does the fetched prediction mismatch the committed outcome? */
+bool
+isMispredict(const branch::Prediction &p, const DynInst &d)
+{
+    switch (d.inst.branchKind()) {
+      case BranchKind::Conditional:
+        // Direct conditional targets are computable at decode; direction
+        // is what the PHT must get right.
+        return p.taken != d.taken;
+      case BranchKind::DirectJump:
+        return false;
+      case BranchKind::Call:
+        if (d.inst.op == Opcode::Jal)
+            return false; // direct call: target from decode
+        return !p.targetValid || p.target != d.nextPc;
+      case BranchKind::Return:
+      case BranchKind::IndirectJump:
+        return !p.targetValid || p.target != d.nextPc;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+OoOCore::OoOCore(const CoreParams &params, cache::MemoryHierarchy &hier,
+                 branch::GsharePredictor &bp)
+    : params_(params), hier(hier), bp(bp)
+{}
+
+RunResult
+OoOCore::run(InstSource &src, std::uint64_t max_insts)
+{
+    struct Flight
+    {
+        DynInst d;
+        /** Earliest issue cycle from latched operand availability. */
+        std::uint64_t readyBase = 0;
+        std::uint64_t completeCycle = 0;
+        /** Unissued producers this instruction still waits on. */
+        std::uint64_t depSeq[2] = {noSeq, noSeq};
+        bool inIq = false;
+        bool issued = false;
+        bool isMem = false;
+        bool isLoad = false;
+        bool isBranch = false;
+        bool mispredicted = false;
+        bool resolved = false;
+    };
+
+    struct Fetched
+    {
+        DynInst d;
+        std::uint64_t availCycle = 0;
+        bool mispredicted = false;
+    };
+
+    RunResult res;
+    if (max_insts == 0)
+        return res;
+
+    std::deque<Fetched> fetchBuf;
+    std::deque<Flight> rob;
+    unsigned iq_count = 0;
+    unsigned lsq_count = 0;
+    unsigned unresolved_branches = 0;
+    std::uint64_t reg_ready[64] = {};
+    std::uint64_t last_writer[64];
+    std::fill(std::begin(last_writer), std::end(last_writer), noSeq);
+
+    std::uint64_t now = 0;
+    std::uint64_t fetch_blocked_until = 0;
+    std::uint64_t waiting_branch = noSeq;
+    std::uint64_t cur_fetch_block = ~std::uint64_t{0};
+    bool src_done = false;
+    bool pending_valid = false;
+    DynInst pending;
+    std::uint64_t fed = 0;
+
+    const std::uint64_t line_mask =
+        ~std::uint64_t{hier.il1().params().lineBytes - 1};
+
+    auto flight_of = [&](std::uint64_t seq) -> Flight * {
+        if (rob.empty() || seq < rob.front().d.seq)
+            return nullptr; // already retired
+        const std::uint64_t idx = seq - rob.front().d.seq;
+        return idx < rob.size() ? &rob[idx] : nullptr;
+    };
+
+    const std::uint64_t cycle_limit =
+        max_insts * 2000 + 10'000'000ull; // runaway-model guard
+
+    while (true) {
+        if (src_done && !pending_valid && fetchBuf.empty() && rob.empty())
+            break;
+        rsr_assert(now < cycle_limit, "timing model failed to make "
+                   "progress (cycle ", now, ")");
+
+        unsigned resolved_n = 0;
+        unsigned committed = 0;
+        unsigned issued_n = 0;
+        unsigned dispatched = 0;
+        unsigned fetched = 0;
+
+        // ------------------------------------------------------- resolve
+        for (Flight &f : rob) {
+            if (f.isBranch && f.issued && !f.resolved &&
+                f.completeCycle <= now) {
+                f.resolved = true;
+                ++resolved_n;
+                --unresolved_branches;
+                if (f.mispredicted && waiting_branch == f.d.seq) {
+                    fetch_blocked_until =
+                        std::max(now, f.completeCycle +
+                                          params_.minMispredictPenalty);
+                    waiting_branch = noSeq;
+                    cur_fetch_block = ~std::uint64_t{0};
+                }
+            }
+        }
+
+        // -------------------------------------------------------- commit
+        while (!rob.empty() && committed < params_.retireWidth) {
+            Flight &f = rob.front();
+            if (!(f.issued && f.completeCycle <= now))
+                break;
+            if (f.isBranch && !f.resolved)
+                break;
+            if (f.isMem)
+                --lsq_count;
+            if (f.isBranch) {
+                const BranchKind kind = f.d.inst.branchKind();
+                bp.update(f.d.pc, kind, f.d.taken, f.d.nextPc);
+            }
+            ++res.insts;
+            ++committed;
+            rob.pop_front();
+        }
+
+        // --------------------------------------------------------- issue
+        for (Flight &f : rob) {
+            if (issued_n >= params_.issueWidth ||
+                issued_n >= params_.numFUs)
+                break;
+            if (!f.inIq)
+                continue;
+            // Resolve latched dependences on producers.
+            bool deps_ok = true;
+            for (auto &dep : f.depSeq) {
+                if (dep == noSeq)
+                    continue;
+                Flight *w = flight_of(dep);
+                if (w && !w->issued) {
+                    deps_ok = false;
+                    continue;
+                }
+                if (w)
+                    f.readyBase = std::max(f.readyBase, w->completeCycle);
+                dep = noSeq;
+            }
+            if (!deps_ok || f.readyBase > now)
+                continue;
+
+            f.inIq = false;
+            --iq_count;
+            f.issued = true;
+            ++issued_n;
+            if (f.isLoad) {
+                ++res.loads;
+                // Store-to-load forwarding: the youngest older in-flight
+                // store to the same word supplies the data from the LSQ.
+                const Flight *fwd = nullptr;
+                if (params_.storeForwarding) {
+                    for (const Flight &st : rob) {
+                        if (st.d.seq >= f.d.seq)
+                            break;
+                        if (st.isMem && !st.isLoad && st.issued &&
+                            (st.d.effAddr & ~7ull) == (f.d.effAddr & ~7ull))
+                            fwd = &st;
+                    }
+                }
+                if (fwd) {
+                    ++res.forwardedLoads;
+                    f.completeCycle =
+                        std::max(now, fwd->completeCycle) +
+                        params_.forwardLatency;
+                } else {
+                    f.completeCycle = hier.timedLoad(now, f.d.effAddr);
+                }
+            } else if (f.isMem) {
+                ++res.stores;
+                hier.timedStore(now, f.d.effAddr);
+                f.completeCycle = now + params_.intAluLat;
+            } else {
+                f.completeCycle =
+                    now + params_.latencyFor(f.d.inst.opClass());
+            }
+            // Publish the value-ready time only while this is still the
+            // youngest writer; younger writers are tracked via depSeq.
+            const int dst = destOf(f.d.inst);
+            if (dst >= 0 && last_writer[dst] == f.d.seq)
+                reg_ready[dst] = f.completeCycle;
+        }
+
+        // ------------------------------------------------------ dispatch
+        bool dispatch_stalled = false;
+        while (dispatched < params_.dispatchWidth && !fetchBuf.empty()) {
+            Fetched &fe = fetchBuf.front();
+            if (fe.availCycle > now)
+                break;
+            if (rob.size() >= params_.robSize ||
+                iq_count >= params_.iqSize) {
+                dispatch_stalled = true;
+                break;
+            }
+            const bool is_mem = fe.d.inst.isMem();
+            if (is_mem && lsq_count >= params_.lsqSize) {
+                dispatch_stalled = true;
+                break;
+            }
+            const bool is_br = fe.d.isBranch();
+            if (is_br &&
+                unresolved_branches >= params_.maxUnresolvedBranches) {
+                dispatch_stalled = true;
+                break;
+            }
+
+            Flight f;
+            f.d = fe.d;
+            f.isMem = is_mem;
+            f.isLoad = fe.d.inst.isLoad();
+            f.isBranch = is_br;
+            f.mispredicted = fe.mispredicted;
+            f.inIq = true;
+            f.readyBase = now + 1;
+
+            unsigned srcs[2];
+            const unsigned nsrc = gatherSrcs(fe.d.inst, srcs);
+            unsigned ndep = 0;
+            for (unsigned i = 0; i < nsrc; ++i) {
+                const unsigned s = srcs[i];
+                const std::uint64_t wseq = last_writer[s];
+                Flight *w = wseq == noSeq ? nullptr : flight_of(wseq);
+                if (w && !w->issued)
+                    f.depSeq[ndep++] = wseq;
+                else if (w)
+                    f.readyBase = std::max(f.readyBase, w->completeCycle);
+                else
+                    f.readyBase = std::max(f.readyBase, reg_ready[s]);
+            }
+            const int dst = destOf(fe.d.inst);
+            if (dst >= 0)
+                last_writer[dst] = fe.d.seq;
+
+            rob.push_back(f);
+            ++iq_count;
+            if (is_mem)
+                ++lsq_count;
+            if (is_br)
+                ++unresolved_branches;
+            fetchBuf.pop_front();
+            ++dispatched;
+        }
+
+        // --------------------------------------------------------- fetch
+        if (now >= fetch_blocked_until && waiting_branch == noSeq) {
+            while (fetched < params_.fetchWidth &&
+                   fetchBuf.size() < params_.fetchBufferSize) {
+                if (!pending_valid) {
+                    if (src_done || fed >= max_insts) {
+                        src_done = true;
+                        break;
+                    }
+                    if (!src.next(pending)) {
+                        src_done = true;
+                        break;
+                    }
+                    ++fed;
+                    pending_valid = true;
+                }
+                const std::uint64_t blk = pending.pc & line_mask;
+                if (blk != cur_fetch_block) {
+                    const std::uint64_t done =
+                        hier.timedFetch(now, pending.pc);
+                    cur_fetch_block = blk;
+                    if (done > now + hier.il1().params().hitLatency) {
+                        // I-cache miss: group arrives with the line.
+                        fetch_blocked_until = done;
+                        break;
+                    }
+                }
+                Fetched fe;
+                fe.d = pending;
+                fe.availCycle = now + params_.frontendDelay;
+                bool stop = false;
+                if (pending.isBranch()) {
+                    const BranchKind kind = pending.inst.branchKind();
+                    const branch::Prediction p =
+                        bp.predict(pending.pc, kind);
+                    if (kind == BranchKind::Conditional)
+                        ++res.condBranches;
+                    fe.mispredicted = isMispredict(p, pending);
+                    if (fe.mispredicted) {
+                        ++res.branchMispredicts;
+                        waiting_branch = pending.seq;
+                        stop = true;
+                    } else if (pending.taken) {
+                        // Correctly predicted taken: redirect ends the
+                        // fetch group; next group starts at the target.
+                        cur_fetch_block = ~std::uint64_t{0};
+                        stop = true;
+                    }
+                }
+                fetchBuf.push_back(fe);
+                pending_valid = false;
+                ++fetched;
+                if (stop)
+                    break;
+            }
+        }
+
+        // ------------------------------------------------- advance clock
+        const bool fetch_blocked =
+            (now < fetch_blocked_until || waiting_branch != noSeq) &&
+            (pending_valid || (!src_done && fed < max_insts));
+        const bool progressed = resolved_n || committed || issued_n ||
+                                dispatched || fetched;
+        if (progressed) {
+            res.dispatchStallCycles += dispatch_stalled ? 1 : 0;
+            res.fetchBlockedCycles += fetch_blocked ? 1 : 0;
+            ++now;
+            continue;
+        }
+        std::uint64_t next = ~std::uint64_t{0};
+        for (const Flight &f : rob) {
+            if (f.issued && f.completeCycle > now)
+                next = std::min(next, f.completeCycle);
+            else if (f.inIq && f.depSeq[0] == noSeq &&
+                     f.depSeq[1] == noSeq && f.readyBase > now)
+                next = std::min(next, f.readyBase);
+        }
+        if (!fetchBuf.empty() && fetchBuf.front().availCycle > now)
+            next = std::min(next, fetchBuf.front().availCycle);
+        if (waiting_branch == noSeq && fetch_blocked_until > now &&
+            (pending_valid || (!src_done && fed < max_insts)))
+            next = std::min(next, fetch_blocked_until);
+        const std::uint64_t new_now =
+            next == ~std::uint64_t{0} ? now + 1 : next;
+        const std::uint64_t delta = new_now - now;
+        res.dispatchStallCycles += dispatch_stalled ? delta : 0;
+        res.fetchBlockedCycles += fetch_blocked ? delta : 0;
+        now = new_now;
+    }
+
+    res.cycles = now;
+    return res;
+}
+
+} // namespace rsr::uarch

@@ -1,0 +1,77 @@
+#include "args.hh"
+
+#include <cstdlib>
+
+#include "logging.hh"
+
+namespace rsr
+{
+
+ArgParser::ArgParser(int argc, const char *const *argv)
+{
+    int i = 1;
+    if (i < argc && argv[i][0] != '-')
+        command_ = argv[i++];
+    while (i < argc) {
+        std::string tok = argv[i++];
+        rsr_assert(tok.rfind("--", 0) == 0,
+                   "expected a --flag, got '", tok, "'");
+        const std::string name = tok.substr(2);
+        rsr_assert(!name.empty(), "empty flag name");
+        std::string value;
+        if (i < argc && std::string(argv[i]).rfind("--", 0) != 0)
+            value = argv[i++];
+        flags[name] = value;
+    }
+}
+
+bool
+ArgParser::has(const std::string &flag) const
+{
+    return flags.count(flag) > 0;
+}
+
+std::string
+ArgParser::get(const std::string &flag, const std::string &fallback) const
+{
+    const auto it = flags.find(flag);
+    return it == flags.end() ? fallback : it->second;
+}
+
+std::uint64_t
+ArgParser::getU64(const std::string &flag, std::uint64_t fallback) const
+{
+    const auto it = flags.find(flag);
+    if (it == flags.end())
+        return fallback;
+    char *end = nullptr;
+    const auto v = std::strtoull(it->second.c_str(), &end, 0);
+    rsr_assert(end && *end == '\0', "--", flag,
+               " expects an integer, got '", it->second, "'");
+    return v;
+}
+
+double
+ArgParser::getDouble(const std::string &flag, double fallback) const
+{
+    const auto it = flags.find(flag);
+    if (it == flags.end())
+        return fallback;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    rsr_assert(end && *end == '\0', "--", flag,
+               " expects a number, got '", it->second, "'");
+    return v;
+}
+
+std::vector<std::string>
+ArgParser::unknownFlags(const std::set<std::string> &allowed) const
+{
+    std::vector<std::string> out;
+    for (const auto &[flag, value] : flags)
+        if (!allowed.count(flag))
+            out.push_back(flag);
+    return out;
+}
+
+} // namespace rsr

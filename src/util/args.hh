@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Small command-line argument parser for the tools: one positional
+ * command followed by `--flag value` and `--switch` options, with typed
+ * accessors and unknown-flag detection.
+ */
+
+#ifndef RSR_UTIL_ARGS_HH
+#define RSR_UTIL_ARGS_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace rsr
+{
+
+/** Parsed command line. */
+class ArgParser
+{
+  public:
+    /**
+     * Parse `prog [command] [--flag [value]]...`. A token after a flag
+     * is treated as its value unless it starts with `--`.
+     */
+    ArgParser(int argc, const char *const *argv);
+
+    /** The positional command ("" if none). */
+    const std::string &command() const { return command_; }
+
+    /** Was @p flag given (with or without a value)? */
+    bool has(const std::string &flag) const;
+
+    /** String value of @p flag, or @p fallback. */
+    std::string get(const std::string &flag,
+                    const std::string &fallback = "") const;
+
+    /** Unsigned integer value of @p flag, or @p fallback. */
+    std::uint64_t getU64(const std::string &flag,
+                         std::uint64_t fallback) const;
+
+    /** Floating-point value of @p flag, or @p fallback. */
+    double getDouble(const std::string &flag, double fallback) const;
+
+    /**
+     * Flags present on the command line that are not in @p allowed
+     * (for strict validation / typo detection).
+     */
+    std::vector<std::string>
+    unknownFlags(const std::set<std::string> &allowed) const;
+
+  private:
+    std::string command_;
+    std::map<std::string, std::string> flags; // flag -> value ("" if none)
+};
+
+} // namespace rsr
+
+#endif // RSR_UTIL_ARGS_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the simulator.
+ */
+
+#ifndef RSR_UTIL_BITUTIL_HH
+#define RSR_UTIL_BITUTIL_HH
+
+#include <cstdint>
+
+namespace rsr
+{
+
+/** True iff @p v is a (nonzero) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)) for v > 0. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned r = 0;
+    while (v >>= 1)
+        ++r;
+    return r;
+}
+
+/** ceil(log2(v)) for v > 0. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return v <= 1 ? 0 : floorLog2(v - 1) + 1;
+}
+
+/** A mask with the low @p bits bits set. */
+constexpr std::uint64_t
+maskBits(unsigned bits)
+{
+    return bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+}
+
+/** Extract bits [lo, lo+len) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned lo, unsigned len)
+{
+    return (v >> lo) & maskBits(len);
+}
+
+/** Sign-extend the low @p bits bits of @p v to 64 bits. */
+constexpr std::int64_t
+signExtend(std::uint64_t v, unsigned bits)
+{
+    const unsigned shift = 64 - bits;
+    return static_cast<std::int64_t>(v << shift) >> shift;
+}
+
+} // namespace rsr
+
+#endif // RSR_UTIL_BITUTIL_HH

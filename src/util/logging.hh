@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Status and error reporting helpers, following the gem5 convention:
+ * panic() for internal invariant violations (simulator bugs), fatal() for
+ * user errors that make continuing impossible, warn()/inform() for
+ * non-fatal status messages.
+ */
+
+#ifndef RSR_UTIL_LOGGING_HH
+#define RSR_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace rsr
+{
+
+namespace detail
+{
+
+/** Stream-compose a message from variadic arguments. */
+template <typename... Args>
+std::string
+composeMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void exitMessage(const char *kind, const char *file, int line,
+                              const std::string &msg, bool abort_process);
+
+void printMessage(const char *kind, const std::string &msg);
+
+} // namespace detail
+
+} // namespace rsr
+
+/**
+ * Report an internal invariant violation (a simulator bug) and abort.
+ * Use for conditions that should never happen regardless of user input.
+ */
+#define rsr_panic(...)                                                       \
+    ::rsr::detail::exitMessage("panic", __FILE__, __LINE__,                  \
+                               ::rsr::detail::composeMessage(__VA_ARGS__),  \
+                               true)
+
+/**
+ * Report a user-caused unrecoverable condition (bad configuration,
+ * invalid arguments) and exit with an error code.
+ */
+#define rsr_fatal(...)                                                       \
+    ::rsr::detail::exitMessage("fatal", __FILE__, __LINE__,                  \
+                               ::rsr::detail::composeMessage(__VA_ARGS__),  \
+                               false)
+
+/** Warn about questionable but survivable behaviour. */
+#define rsr_warn(...)                                                        \
+    ::rsr::detail::printMessage(                                             \
+        "warn", ::rsr::detail::composeMessage(__VA_ARGS__))
+
+/** Purely informative status message. */
+#define rsr_inform(...)                                                      \
+    ::rsr::detail::printMessage(                                             \
+        "info", ::rsr::detail::composeMessage(__VA_ARGS__))
+
+/** Panic if a condition does not hold. */
+#define rsr_assert(cond, ...)                                                \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            rsr_panic("assertion '" #cond "' failed: ",                      \
+                      ::rsr::detail::composeMessage(__VA_ARGS__));           \
+        }                                                                    \
+    } while (0)
+
+#endif // RSR_UTIL_LOGGING_HH

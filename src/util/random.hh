@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation. All stochastic choices in
+ * the simulator (cluster placement, workload generation, k-means seeding)
+ * flow through this generator so whole experiments replay bit-identically
+ * from a seed.
+ */
+
+#ifndef RSR_UTIL_RANDOM_HH
+#define RSR_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace rsr
+{
+
+/**
+ * xorshift64* generator: tiny, fast, and good enough statistical quality
+ * for workload synthesis and sampling-regimen placement.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        rsr_assert(bound > 0, "Rng::below() needs a positive bound");
+        // Rejection-free multiply-shift; bias is negligible for our bounds.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        rsr_assert(lo <= hi, "Rng::range() got lo > hi");
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Split off an independently seeded child generator. */
+    Rng
+    fork()
+    {
+        return Rng(next() ^ 0xd1b54a32d192ed03ull);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace rsr
+
+#endif // RSR_UTIL_RANDOM_HH

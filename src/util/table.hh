@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harnesses. Each bench binary
+ * prints rows in the same layout as the paper's tables/figures; this helper
+ * keeps the columns aligned and also emits a machine-readable CSV block.
+ */
+
+#ifndef RSR_UTIL_TABLE_HH
+#define RSR_UTIL_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rsr
+{
+
+/** Column-aligned text table with an optional CSV dump. */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; the cell count must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p digits decimal places. */
+    static std::string num(double v, int digits = 4);
+
+    /** Render the aligned table to a string. */
+    std::string render() const;
+
+    /** Render the table as CSV (header row + data rows). */
+    std::string csv() const;
+
+    /** Print the aligned table to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace rsr
+
+#endif // RSR_UTIL_TABLE_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Wall-clock timing used to report "simulation time" for each sampled run,
+ * mirroring the seconds columns in the paper's figures and appendix.
+ */
+
+#ifndef RSR_UTIL_TIMER_HH
+#define RSR_UTIL_TIMER_HH
+
+#include <chrono>
+
+namespace rsr
+{
+
+/** Simple monotonic stopwatch. */
+class WallTimer
+{
+  public:
+    WallTimer() : start(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start = Clock::now(); }
+
+    /** Elapsed seconds since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start).count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start;
+};
+
+} // namespace rsr
+
+#endif // RSR_UTIL_TIMER_HH

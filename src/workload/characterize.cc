@@ -1,0 +1,101 @@
+#include "characterize.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "func/funcsim.hh"
+
+namespace rsr::workload
+{
+
+WorkloadProfile
+characterize(const func::Program &program, std::uint64_t n)
+{
+    WorkloadProfile p;
+    func::FuncSim fs(program);
+
+    std::unordered_map<std::uint64_t, std::uint64_t> data_last;
+    std::unordered_map<std::uint64_t, std::uint64_t> code_lines;
+    struct BranchCounts
+    {
+        std::uint64_t taken = 0;
+        std::uint64_t total = 0;
+    };
+    std::unordered_map<std::uint64_t, BranchCounts> branches;
+    std::vector<std::uint64_t> reuse;
+
+    std::uint64_t loads = 0, stores = 0, cond = 0, cond_taken = 0,
+                  calls = 0, fp = 0, data_refs = 0;
+
+    func::DynInst d;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (!fs.step(&d))
+            break;
+        ++p.insts;
+        ++code_lines[d.pc >> 6];
+        if (d.inst.isFp())
+            ++fp;
+        if (d.inst.isMem()) {
+            d.inst.isStore() ? ++stores : ++loads;
+            const std::uint64_t line = d.effAddr >> 6;
+            const auto [it, inserted] = data_last.try_emplace(line, 0);
+            if (!inserted)
+                reuse.push_back(data_refs - it->second);
+            it->second = data_refs;
+            ++data_refs;
+        }
+        switch (d.inst.branchKind()) {
+          case isa::BranchKind::Conditional: {
+            ++cond;
+            cond_taken += d.taken ? 1 : 0;
+            auto &bc = branches[d.pc];
+            ++bc.total;
+            bc.taken += d.taken ? 1 : 0;
+            break;
+          }
+          case isa::BranchKind::Call:
+            ++calls;
+            break;
+          default:
+            break;
+        }
+    }
+
+    if (p.insts == 0)
+        return p;
+    const double insts = static_cast<double>(p.insts);
+    p.loadFrac = loads / insts;
+    p.storeFrac = stores / insts;
+    p.condBranchFrac = cond / insts;
+    p.callFrac = calls / insts;
+    p.fpFrac = fp / insts;
+    p.condTakenFrac = cond ? static_cast<double>(cond_taken) / cond : 0;
+    p.dataLines = data_last.size();
+    p.codeLines = code_lines.size();
+    p.staticCondBranches = branches.size();
+
+    double bias_weighted = 0;
+    for (const auto &[pc, bc] : branches) {
+        const double taken_p =
+            static_cast<double>(bc.taken) / static_cast<double>(bc.total);
+        bias_weighted += std::fabs(2 * taken_p - 1) *
+                         static_cast<double>(bc.total);
+    }
+    p.branchBiasIndex = cond ? bias_weighted / cond : 0;
+
+    if (!reuse.empty()) {
+        std::sort(reuse.begin(), reuse.end());
+        auto q = [&](double f) {
+            return reuse[static_cast<std::size_t>(
+                f * static_cast<double>(reuse.size() - 1))];
+        };
+        p.reuseP50 = q(0.50);
+        p.reuseP90 = q(0.90);
+        p.reuseP99 = q(0.99);
+    }
+    return p;
+}
+
+} // namespace rsr::workload

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Dynamic workload characterization: first-order statistics of a program
+ * prefix — instruction mix, working-set footprints, branch behaviour,
+ * call activity, and reuse-time quantiles. Used to substantiate that the
+ * nine synthetic profiles span the axes that matter for warm-up studies
+ * (see DESIGN.md), and exported through bench/workload_characterization.
+ */
+
+#ifndef RSR_WORKLOAD_CHARACTERIZE_HH
+#define RSR_WORKLOAD_CHARACTERIZE_HH
+
+#include <cstdint>
+
+#include "func/program.hh"
+
+namespace rsr::workload
+{
+
+/** First-order dynamic profile of a program prefix. */
+struct WorkloadProfile
+{
+    std::uint64_t insts = 0;
+
+    // Instruction mix (fractions of all instructions).
+    double loadFrac = 0;
+    double storeFrac = 0;
+    double condBranchFrac = 0;
+    double callFrac = 0;
+    double fpFrac = 0;
+
+    // Branch behaviour.
+    double condTakenFrac = 0;
+    /**
+     * Mean per-static-branch bias |2p-1| weighted by execution count:
+     * 1.0 = every branch always goes one way, 0.0 = coin flips.
+     */
+    double branchBiasIndex = 0;
+    std::uint64_t staticCondBranches = 0;
+
+    // Footprints (64-byte line granularity).
+    std::uint64_t dataLines = 0;
+    std::uint64_t codeLines = 0;
+
+    // Reuse time of data references (references between touches of the
+    // same line), quantiles over all non-first touches.
+    std::uint64_t reuseP50 = 0;
+    std::uint64_t reuseP90 = 0;
+    std::uint64_t reuseP99 = 0;
+
+    std::uint64_t dataFootprintBytes() const { return dataLines * 64; }
+    std::uint64_t codeFootprintBytes() const { return codeLines * 64; }
+};
+
+/** Profile the first @p n instructions of @p program. */
+WorkloadProfile characterize(const func::Program &program,
+                             std::uint64_t n);
+
+} // namespace rsr::workload
+
+#endif // RSR_WORKLOAD_CHARACTERIZE_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the command-line argument parser and the policy-by-name
+ * factory used by the rsr_sim tool.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/warmup.hh"
+#include "util/args.hh"
+
+namespace rsr
+{
+namespace
+{
+
+ArgParser
+parse(std::initializer_list<const char *> tokens)
+{
+    std::vector<const char *> argv{"prog"};
+    argv.insert(argv.end(), tokens.begin(), tokens.end());
+    return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, CommandAndFlags)
+{
+    const auto a =
+        parse({"sample", "--workload", "gcc", "--insts", "1000", "--csv"});
+    EXPECT_EQ(a.command(), "sample");
+    EXPECT_EQ(a.get("workload"), "gcc");
+    EXPECT_EQ(a.getU64("insts", 0), 1000u);
+    EXPECT_TRUE(a.has("csv"));
+    EXPECT_FALSE(a.has("seed"));
+}
+
+TEST(ArgParser, NoCommand)
+{
+    const auto a = parse({"--flag", "v"});
+    EXPECT_EQ(a.command(), "");
+    EXPECT_EQ(a.get("flag"), "v");
+}
+
+TEST(ArgParser, Defaults)
+{
+    const auto a = parse({"cmd"});
+    EXPECT_EQ(a.get("missing", "fallback"), "fallback");
+    EXPECT_EQ(a.getU64("missing", 42), 42u);
+    EXPECT_DOUBLE_EQ(a.getDouble("missing", 1.5), 1.5);
+}
+
+TEST(ArgParser, SwitchBeforeValuedFlag)
+{
+    const auto a = parse({"cmd", "--warm", "--interval", "5000"});
+    EXPECT_TRUE(a.has("warm"));
+    EXPECT_EQ(a.get("warm"), "");
+    EXPECT_EQ(a.getU64("interval", 0), 5000u);
+}
+
+TEST(ArgParser, HexIntegers)
+{
+    const auto a = parse({"cmd", "--seed", "0xff"});
+    EXPECT_EQ(a.getU64("seed", 0), 255u);
+}
+
+TEST(ArgParser, UnknownFlagDetection)
+{
+    const auto a = parse({"cmd", "--good", "1", "--bad", "2"});
+    const auto unknown = a.unknownFlags({"good"});
+    ASSERT_EQ(unknown.size(), 1u);
+    EXPECT_EQ(unknown[0], "bad");
+}
+
+TEST(ArgParser, NonIntegerIsFatal)
+{
+    const auto a = parse({"cmd", "--insts", "lots"});
+    EXPECT_DEATH(a.getU64("insts", 0), "expects an integer");
+}
+
+TEST(PolicyByName, AllStandardNames)
+{
+    using core::makePolicyByName;
+    EXPECT_EQ(makePolicyByName("none")->name(), "None");
+    EXPECT_EQ(makePolicyByName("smarts")->name(), "S$BP");
+    EXPECT_EQ(makePolicyByName("scache")->name(), "S$");
+    EXPECT_EQ(makePolicyByName("sbp")->name(), "SBP");
+    EXPECT_EQ(makePolicyByName("fp40")->name(), "FP (40%)");
+    EXPECT_EQ(makePolicyByName("rsr20")->name(), "R$BP (20%)");
+    EXPECT_EQ(makePolicyByName("rsr100")->name(), "R$BP (100%)");
+    EXPECT_EQ(makePolicyByName("rcache80")->name(), "R$ (80%)");
+    EXPECT_EQ(makePolicyByName("rbp")->name(), "RBP");
+    EXPECT_EQ(makePolicyByName("rsr20+stale")->name(),
+              "R$BP (20%)+stale");
+}
+
+TEST(PolicyByName, UnknownIsFatal)
+{
+    EXPECT_EXIT(core::makePolicyByName("warmify"),
+                ::testing::ExitedWithCode(1), "unknown warm-up policy");
+}
+
+TEST(PolicyByName, BadPercentIsFatal)
+{
+    EXPECT_DEATH(core::makePolicyByName("rsr0"), "percentage");
+    EXPECT_DEATH(core::makePolicyByName("fpxx"), "percentage");
+}
+
+} // namespace
+} // namespace rsr

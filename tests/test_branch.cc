@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Branch-unit tests: 2-bit saturating counters, gshare indexing and
+ * training, BTB behaviour, the circular return address stack, raw-state
+ * accessors used by reconstruction, and functional warming equivalence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "branch/predictor.hh"
+
+namespace rsr::branch
+{
+namespace
+{
+
+using isa::BranchKind;
+
+PredictorParams
+smallParams()
+{
+    PredictorParams p;
+    p.phtEntries = 256;
+    p.historyBits = 8;
+    p.btbEntries = 16;
+    p.rasEntries = 4;
+    return p;
+}
+
+TEST(Counter, SaturatesUp)
+{
+    std::uint8_t c = counter::stronglyNotTaken;
+    c = counter::update(c, true);
+    c = counter::update(c, true);
+    c = counter::update(c, true);
+    EXPECT_EQ(c, counter::stronglyTaken);
+    c = counter::update(c, true);
+    EXPECT_EQ(c, counter::stronglyTaken);
+}
+
+TEST(Counter, SaturatesDown)
+{
+    std::uint8_t c = counter::stronglyTaken;
+    for (int i = 0; i < 5; ++i)
+        c = counter::update(c, false);
+    EXPECT_EQ(c, counter::stronglyNotTaken);
+}
+
+TEST(Counter, Direction)
+{
+    EXPECT_FALSE(counter::taken(counter::stronglyNotTaken));
+    EXPECT_FALSE(counter::taken(counter::weaklyNotTaken));
+    EXPECT_TRUE(counter::taken(counter::weaklyTaken));
+    EXPECT_TRUE(counter::taken(counter::stronglyTaken));
+}
+
+TEST(Gshare, PaperDefaults)
+{
+    GsharePredictor bp;
+    EXPECT_EQ(bp.params().phtEntries, 64u * 1024);
+    EXPECT_EQ(bp.params().historyBits, 16u);
+    EXPECT_EQ(bp.params().btbEntries, 4096u);
+    EXPECT_EQ(bp.params().rasEntries, 8u);
+}
+
+TEST(Gshare, IndexXorsHistory)
+{
+    GsharePredictor bp(smallParams());
+    bp.setGhr(0);
+    const auto i0 = bp.phtIndex(0x1000);
+    bp.setGhr(0xff);
+    const auto i1 = bp.phtIndex(0x1000);
+    EXPECT_NE(i0, i1);
+    EXPECT_EQ(i0 ^ i1, 0xffu);
+}
+
+TEST(Gshare, TrainsTowardTaken)
+{
+    GsharePredictor bp(smallParams());
+    // Repeated taken outcomes with GHR evolving: each (pc, ghr) entry
+    // trains; re-predict under the same history by resetting GHR.
+    bp.setGhr(0);
+    const auto idx = bp.phtIndex(0x2000);
+    bp.setPhtEntry(idx, counter::weaklyNotTaken);
+    auto p = bp.predict(0x2000, BranchKind::Conditional);
+    EXPECT_FALSE(p.taken);
+    bp.update(0x2000, BranchKind::Conditional, true, 0x3000);
+    bp.setGhr(0);
+    p = bp.predict(0x2000, BranchKind::Conditional);
+    EXPECT_TRUE(p.taken); // weak NT + taken -> weak taken
+}
+
+TEST(Gshare, GhrShiftsOnConditionalOnly)
+{
+    GsharePredictor bp(smallParams());
+    bp.setGhr(0);
+    bp.update(0x2000, BranchKind::Conditional, true, 0);
+    EXPECT_EQ(bp.ghr(), 1u);
+    bp.update(0x2000, BranchKind::Conditional, false, 0);
+    EXPECT_EQ(bp.ghr(), 2u);
+    bp.update(0x2000, BranchKind::Call, true, 0x50);
+    EXPECT_EQ(bp.ghr(), 2u); // calls don't shift history
+}
+
+TEST(Gshare, GhrMasked)
+{
+    GsharePredictor bp(smallParams());
+    for (int i = 0; i < 20; ++i)
+        bp.update(0, BranchKind::Conditional, true, 0);
+    EXPECT_EQ(bp.ghr(), 0xffu);
+}
+
+TEST(Btb, InstallsOnTaken)
+{
+    GsharePredictor bp(smallParams());
+    bp.update(0x4000, BranchKind::Conditional, true, 0x5000);
+    const auto idx = bp.btbIndex(0x4000);
+    EXPECT_TRUE(bp.btbEntryValid(idx));
+    EXPECT_EQ(bp.btbEntryTag(idx), 0x4000u);
+    EXPECT_EQ(bp.btbEntryTarget(idx), 0x5000u);
+}
+
+TEST(Btb, NotInstalledOnNotTaken)
+{
+    GsharePredictor bp(smallParams());
+    bp.update(0x4000, BranchKind::Conditional, false, 0x5000);
+    EXPECT_FALSE(bp.btbEntryValid(bp.btbIndex(0x4000)));
+}
+
+TEST(Btb, ReturnsDoNotTrainBtb)
+{
+    GsharePredictor bp(smallParams());
+    bp.update(0x4000, BranchKind::Return, true, 0x5000);
+    EXPECT_FALSE(bp.btbEntryValid(bp.btbIndex(0x4000)));
+}
+
+TEST(Btb, ProvidesIndirectTarget)
+{
+    GsharePredictor bp(smallParams());
+    bp.update(0x4000, BranchKind::IndirectJump, true, 0x7000);
+    const auto p = bp.predict(0x4000, BranchKind::IndirectJump);
+    EXPECT_TRUE(p.targetValid);
+    EXPECT_EQ(p.target, 0x7000u);
+}
+
+TEST(Btb, TagMismatchNoTarget)
+{
+    GsharePredictor bp(smallParams());
+    bp.update(0x4000, BranchKind::IndirectJump, true, 0x7000);
+    // Aliases to the same entry (16 entries * 4 bytes stride).
+    const auto p = bp.predict(0x4000 + 16 * 4, BranchKind::IndirectJump);
+    EXPECT_FALSE(p.targetValid);
+}
+
+TEST(Ras, PushPopLifo)
+{
+    GsharePredictor bp(smallParams());
+    bp.rasPush(0x100);
+    bp.rasPush(0x200);
+    EXPECT_EQ(bp.rasPop(), 0x200u);
+    EXPECT_EQ(bp.rasPop(), 0x100u);
+    EXPECT_EQ(bp.rasPop(), 0u); // empty
+}
+
+TEST(Ras, OverflowWrapsKeepingNewest)
+{
+    GsharePredictor bp(smallParams()); // 4 entries
+    for (std::uint64_t i = 1; i <= 6; ++i)
+        bp.rasPush(i * 0x10);
+    EXPECT_EQ(bp.rasPop(), 0x60u);
+    EXPECT_EQ(bp.rasPop(), 0x50u);
+    EXPECT_EQ(bp.rasPop(), 0x40u);
+    EXPECT_EQ(bp.rasPop(), 0x30u);
+    EXPECT_EQ(bp.rasPop(), 0u); // older entries lost to wrap
+}
+
+TEST(Ras, CallPredictsPushesReturnPops)
+{
+    GsharePredictor bp(smallParams());
+    bp.predict(0x100, BranchKind::Call);
+    const auto p = bp.predict(0x200, BranchKind::Return);
+    EXPECT_TRUE(p.taken);
+    EXPECT_EQ(p.target, 0x104u);
+}
+
+TEST(Ras, SetContentsTopFirst)
+{
+    GsharePredictor bp(smallParams());
+    bp.setRasContents({0x30, 0x20, 0x10});
+    EXPECT_EQ(bp.rasPop(), 0x30u);
+    EXPECT_EQ(bp.rasPop(), 0x20u);
+    EXPECT_EQ(bp.rasPop(), 0x10u);
+}
+
+TEST(Ras, ContentsRoundTrip)
+{
+    GsharePredictor bp(smallParams());
+    const std::vector<std::uint64_t> want{0x44, 0x33, 0x22};
+    bp.setRasContents(want);
+    EXPECT_EQ(bp.rasContents(), want);
+}
+
+TEST(Predictor, WarmApplyEquivalentToPredictUpdate)
+{
+    GsharePredictor a(smallParams()), b(smallParams());
+    struct Ev
+    {
+        std::uint64_t pc;
+        BranchKind kind;
+        bool taken;
+        std::uint64_t target;
+    };
+    const Ev evs[] = {
+        {0x100, BranchKind::Conditional, true, 0x140},
+        {0x144, BranchKind::Call, true, 0x300},
+        {0x310, BranchKind::Conditional, false, 0x0},
+        {0x320, BranchKind::Return, true, 0x148},
+        {0x150, BranchKind::IndirectJump, true, 0x500},
+        {0x500, BranchKind::Conditional, true, 0x100},
+    };
+    for (const auto &e : evs) {
+        a.predict(e.pc, e.kind);
+        a.update(e.pc, e.kind, e.taken, e.target);
+        b.warmApply(e.pc, e.kind, e.taken, e.target);
+    }
+    EXPECT_EQ(a.ghr(), b.ghr());
+    EXPECT_EQ(a.rasContents(), b.rasContents());
+    for (unsigned i = 0; i < a.params().phtEntries; ++i)
+        ASSERT_EQ(a.phtEntry(i), b.phtEntry(i)) << i;
+    for (unsigned i = 0; i < a.params().btbEntries; ++i) {
+        ASSERT_EQ(a.btbEntryValid(i), b.btbEntryValid(i));
+        if (a.btbEntryValid(i)) {
+            ASSERT_EQ(a.btbEntryTarget(i), b.btbEntryTarget(i));
+        }
+    }
+}
+
+TEST(Predictor, ResetRestoresPowerOn)
+{
+    GsharePredictor bp(smallParams());
+    bp.warmApply(0x100, BranchKind::Conditional, true, 0x200);
+    bp.rasPush(0x42);
+    bp.reset();
+    EXPECT_EQ(bp.ghr(), 0u);
+    EXPECT_TRUE(bp.rasContents().empty());
+    EXPECT_EQ(bp.phtEntry(bp.phtIndexWith(0x100, 0)),
+              counter::weaklyNotTaken);
+}
+
+/** Reconstruction hook: every PHT/BTB access notifies the client first. */
+struct CountingClient : ReconstructionClient
+{
+    int phtCalls = 0;
+    int btbCalls = 0;
+    void ensurePht(std::uint32_t) override { ++phtCalls; }
+    void ensureBtb(std::uint32_t) override { ++btbCalls; }
+};
+
+TEST(Predictor, ReconstructionClientNotified)
+{
+    GsharePredictor bp(smallParams());
+    CountingClient client;
+    bp.setReconstructionClient(&client);
+    bp.predict(0x100, BranchKind::Conditional);
+    EXPECT_EQ(client.phtCalls, 1);
+    bp.update(0x100, BranchKind::Conditional, true, 0x200);
+    EXPECT_EQ(client.phtCalls, 2);
+    EXPECT_GE(client.btbCalls, 1);
+    bp.setReconstructionClient(nullptr);
+    bp.predict(0x100, BranchKind::Conditional);
+    EXPECT_EQ(client.phtCalls, 2);
+}
+
+} // namespace
+} // namespace rsr::branch

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Cache tests: geometry, LRU replacement, write policies, the reverse-
+ * reconstruction hooks (including the paper's Figure-2 worked example),
+ * and the exactness property — for load-only reference streams, reverse
+ * reconstruction at 100% reproduces forward LRU state exactly (tags and
+ * recency order).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "util/random.hh"
+
+namespace rsr::cache
+{
+namespace
+{
+
+CacheParams
+smallParams(unsigned assoc = 4,
+            WritePolicy wp = WritePolicy::WriteThroughNoAllocate,
+            unsigned sets = 4)
+{
+    CacheParams p;
+    p.name = "test";
+    p.lineBytes = 64;
+    p.assoc = assoc;
+    p.sizeBytes = std::uint64_t{64} * assoc * sets;
+    p.writePolicy = wp;
+    return p;
+}
+
+/** Address mapping to @p set with distinct tag @p tag. */
+std::uint64_t
+addrFor(const Cache &c, std::uint64_t set, std::uint64_t tag)
+{
+    return (tag * c.numSets() + set) * 64;
+}
+
+TEST(Cache, GeometryDerived)
+{
+    Cache c(smallParams(4, WritePolicy::WriteThroughNoAllocate, 16));
+    EXPECT_EQ(c.numSets(), 16u);
+}
+
+TEST(Cache, PaperL1Geometry)
+{
+    CacheParams p{"dl1", 32 * 1024, 4, 64,
+                  WritePolicy::WriteThroughNoAllocate, 2};
+    Cache c(p);
+    EXPECT_EQ(c.numSets(), 128u);
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(smallParams());
+    const auto a = addrFor(c, 0, 1);
+    EXPECT_FALSE(c.access(a, false).hit);
+    EXPECT_TRUE(c.access(a, false).hit);
+    EXPECT_EQ(c.stats().hits, 1u);
+    EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, SameSetDifferentTagsConflict)
+{
+    Cache c(smallParams(2));
+    const auto a = addrFor(c, 1, 1);
+    const auto b = addrFor(c, 1, 2);
+    const auto d = addrFor(c, 1, 3);
+    c.access(a, false);
+    c.access(b, false);
+    c.access(d, false); // evicts a (LRU)
+    EXPECT_FALSE(c.probe(a));
+    EXPECT_TRUE(c.probe(b));
+    EXPECT_TRUE(c.probe(d));
+}
+
+TEST(Cache, LruOrderTracksTouches)
+{
+    Cache c(smallParams(4));
+    const auto a = addrFor(c, 0, 1);
+    const auto b = addrFor(c, 0, 2);
+    c.access(a, false);
+    c.access(b, false);
+    EXPECT_EQ(c.recencyOf(b), 0);
+    EXPECT_EQ(c.recencyOf(a), 1);
+    c.access(a, false); // re-touch
+    EXPECT_EQ(c.recencyOf(a), 0);
+    EXPECT_EQ(c.recencyOf(b), 1);
+}
+
+TEST(Cache, WtnaStoreMissDoesNotAllocate)
+{
+    Cache c(smallParams(4, WritePolicy::WriteThroughNoAllocate));
+    const auto a = addrFor(c, 0, 1);
+    const auto out = c.access(a, true);
+    EXPECT_FALSE(out.hit);
+    EXPECT_FALSE(out.allocated);
+    EXPECT_FALSE(c.probe(a));
+}
+
+TEST(Cache, WtnaStoreHitUpdatesLruNotDirty)
+{
+    Cache c(smallParams(4, WritePolicy::WriteThroughNoAllocate));
+    const auto a = addrFor(c, 0, 1);
+    const auto b = addrFor(c, 0, 2);
+    c.access(a, false);
+    c.access(b, false);
+    c.access(a, true); // store hit re-ranks a
+    EXPECT_EQ(c.recencyOf(a), 0);
+    // Fill the set; no writeback should ever occur under WT.
+    for (std::uint64_t t = 3; t < 10; ++t)
+        EXPECT_FALSE(c.access(addrFor(c, 0, t), false).victimDirty);
+    EXPECT_EQ(c.stats().writebacks, 0u);
+}
+
+TEST(Cache, WbwaStoreMissAllocatesDirty)
+{
+    Cache c(smallParams(4, WritePolicy::WriteBackAllocate));
+    const auto a = addrFor(c, 0, 1);
+    const auto out = c.access(a, true);
+    EXPECT_TRUE(out.allocated);
+    EXPECT_TRUE(c.probe(a));
+}
+
+TEST(Cache, WbwaDirtyEvictionReportsWriteback)
+{
+    Cache c(smallParams(2, WritePolicy::WriteBackAllocate));
+    const auto a = addrFor(c, 0, 1);
+    c.access(a, true); // dirty
+    c.access(addrFor(c, 0, 2), false);
+    const auto out = c.access(addrFor(c, 0, 3), false); // evicts a
+    EXPECT_TRUE(out.victimDirty);
+    EXPECT_EQ(out.victimLineAddr, a);
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, CleanEvictionNoWriteback)
+{
+    Cache c(smallParams(2, WritePolicy::WriteBackAllocate));
+    c.access(addrFor(c, 0, 1), false);
+    c.access(addrFor(c, 0, 2), false);
+    const auto out = c.access(addrFor(c, 0, 3), false);
+    EXPECT_FALSE(out.victimDirty);
+}
+
+TEST(Cache, InvalidateAllEmptiesCache)
+{
+    Cache c(smallParams());
+    c.access(addrFor(c, 0, 1), false);
+    c.invalidateAll();
+    EXPECT_FALSE(c.probe(addrFor(c, 0, 1)));
+}
+
+// ---------------------------------------------------------------------------
+// Reverse reconstruction.
+// ---------------------------------------------------------------------------
+
+TEST(CacheRecon, Figure2WorkedExample)
+{
+    // Paper Figure 2: 4-way set holding (MRU..LRU) D, C, B, A; the skip
+    // region applies the forward stream E, A, F, C. Forward simulation
+    // ends with (MRU..LRU) C, F, A, E. Reverse reconstruction scans
+    // C, F, A, E and must produce the same content with C most recent.
+    Cache fwd(smallParams(4));
+    Cache rev(smallParams(4));
+    const auto A = addrFor(fwd, 0, 1), B = addrFor(fwd, 0, 2),
+               C = addrFor(fwd, 0, 3), D = addrFor(fwd, 0, 4),
+               E = addrFor(fwd, 0, 5), F = addrFor(fwd, 0, 6);
+    for (Cache *c : {&fwd, &rev})
+        for (auto addr : {A, B, C, D})
+            c->access(addr, false);
+
+    for (auto addr : {E, A, F, C})
+        fwd.access(addr, false);
+
+    rev.beginReconstruction();
+    for (auto addr : {C, F, A, E})
+        rev.reconstructRef(addr);
+
+    for (auto addr : {C, F, A, E}) {
+        EXPECT_EQ(fwd.recencyOf(addr), rev.recencyOf(addr))
+            << "line tag " << addr / 64;
+    }
+    EXPECT_EQ(rev.recencyOf(C), 0);
+    EXPECT_EQ(rev.recencyOf(F), 1);
+    EXPECT_EQ(rev.recencyOf(A), 2);
+    EXPECT_EQ(rev.recencyOf(E), 3);
+    EXPECT_FALSE(rev.probe(B));
+    EXPECT_FALSE(rev.probe(D));
+}
+
+TEST(CacheRecon, RedundantRefsIgnored)
+{
+    Cache c(smallParams(4));
+    const auto a = addrFor(c, 0, 1);
+    c.beginReconstruction();
+    EXPECT_TRUE(c.reconstructRef(a));
+    EXPECT_FALSE(c.reconstructRef(a)); // older ref to same block
+    EXPECT_EQ(c.stats().reconIgnored, 1u);
+}
+
+TEST(CacheRecon, FullyReconstructedSetIgnoresOlderRefs)
+{
+    Cache c(smallParams(2));
+    c.beginReconstruction();
+    EXPECT_TRUE(c.reconstructRef(addrFor(c, 0, 1)));
+    EXPECT_TRUE(c.reconstructRef(addrFor(c, 0, 2)));
+    EXPECT_FALSE(c.reconstructRef(addrFor(c, 0, 3)));
+    EXPECT_FALSE(c.probe(addrFor(c, 0, 3)));
+}
+
+TEST(CacheRecon, StaleHitGetsRerankedOnly)
+{
+    Cache c(smallParams(4));
+    const auto a = addrFor(c, 0, 1);
+    const auto b = addrFor(c, 0, 2);
+    c.access(a, false);
+    c.access(b, false); // b MRU, a next
+    c.beginReconstruction();
+    EXPECT_TRUE(c.reconstructRef(a)); // present in a stale block
+    EXPECT_EQ(c.recencyOf(a), 0);
+    EXPECT_TRUE(c.isReconstructed(a));
+    EXPECT_FALSE(c.isReconstructed(b));
+    EXPECT_TRUE(c.probe(b)); // stale survivor
+}
+
+TEST(CacheRecon, InstallsIntoLruMostStaleWay)
+{
+    Cache c(smallParams(4));
+    // Stale content (MRU..LRU): t4 t3 t2 t1.
+    for (std::uint64_t t = 1; t <= 4; ++t)
+        c.access(addrFor(c, 0, t), false);
+    c.beginReconstruction();
+    c.reconstructRef(addrFor(c, 0, 9)); // absent: replaces t1 (stale LRU)
+    EXPECT_FALSE(c.probe(addrFor(c, 0, 1)));
+    EXPECT_TRUE(c.probe(addrFor(c, 0, 2)));
+    EXPECT_EQ(c.recencyOf(addrFor(c, 0, 9)), 0);
+    // Stale survivors keep relative order below the reconstructed block.
+    EXPECT_EQ(c.recencyOf(addrFor(c, 0, 4)), 1);
+    EXPECT_EQ(c.recencyOf(addrFor(c, 0, 3)), 2);
+    EXPECT_EQ(c.recencyOf(addrFor(c, 0, 2)), 3);
+}
+
+TEST(CacheRecon, BeginClearsReconstructedBits)
+{
+    Cache c(smallParams(4));
+    const auto a = addrFor(c, 0, 1);
+    c.beginReconstruction();
+    c.reconstructRef(a);
+    EXPECT_TRUE(c.isReconstructed(a));
+    c.beginReconstruction();
+    EXPECT_FALSE(c.isReconstructed(a));
+    EXPECT_TRUE(c.probe(a)); // contents stay stale, bits clear
+}
+
+TEST(CacheRecon, ReconstructedBlocksAreClean)
+{
+    Cache c(smallParams(2, WritePolicy::WriteBackAllocate));
+    c.beginReconstruction();
+    c.reconstructRef(addrFor(c, 0, 1));
+    c.reconstructRef(addrFor(c, 0, 2));
+    // Evicting reconstructed blocks must not produce writebacks.
+    c.access(addrFor(c, 0, 3), false);
+    c.access(addrFor(c, 0, 4), false);
+    EXPECT_EQ(c.stats().writebacks, 0u);
+}
+
+/**
+ * Exactness property (load-only streams): full reverse reconstruction
+ * reproduces forward LRU content and recency exactly, from any stale
+ * starting state. Parameterized over associativity and set count.
+ */
+class ReconExactness
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{};
+
+TEST_P(ReconExactness, MatchesForwardWarmingForLoads)
+{
+    const auto [assoc, sets] = GetParam();
+    Cache fwd(smallParams(assoc, WritePolicy::WriteThroughNoAllocate, sets));
+    Cache rev(smallParams(assoc, WritePolicy::WriteThroughNoAllocate, sets));
+
+    Rng rng(assoc * 1000 + sets);
+    // Shared stale prefix.
+    std::vector<std::uint64_t> prefix;
+    for (int i = 0; i < 200; ++i)
+        prefix.push_back(rng.below(sets * assoc * 3) * 64);
+    for (auto a : prefix) {
+        fwd.access(a, false);
+        rev.access(a, false);
+    }
+
+    // Skip-region stream: forward-warm one cache, log for the other.
+    std::vector<std::uint64_t> stream;
+    for (int i = 0; i < 2000; ++i)
+        stream.push_back(rng.below(sets * assoc * 3) * 64);
+    for (auto a : stream)
+        fwd.access(a, false);
+
+    rev.beginReconstruction();
+    for (auto it = stream.rbegin(); it != stream.rend(); ++it)
+        rev.reconstructRef(*it);
+
+    // Every line that could exist must agree in presence and recency.
+    for (std::uint64_t a = 0; a < sets * assoc * 3 * 64; a += 64)
+        EXPECT_EQ(fwd.recencyOf(a), rev.recencyOf(a)) << "line " << a / 64;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ReconExactness,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
+                       ::testing::Values(2u, 8u, 32u)));
+
+} // namespace
+} // namespace rsr::cache

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Cache-sampling study tests: the time-sampled miss-ratio estimators
+ * (count-all, primed-sets, stale, cold-corrected) on controlled reference
+ * streams with known behaviour, plus estimator ordering properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cachestudy/miss_ratio.hh"
+#include "util/random.hh"
+#include "workload/synthetic.hh"
+
+namespace rsr::cachestudy
+{
+namespace
+{
+
+cache::CacheParams
+smallCache()
+{
+    cache::CacheParams p;
+    p.name = "study";
+    p.sizeBytes = 64 * 4 * 16; // 16 sets x 4 ways
+    p.assoc = 4;
+    p.lineBytes = 64;
+    p.writePolicy = cache::WritePolicy::WriteThroughNoAllocate;
+    return p;
+}
+
+/** Uniform random line addresses over @p lines distinct lines. */
+std::vector<std::uint64_t>
+randomTrace(std::uint64_t lines, std::size_t n, std::uint64_t seed)
+{
+    std::vector<std::uint64_t> out(n);
+    Rng rng(seed);
+    for (auto &a : out)
+        a = rng.below(lines) * 64;
+    return out;
+}
+
+std::vector<core::Cluster>
+evenSchedule(std::size_t trace_len, std::uint64_t clusters,
+             std::uint64_t size)
+{
+    std::vector<core::Cluster> out;
+    const std::uint64_t stride = trace_len / clusters;
+    for (std::uint64_t i = 0; i < clusters; ++i)
+        out.push_back({i * stride, size});
+    return out;
+}
+
+TEST(MissRatio, TrueRatioRepeatedLineIsCompulsoryOnly)
+{
+    // One line touched n times: exactly one (compulsory) miss.
+    std::vector<std::uint64_t> trace(100, 0x4000);
+    EXPECT_DOUBLE_EQ(trueMissRatio(smallCache(), trace), 0.01);
+}
+
+TEST(MissRatio, TrueRatioStreamingIsAllMisses)
+{
+    // Every reference is a fresh line: 100% misses.
+    std::vector<std::uint64_t> trace;
+    for (int i = 0; i < 500; ++i)
+        trace.push_back(std::uint64_t(i) * 64);
+    EXPECT_DOUBLE_EQ(trueMissRatio(smallCache(), trace), 1.0);
+}
+
+TEST(MissRatio, CountAllOverestimatesOnResidentSet)
+{
+    // Working set fits the cache: the true long-run miss ratio tends to
+    // zero, but flush-and-count-all charges the refill of every sample.
+    const auto trace = randomTrace(48, 60'000, 7);
+    const auto schedule = evenSchedule(trace.size(), 20, 500);
+    const double truth = trueMissRatio(smallCache(), trace);
+    const auto cold =
+        estimateMissRatio(smallCache(), trace, schedule,
+                          ColdStart::CountAll);
+    EXPECT_GT(cold.missRatio, truth * 2);
+}
+
+TEST(MissRatio, PrimedSetsNearTruthOnResidentSet)
+{
+    const auto trace = randomTrace(48, 60'000, 7);
+    const auto schedule = evenSchedule(trace.size(), 20, 500);
+    const double truth = trueMissRatio(smallCache(), trace);
+    const auto primed = estimateMissRatio(smallCache(), trace, schedule,
+                                          ColdStart::PrimedSets);
+    const auto cold = estimateMissRatio(smallCache(), trace, schedule,
+                                        ColdStart::CountAll);
+    EXPECT_LT(std::fabs(primed.missRatio - truth),
+              std::fabs(cold.missRatio - truth));
+    EXPECT_GT(primed.excludedRefs, 0u);
+}
+
+TEST(MissRatio, StaleNearTruthWhenStateSurvives)
+{
+    // Resident working set: stale state is exactly right once warm.
+    const auto trace = randomTrace(48, 60'000, 9);
+    const auto schedule = evenSchedule(trace.size(), 20, 500);
+    const double truth = trueMissRatio(smallCache(), trace);
+    const auto stale = estimateMissRatio(smallCache(), trace, schedule,
+                                         ColdStart::Stale);
+    EXPECT_LT(std::fabs(stale.missRatio - truth), 0.05);
+}
+
+TEST(MissRatio, ColdCorrectedBetweenPrimedAndCountAll)
+{
+    const auto trace = randomTrace(200, 60'000, 11);
+    const auto schedule = evenSchedule(trace.size(), 20, 500);
+    const auto all = estimateMissRatio(smallCache(), trace, schedule,
+                                       ColdStart::CountAll);
+    const auto corr = estimateMissRatio(smallCache(), trace, schedule,
+                                        ColdStart::ColdCorrected);
+    // Correction can only discount unknown-state misses.
+    EXPECT_LE(corr.missRatio, all.missRatio + 1e-12);
+}
+
+TEST(MissRatio, AllMissTraceEstimatedExactlyByEveryPolicy)
+{
+    // Streaming: every policy must report ~100% misses (nothing to get
+    // wrong — even cold-start references are true misses).
+    std::vector<std::uint64_t> trace;
+    for (int i = 0; i < 40'000; ++i)
+        trace.push_back(std::uint64_t(i) * 64);
+    const auto schedule = evenSchedule(trace.size(), 10, 1000);
+    for (const auto policy :
+         {ColdStart::CountAll, ColdStart::Stale, ColdStart::ColdCorrected}) {
+        const auto est =
+            estimateMissRatio(smallCache(), trace, schedule, policy);
+        EXPECT_NEAR(est.missRatio, 1.0, 1e-9) << coldStartName(policy);
+    }
+}
+
+TEST(MissRatio, PolicyNames)
+{
+    EXPECT_STREQ(coldStartName(ColdStart::CountAll), "count-all");
+    EXPECT_STREQ(coldStartName(ColdStart::PrimedSets), "primed-sets");
+    EXPECT_STREQ(coldStartName(ColdStart::Stale), "stale");
+    EXPECT_STREQ(coldStartName(ColdStart::ColdCorrected),
+                 "cold-corrected");
+}
+
+TEST(MissRatio, DataRefTraceExtractsLineAddresses)
+{
+    const auto prog = workload::buildSynthetic(
+        workload::standardWorkloadParams("twolf"));
+    const auto trace = dataRefTrace(prog, 50'000);
+    EXPECT_GT(trace.size(), 5'000u);
+    for (std::size_t i = 0; i < trace.size(); i += 997)
+        EXPECT_EQ(trace[i] % 64, 0u);
+}
+
+TEST(MissRatio, ScheduleBeyondTracePanics)
+{
+    const auto trace = randomTrace(10, 100, 1);
+    const std::vector<core::Cluster> schedule{{50, 100}};
+    EXPECT_DEATH(estimateMissRatio(smallCache(), trace, schedule,
+                                   ColdStart::CountAll),
+                 "past the reference trace");
+}
+
+} // namespace
+} // namespace rsr::cachestudy

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Characterization tests: the profile statistics on controlled programs,
+ * and the cross-workload spread the substitution argument relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/characterize.hh"
+#include "workload/program_builder.hh"
+#include "workload/synthetic.hh"
+
+namespace rsr::workload
+{
+namespace
+{
+
+using isa::Opcode;
+
+TEST(Characterize, ControlledMixCounts)
+{
+    // 10-iteration loop: ld, sd, fadd, addi, bne per iteration.
+    ProgramBuilder b;
+    const auto base = b.allocData(64);
+    b.loadImm64(1, base);
+    b.addi(2, 0, 10);
+    Label loop = b.here();
+    b.load(Opcode::Ld, 3, 1, 0);
+    b.store(Opcode::Sd, 3, 1, 0);
+    b.rtype(Opcode::Fadd, 4, 4, 5);
+    b.addi(2, 2, -1);
+    b.branch(Opcode::Bne, 2, 0, loop);
+    b.halt();
+    static const func::Program prog = b.build("mix");
+
+    const auto p = characterize(prog, 100'000);
+    // Setup (loadImm64 expands to several instructions) + 10 x 5-inst
+    // loop body; halt is not counted.
+    const double setup = static_cast<double>(prog.code.size()) - 6;
+    const double total = setup + 50;
+    EXPECT_EQ(p.insts, static_cast<std::uint64_t>(total));
+    EXPECT_NEAR(p.loadFrac, 10.0 / total, 1e-9);
+    EXPECT_NEAR(p.storeFrac, 10.0 / total, 1e-9);
+    EXPECT_NEAR(p.fpFrac, 10.0 / total, 1e-9);
+    EXPECT_NEAR(p.condBranchFrac, 10.0 / total, 1e-9);
+    EXPECT_EQ(p.staticCondBranches, 1u);
+    // 9 taken, 1 fall-through: bias |2*0.9-1| = 0.8.
+    EXPECT_NEAR(p.condTakenFrac, 0.9, 1e-9);
+    EXPECT_NEAR(p.branchBiasIndex, 0.8, 1e-9);
+    EXPECT_EQ(p.dataLines, 1u);
+}
+
+TEST(Characterize, ReuseQuantilesOnPeriodicPattern)
+{
+    // Two lines touched alternately: every reuse time is exactly 2.
+    ProgramBuilder b;
+    const auto base = b.allocData(256);
+    b.loadImm64(1, base);
+    b.addi(2, 0, 100);
+    Label loop = b.here();
+    b.load(Opcode::Ld, 3, 1, 0);
+    b.load(Opcode::Ld, 4, 1, 128);
+    b.addi(2, 2, -1);
+    b.branch(Opcode::Bne, 2, 0, loop);
+    b.halt();
+    static const func::Program prog = b.build("periodic");
+
+    const auto p = characterize(prog, 100'000);
+    EXPECT_EQ(p.reuseP50, 2u);
+    EXPECT_EQ(p.reuseP99, 2u);
+    EXPECT_EQ(p.dataLines, 2u);
+}
+
+TEST(Characterize, EmptyProgram)
+{
+    ProgramBuilder b;
+    b.halt();
+    static const func::Program prog = b.build("empty");
+    const auto p = characterize(prog, 1000);
+    EXPECT_EQ(p.insts, 0u);
+}
+
+TEST(Characterize, NineProfilesSpanTheAxes)
+{
+    double min_bias = 1, max_bias = 0;
+    std::uint64_t min_data = ~0ull, max_data = 0;
+    std::uint64_t min_code = ~0ull, max_code = 0;
+    double max_fp = 0;
+    for (const auto &params : standardWorkloadParams()) {
+        const auto prog = buildSynthetic(params);
+        const auto p = characterize(prog, 400'000);
+        min_bias = std::min(min_bias, p.branchBiasIndex);
+        max_bias = std::max(max_bias, p.branchBiasIndex);
+        min_data = std::min(min_data, p.dataFootprintBytes());
+        max_data = std::max(max_data, p.dataFootprintBytes());
+        min_code = std::min(min_code, p.codeFootprintBytes());
+        max_code = std::max(max_code, p.codeFootprintBytes());
+        max_fp = std::max(max_fp, p.fpFrac);
+    }
+    EXPECT_LT(min_bias, 0.35) << "need a hard-to-predict workload";
+    EXPECT_GT(max_bias, 0.8) << "need a predictable workload";
+    EXPECT_GT(max_data, 8 * min_data) << "need footprint spread";
+    EXPECT_GT(max_code, 4 * min_code) << "need code footprint spread";
+    EXPECT_GT(max_fp, 0.2) << "need an FP-heavy workload";
+}
+
+} // namespace
+} // namespace rsr::workload

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Machine configuration file tests: key parsing, overrides across every
+ * section, comments/whitespace handling, and error cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config_file.hh"
+
+namespace rsr::core
+{
+namespace
+{
+
+TEST(ConfigFile, CacheOverrides)
+{
+    auto mc = parseMachineConfig("dl1.size_bytes = 65536\n"
+                                 "dl1.assoc = 8\n"
+                                 "il1.hit_latency = 3\n"
+                                 "l2.line_bytes = 128\n",
+                                 MachineConfig::paperDefault());
+    EXPECT_EQ(mc.hier.dl1.sizeBytes, 65536u);
+    EXPECT_EQ(mc.hier.dl1.assoc, 8u);
+    EXPECT_EQ(mc.hier.il1.hitLatency, 3u);
+    EXPECT_EQ(mc.hier.l2.lineBytes, 128u);
+    // Untouched fields keep the base values.
+    EXPECT_EQ(mc.hier.il1.sizeBytes, 64u * 1024);
+}
+
+TEST(ConfigFile, BusAndMemOverrides)
+{
+    auto mc = parseMachineConfig("l1bus.width_bytes = 32\n"
+                                 "l2bus.cpu_cycles_per_bus_cycle = 4\n"
+                                 "mem.latency = 400\n",
+                                 MachineConfig::paperDefault());
+    EXPECT_EQ(mc.hier.l1Bus.widthBytes, 32u);
+    EXPECT_EQ(mc.hier.l2Bus.cpuCyclesPerBusCycle, 4u);
+    EXPECT_EQ(mc.hier.memLatency, 400u);
+}
+
+TEST(ConfigFile, PredictorOverrides)
+{
+    auto mc = parseMachineConfig("bp.pht_entries = 1024\n"
+                                 "bp.history_bits = 10\n"
+                                 "bp.btb_entries = 256\n"
+                                 "bp.ras_entries = 16\n",
+                                 MachineConfig::paperDefault());
+    EXPECT_EQ(mc.bp.phtEntries, 1024u);
+    EXPECT_EQ(mc.bp.historyBits, 10u);
+    EXPECT_EQ(mc.bp.btbEntries, 256u);
+    EXPECT_EQ(mc.bp.rasEntries, 16u);
+}
+
+TEST(ConfigFile, CoreOverrides)
+{
+    auto mc = parseMachineConfig("core.issue_width = 2\n"
+                                 "core.rob_size = 128\n"
+                                 "core.int_div_lat = 40\n"
+                                 "core.store_forwarding = 1\n",
+                                 MachineConfig::paperDefault());
+    EXPECT_EQ(mc.core.issueWidth, 2u);
+    EXPECT_EQ(mc.core.robSize, 128u);
+    EXPECT_EQ(mc.core.intDivLat, 40u);
+    EXPECT_TRUE(mc.core.storeForwarding);
+}
+
+TEST(ConfigFile, CommentsAndWhitespace)
+{
+    auto mc = parseMachineConfig("# a comment line\n"
+                                 "\n"
+                                 "   core.issue_width=8   # trailing\n"
+                                 "\t\n",
+                                 MachineConfig::paperDefault());
+    EXPECT_EQ(mc.core.issueWidth, 8u);
+}
+
+TEST(ConfigFile, HexValues)
+{
+    auto mc = parseMachineConfig("mem.latency = 0x100\n",
+                                 MachineConfig::paperDefault());
+    EXPECT_EQ(mc.hier.memLatency, 256u);
+}
+
+TEST(ConfigFile, UnknownSectionIsFatal)
+{
+    EXPECT_EXIT(parseMachineConfig("nic.latency = 5\n",
+                                   MachineConfig::paperDefault()),
+                ::testing::ExitedWithCode(1), "unknown config section");
+}
+
+TEST(ConfigFile, UnknownFieldIsFatal)
+{
+    EXPECT_EXIT(parseMachineConfig("dl1.banks = 4\n",
+                                   MachineConfig::paperDefault()),
+                ::testing::ExitedWithCode(1), "unknown cache config");
+}
+
+TEST(ConfigFile, MalformedLineIsFatal)
+{
+    EXPECT_DEATH(parseMachineConfig("dl1.size_bytes 65536\n",
+                                    MachineConfig::paperDefault()),
+                 "key = value");
+}
+
+TEST(ConfigFile, NonIntegerValueIsFatal)
+{
+    EXPECT_DEATH(parseMachineConfig("dl1.size_bytes = big\n",
+                                    MachineConfig::paperDefault()),
+                 "expects an integer");
+}
+
+TEST(ConfigFile, MissingFileIsFatal)
+{
+    EXPECT_EXIT(loadMachineConfig("/nonexistent/nope.cfg",
+                                  MachineConfig::paperDefault()),
+                ::testing::ExitedWithCode(1), "cannot open config file");
+}
+
+} // namespace
+} // namespace rsr::core

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Counter-inference tests (paper Section 3.2, Figure 3): the a-priori
+ * composition table must agree with brute-force enumeration for every
+ * reverse history up to length 10, three consecutive identical outcomes
+ * must pin the counter exactly, and the tie-break resolution rules must
+ * match the paper's prose.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/counter_inference.hh"
+
+#include "branch/predictor.hh"
+
+namespace rsr::core
+{
+namespace
+{
+
+using branch::counter::stronglyNotTaken;
+using branch::counter::stronglyTaken;
+using branch::counter::weaklyNotTaken;
+using branch::counter::weaklyTaken;
+
+/** Feed a newest-first history into the incremental interface. */
+CounterInference::StateFn
+feed(const CounterInference &ci, const std::vector<bool> &newest_first)
+{
+    CounterInference::StateFn g = CounterInference::identity;
+    for (bool o : newest_first)
+        g = ci.observeOlder(g, o);
+    return g;
+}
+
+TEST(CounterInference, IdentityImageIsAllStates)
+{
+    const auto &ci = CounterInference::instance();
+    EXPECT_EQ(ci.imageOf(CounterInference::identity), 0b1111);
+    EXPECT_FALSE(ci.determined(CounterInference::identity));
+}
+
+TEST(CounterInference, ThreeTakenPinsToStronglyTaken)
+{
+    const auto &ci = CounterInference::instance();
+    const auto g = feed(ci, {true, true, true});
+    EXPECT_TRUE(ci.determined(g));
+    EXPECT_EQ(ci.imageOf(g), 1u << stronglyTaken);
+}
+
+TEST(CounterInference, ThreeNotTakenPinsToStronglyNotTaken)
+{
+    const auto &ci = CounterInference::instance();
+    const auto g = feed(ci, {false, false, false});
+    EXPECT_TRUE(ci.determined(g));
+    EXPECT_EQ(ci.imageOf(g), 1u << stronglyNotTaken);
+}
+
+TEST(CounterInference, PatternAnywhereInHistoryPins)
+{
+    // Paper Figure 3, case 3: the pinning run may appear anywhere in the
+    // history; later outcomes then evolve the exact value forward.
+    const auto &ci = CounterInference::instance();
+    // Newest-first: T, N, then three consecutive T (older).
+    const auto g = feed(ci, {true, false, true, true, true});
+    EXPECT_TRUE(ci.determined(g));
+    // Oldest-to-newest: TTT -> 3, then N -> 2, then T -> 3.
+    EXPECT_EQ(ci.imageOf(g), 1u << stronglyTaken);
+}
+
+TEST(CounterInference, SingleTakenLeavesThreeStates)
+{
+    const auto &ci = CounterInference::instance();
+    const auto g = feed(ci, {true});
+    EXPECT_EQ(ci.imageOf(g), 0b1110); // {1, 2, 3}
+    EXPECT_FALSE(ci.determined(g));
+}
+
+TEST(CounterInference, ResolveExact)
+{
+    const auto &ci = CounterInference::instance();
+    const auto g = feed(ci, {true, true, true});
+    const auto r = ci.resolve(g, true, true);
+    EXPECT_TRUE(r.known);
+    EXPECT_EQ(r.value, stronglyTaken);
+}
+
+TEST(CounterInference, ResolveBiasedTakenGivesWeakForm)
+{
+    const auto &ci = CounterInference::instance();
+    // Two takens leave {2,3}: biased taken -> weakly taken.
+    const auto g = feed(ci, {true, true});
+    EXPECT_EQ(ci.imageOf(g), 0b1100);
+    const auto r = ci.resolve(g, true, true);
+    EXPECT_TRUE(r.known);
+    EXPECT_EQ(r.value, weaklyTaken);
+}
+
+TEST(CounterInference, ResolveBiasedNotTakenGivesWeakForm)
+{
+    const auto &ci = CounterInference::instance();
+    const auto g = feed(ci, {false, false});
+    EXPECT_EQ(ci.imageOf(g), 0b0011);
+    const auto r = ci.resolve(g, true, false);
+    EXPECT_TRUE(r.known);
+    EXPECT_EQ(r.value, weaklyNotTaken);
+}
+
+TEST(CounterInference, ResolveThreeStatesGivesMiddle)
+{
+    const auto &ci = CounterInference::instance();
+    // One taken outcome: {1,2,3} -> middle state 2 (the paper's example:
+    // {SNT, WNT, WT} -> WNT is symmetric for the not-taken side).
+    auto g = feed(ci, {true});
+    auto r = ci.resolve(g, true, true);
+    EXPECT_TRUE(r.known);
+    EXPECT_EQ(r.value, weaklyTaken);
+
+    g = feed(ci, {false});
+    r = ci.resolve(g, true, false);
+    EXPECT_TRUE(r.known);
+    EXPECT_EQ(r.value, weaklyNotTaken);
+}
+
+TEST(CounterInference, ResolveStraddleUsesNewestOutcome)
+{
+    const auto &ci = CounterInference::instance();
+    // Oldest-to-newest N,T,T,N leaves exactly {WNT, WT} — the straddle
+    // case the paper leaves open. Newest-first feed order: N,T,T,N.
+    const auto g = feed(ci, {false, true, true, false});
+    EXPECT_EQ(ci.imageOf(g), 0b0110);
+    auto r = ci.resolve(g, true, false);
+    EXPECT_EQ(r.value, weaklyNotTaken);
+    r = ci.resolve(g, true, true);
+    EXPECT_EQ(r.value, weaklyTaken);
+}
+
+TEST(CounterInference, ResolveNoHistoryIsStale)
+{
+    const auto &ci = CounterInference::instance();
+    const auto r = ci.resolve(CounterInference::identity, false, false);
+    EXPECT_FALSE(r.known);
+}
+
+/** Exhaustive check against brute force for all histories up to length N. */
+class InferenceExhaustive : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(InferenceExhaustive, MatchesBruteForce)
+{
+    const unsigned len = GetParam();
+    const auto &ci = CounterInference::instance();
+    for (std::uint64_t bitsv = 0; bitsv < (1ull << len); ++bitsv) {
+        bool hist[16];
+        std::vector<bool> histv(len);
+        for (unsigned i = 0; i < len; ++i) {
+            hist[i] = (bitsv >> i) & 1;
+            histv[i] = hist[i];
+        }
+        const auto g = feed(ci, histv);
+        ASSERT_EQ(ci.imageOf(g),
+                  CounterInference::bruteForceMask(hist, len))
+            << "history bits " << bitsv << " len " << len;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, InferenceExhaustive,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 8u, 10u));
+
+TEST(CounterInference, ImageNeverGrows)
+{
+    // Observing more history can only narrow the possible-state set.
+    const auto &ci = CounterInference::instance();
+    for (unsigned bitsv = 0; bitsv < 64; ++bitsv) {
+        CounterInference::StateFn g = CounterInference::identity;
+        unsigned prev = 4;
+        for (unsigned i = 0; i < 6; ++i) {
+            g = ci.observeOlder(g, (bitsv >> i) & 1);
+            const unsigned n =
+                static_cast<unsigned>(__builtin_popcount(ci.imageOf(g)));
+            ASSERT_LE(n, prev);
+            prev = n;
+        }
+    }
+}
+
+TEST(CounterInference, DeterminedIsSticky)
+{
+    // Once pinned, additional (older) outcomes cannot unpin the value.
+    const auto &ci = CounterInference::instance();
+    auto g = feed(ci, {true, true, true});
+    const auto pinned = ci.imageOf(g);
+    g = ci.observeOlder(g, false);
+    g = ci.observeOlder(g, true);
+    EXPECT_EQ(ci.imageOf(g), pinned);
+}
+
+} // namespace
+} // namespace rsr::core

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the extension features: the MRRL-style profiled warm-up
+ * baseline and the apply-to-stale PHT resolution mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/reuse_latency.hh"
+#include "core/sampled_sim.hh"
+#include "core/warmup.hh"
+#include "workload/synthetic.hh"
+
+namespace rsr::core
+{
+namespace
+{
+
+using isa::BranchKind;
+
+class MrrlFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        prog = new func::Program(workload::buildSynthetic(
+            workload::standardWorkloadParams("twolf")));
+        cfg = new SampledConfig();
+        cfg->totalInsts = 400'000;
+        cfg->regimen = {12, 2000};
+        cfg->machine = MachineConfig::scaledDefault();
+        Rng rng(cfg->scheduleSeed);
+        schedule = new std::vector<Cluster>(
+            makeSchedule(cfg->regimen, cfg->totalInsts, rng));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete prog;
+        delete cfg;
+        delete schedule;
+    }
+
+    static func::Program *prog;
+    static SampledConfig *cfg;
+    static std::vector<Cluster> *schedule;
+};
+
+func::Program *MrrlFixture::prog = nullptr;
+SampledConfig *MrrlFixture::cfg = nullptr;
+std::vector<Cluster> *MrrlFixture::schedule = nullptr;
+
+TEST_F(MrrlFixture, ProfileShapes)
+{
+    const auto profile = profileReuseLatency(*prog, *schedule,
+                                             ReuseLatencyKind::Blrl, 0.995);
+    ASSERT_EQ(profile.warmupLengths.size(), schedule->size());
+    EXPECT_EQ(profile.profiledInsts,
+              schedule->back().start + schedule->back().size);
+    for (std::size_t i = 0; i < schedule->size(); ++i) {
+        const std::uint64_t skip_len =
+            i == 0 ? (*schedule)[0].start
+                   : (*schedule)[i].start - ((*schedule)[i - 1].start +
+                                             (*schedule)[i - 1].size);
+        EXPECT_LE(profile.warmupLengths[i], skip_len);
+    }
+}
+
+TEST_F(MrrlFixture, HigherPercentileWarmsMore)
+{
+    const auto lo = profileReuseLatency(*prog, *schedule,
+                                        ReuseLatencyKind::Blrl, 0.5);
+    const auto hi = profileReuseLatency(*prog, *schedule,
+                                        ReuseLatencyKind::Blrl, 0.999);
+    std::uint64_t lo_total = 0, hi_total = 0;
+    for (std::size_t i = 0; i < lo.warmupLengths.size(); ++i) {
+        lo_total += lo.warmupLengths[i];
+        hi_total += hi.warmupLengths[i];
+        EXPECT_LE(lo.warmupLengths[i], hi.warmupLengths[i]);
+    }
+    EXPECT_LT(lo_total, hi_total);
+}
+
+TEST_F(MrrlFixture, PolicyRunsAndWarms)
+{
+    ReuseLatencyWarmup policy(profileReuseLatency(
+        *prog, *schedule, ReuseLatencyKind::Blrl, 0.995));
+    EXPECT_EQ(policy.name(), "BLRL");
+    const auto r = runSampled(*prog, policy, *cfg);
+    EXPECT_EQ(r.clusterIpc.size(), cfg->regimen.numClusters);
+    EXPECT_GT(r.warmWork.functionalUpdates, 0u);
+}
+
+TEST_F(MrrlFixture, AccuracyBetweenNoneAndSmarts)
+{
+    const double true_ipc =
+        runFull(*prog, cfg->totalInsts, cfg->machine).ipc();
+    NoWarmup none;
+    auto smarts = FunctionalWarmup::smarts();
+    ReuseLatencyWarmup mrrl(profileReuseLatency(
+        *prog, *schedule, ReuseLatencyKind::Mrrl, 0.995));
+    const double e_none =
+        runSampled(*prog, none, *cfg).estimate.relativeError(true_ipc);
+    const double e_smarts =
+        runSampled(*prog, *smarts, *cfg).estimate.relativeError(true_ipc);
+    const double e_mrrl =
+        runSampled(*prog, mrrl, *cfg).estimate.relativeError(true_ipc);
+    EXPECT_LT(e_mrrl, e_none);
+    // MRRL approximates SMARTS; allow generous slack on a short run.
+    EXPECT_LT(e_mrrl, e_smarts + 0.08);
+}
+
+TEST_F(MrrlFixture, MrrlAndBlrlBothValid)
+{
+    const auto mrrl = profileReuseLatency(*prog, *schedule,
+                                          ReuseLatencyKind::Mrrl, 0.995);
+    const auto blrl = profileReuseLatency(*prog, *schedule,
+                                          ReuseLatencyKind::Blrl, 0.995);
+    ASSERT_EQ(mrrl.warmupLengths.size(), blrl.warmupLengths.size());
+    EXPECT_EQ(mrrl.kind, ReuseLatencyKind::Mrrl);
+    EXPECT_EQ(blrl.kind, ReuseLatencyKind::Blrl);
+    // Both are clamped to their skip regions; the distributions differ
+    // (MRRL counts every in-window reuse, BLRL only boundary crossings),
+    // so at least one region should see a different choice.
+    bool any_diff = false;
+    std::uint64_t mrrl_total = 0;
+    for (std::size_t i = 0; i < mrrl.warmupLengths.size(); ++i) {
+        any_diff |= mrrl.warmupLengths[i] != blrl.warmupLengths[i];
+        mrrl_total += mrrl.warmupLengths[i];
+    }
+    EXPECT_TRUE(any_diff);
+    EXPECT_GT(mrrl_total, 0u);
+}
+
+TEST_F(MrrlFixture, MrrlPolicyName)
+{
+    ReuseLatencyWarmup policy(profileReuseLatency(
+        *prog, *schedule, ReuseLatencyKind::Mrrl, 0.9));
+    EXPECT_EQ(policy.name(), "MRRL");
+}
+
+TEST(ApplyToStale, NameTagged)
+{
+    ReverseReconstructionWarmup p(true, true, 0.2,
+                                  PhtResolveMode::ApplyToStale);
+    EXPECT_EQ(p.name(), "R$BP (20%)+stale");
+}
+
+TEST(ApplyToStale, ExactWhenStaleValueWasCorrect)
+{
+    // If the stale counter equals the true pre-skip value, composing the
+    // observed outcomes onto it reproduces the trained value exactly,
+    // even when the possible-state set is ambiguous.
+    branch::PredictorParams pp;
+    pp.phtEntries = 256;
+    pp.historyBits = 8;
+    pp.btbEntries = 16;
+    pp.rasEntries = 4;
+    branch::GsharePredictor truth(pp), rsr(pp);
+
+    const std::uint64_t pc = 0x4000;
+    // Pre-skip: both predictors agree (entry trained to strongly taken
+    // under history 0).
+    for (int i = 0; i < 3; ++i) {
+        truth.setGhr(0);
+        truth.warmApply(pc, BranchKind::Conditional, true, pc + 32);
+        rsr.setGhr(0);
+        rsr.warmApply(pc, BranchKind::Conditional, true, pc + 32);
+    }
+    truth.setGhr(0);
+    rsr.setGhr(0);
+
+    // Skip region: a single not-taken outcome (ambiguous set {0,1,2}).
+    SkipLog log;
+    log.ghrAtStart = 0;
+    log.branches.push_back({pc, pc + 4, BranchKind::Conditional, false});
+    truth.warmApply(pc, BranchKind::Conditional, false, pc + 4);
+
+    BranchReconstructor recon(rsr, PhtResolveMode::ApplyToStale);
+    recon.begin(log);
+    recon.ensurePht(rsr.phtIndexWith(pc, 0));
+    EXPECT_EQ(rsr.phtEntry(rsr.phtIndexWith(pc, 0)),
+              truth.phtEntry(truth.phtIndexWith(pc, 0)));
+    recon.end();
+}
+
+TEST(ApplyToStale, EndToEndAtLeastAsAccurateHere)
+{
+    // On a branchy workload the extension should not be (much) worse
+    // than the paper's tie-break; typically it is better.
+    const auto prog = workload::buildSynthetic(
+        workload::standardWorkloadParams("parser"));
+    SampledConfig cfg;
+    cfg.totalInsts = 600'000;
+    cfg.regimen = {20, 2000};
+    cfg.machine = MachineConfig::scaledDefault();
+    const double true_ipc =
+        runFull(prog, cfg.totalInsts, cfg.machine).ipc();
+
+    ReverseReconstructionWarmup paper(true, true, 1.0,
+                                      PhtResolveMode::PaperTieBreak);
+    ReverseReconstructionWarmup stale(true, true, 1.0,
+                                      PhtResolveMode::ApplyToStale);
+    const double e_paper =
+        runSampled(prog, paper, cfg).estimate.relativeError(true_ipc);
+    const double e_stale =
+        runSampled(prog, stale, cfg).estimate.relativeError(true_ipc);
+    EXPECT_LT(e_stale, e_paper + 0.05);
+}
+
+} // namespace
+} // namespace rsr::core

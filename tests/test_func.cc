@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Functional-simulator tests: per-opcode architectural semantics, control
+ * flow, memory access, DynInst record contents, and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "func/funcsim.hh"
+#include "workload/program_builder.hh"
+
+namespace rsr::func
+{
+namespace
+{
+
+using isa::Opcode;
+using workload::Label;
+using workload::ProgramBuilder;
+
+/** Run a freshly built program for at most @p max steps. */
+std::unique_ptr<FuncSim>
+runProgram(const Program &prog, std::uint64_t max = 10000)
+{
+    auto fs = std::make_unique<FuncSim>(prog);
+    fs->run(max);
+    return fs;
+}
+
+TEST(FuncSim, IntArithmetic)
+{
+    ProgramBuilder b;
+    b.addi(1, 0, 20);
+    b.addi(2, 0, 22);
+    b.rtype(Opcode::Add, 3, 1, 2);
+    b.rtype(Opcode::Sub, 4, 1, 2);
+    b.rtype(Opcode::Mul, 5, 1, 2);
+    b.rtype(Opcode::Div, 6, 2, 1);
+    b.halt();
+    static Program prog = b.build("t");
+    auto fs = runProgram(prog);
+    EXPECT_EQ(fs->reg(3), 42u);
+    EXPECT_EQ(fs->reg(4), static_cast<std::uint64_t>(-2));
+    EXPECT_EQ(fs->reg(5), 440u);
+    EXPECT_EQ(fs->reg(6), 1u);
+}
+
+TEST(FuncSim, DivideByZeroYieldsAllOnes)
+{
+    ProgramBuilder b;
+    b.addi(1, 0, 5);
+    b.rtype(Opcode::Div, 2, 1, 0);
+    b.halt();
+    static Program prog = b.build("t");
+    auto fs = runProgram(prog);
+    EXPECT_EQ(fs->reg(2), ~std::uint64_t{0});
+}
+
+TEST(FuncSim, LogicalOps)
+{
+    ProgramBuilder b;
+    b.addi(1, 0, 0b1100);
+    b.addi(2, 0, 0b1010);
+    b.rtype(Opcode::And, 3, 1, 2);
+    b.rtype(Opcode::Or, 4, 1, 2);
+    b.rtype(Opcode::Xor, 5, 1, 2);
+    b.halt();
+    static Program prog = b.build("t");
+    auto fs = runProgram(prog);
+    EXPECT_EQ(fs->reg(3), 0b1000u);
+    EXPECT_EQ(fs->reg(4), 0b1110u);
+    EXPECT_EQ(fs->reg(5), 0b0110u);
+}
+
+TEST(FuncSim, Shifts)
+{
+    ProgramBuilder b;
+    b.addi(1, 0, -8); // 0xfff...f8
+    b.addi(2, 0, 2);
+    b.rtype(Opcode::Sll, 3, 1, 2);
+    b.rtype(Opcode::Srl, 4, 1, 2);
+    b.rtype(Opcode::Sra, 5, 1, 2);
+    b.itype(Opcode::Slli, 6, 2, 10);
+    b.itype(Opcode::Srli, 7, 2, 1);
+    b.halt();
+    static Program prog = b.build("t");
+    auto fs = runProgram(prog);
+    EXPECT_EQ(fs->reg(3), static_cast<std::uint64_t>(-32));
+    EXPECT_EQ(fs->reg(4), (~std::uint64_t{0} - 7) >> 2);
+    EXPECT_EQ(fs->reg(5), static_cast<std::uint64_t>(-2));
+    EXPECT_EQ(fs->reg(6), 2048u);
+    EXPECT_EQ(fs->reg(7), 1u);
+}
+
+TEST(FuncSim, Comparisons)
+{
+    ProgramBuilder b;
+    b.addi(1, 0, -5);
+    b.addi(2, 0, 3);
+    b.rtype(Opcode::Slt, 3, 1, 2);  // signed: -5 < 3
+    b.rtype(Opcode::Sltu, 4, 1, 2); // unsigned: huge > 3
+    b.itype(Opcode::Slti, 5, 2, 10);
+    b.halt();
+    static Program prog = b.build("t");
+    auto fs = runProgram(prog);
+    EXPECT_EQ(fs->reg(3), 1u);
+    EXPECT_EQ(fs->reg(4), 0u);
+    EXPECT_EQ(fs->reg(5), 1u);
+}
+
+TEST(FuncSim, LuiAndImmediates)
+{
+    ProgramBuilder b;
+    b.lui(1, 0x1234);
+    b.itype(Opcode::Ori, 1, 1, 0x567);
+    b.itype(Opcode::Andi, 2, 1, 0xff);
+    b.itype(Opcode::Xori, 3, 1, 0x1);
+    b.halt();
+    static Program prog = b.build("t");
+    auto fs = runProgram(prog);
+    EXPECT_EQ(fs->reg(1), 0x12340567u);
+    EXPECT_EQ(fs->reg(2), 0x67u);
+    EXPECT_EQ(fs->reg(3), 0x12340566u);
+}
+
+TEST(FuncSim, LoadImm64AllRanges)
+{
+    for (std::uint64_t v :
+         {std::uint64_t{0}, std::uint64_t{0x7fff}, std::uint64_t{0x8000},
+          std::uint64_t{0xdeadbeef}, std::uint64_t{0x123456789abcdef0},
+          ~std::uint64_t{0}}) {
+        ProgramBuilder b;
+        b.loadImm64(1, v);
+        b.halt();
+        Program prog = b.build("t");
+        FuncSim fs(prog);
+        fs.run(100);
+        EXPECT_EQ(fs.reg(1), v) << std::hex << v;
+    }
+}
+
+TEST(FuncSim, R0AlwaysZero)
+{
+    ProgramBuilder b;
+    b.addi(0, 0, 99);
+    b.rtype(Opcode::Add, 0, 0, 0);
+    b.halt();
+    static Program prog = b.build("t");
+    auto fs = runProgram(prog);
+    EXPECT_EQ(fs->reg(0), 0u);
+}
+
+TEST(FuncSim, LoadsStoresAllWidths)
+{
+    ProgramBuilder b;
+    const auto base = b.allocData(64);
+    b.loadImm64(1, base);
+    b.loadImm64(2, 0x1122334455667788);
+    b.store(Opcode::Sd, 2, 1, 0);
+    b.load(Opcode::Ld, 3, 1, 0);
+    b.load(Opcode::Lw, 4, 1, 0); // 0x55667788 sign-extends positive
+    b.load(Opcode::Lh, 5, 1, 0);
+    b.load(Opcode::Lb, 6, 1, 1); // 0x77
+    b.store(Opcode::Sb, 2, 1, 8);
+    b.load(Opcode::Lb, 7, 1, 8); // 0x88 sign-extends negative
+    b.halt();
+    static Program prog = b.build("t");
+    auto fs = runProgram(prog);
+    EXPECT_EQ(fs->reg(3), 0x1122334455667788u);
+    EXPECT_EQ(fs->reg(4), 0x55667788u);
+    EXPECT_EQ(fs->reg(5), 0x7788u);
+    EXPECT_EQ(fs->reg(6), 0x77u);
+    EXPECT_EQ(fs->reg(7), static_cast<std::uint64_t>(-0x78));
+}
+
+TEST(FuncSim, FloatingPoint)
+{
+    ProgramBuilder b;
+    b.addi(1, 0, 6);
+    b.addi(2, 0, 4);
+    b.rtype(Opcode::Fcvt, 1, 1, 0);
+    b.rtype(Opcode::Fcvt, 2, 2, 0);
+    b.rtype(Opcode::Fadd, 3, 1, 2);
+    b.rtype(Opcode::Fsub, 4, 1, 2);
+    b.rtype(Opcode::Fmul, 5, 1, 2);
+    b.rtype(Opcode::Fdiv, 6, 1, 2);
+    b.rtype(Opcode::Fcmplt, 7, 2, 1);
+    b.halt();
+    static Program prog = b.build("t");
+    auto fs = runProgram(prog);
+    EXPECT_DOUBLE_EQ(fs->freg(3), 10.0);
+    EXPECT_DOUBLE_EQ(fs->freg(4), 2.0);
+    EXPECT_DOUBLE_EQ(fs->freg(5), 24.0);
+    EXPECT_DOUBLE_EQ(fs->freg(6), 1.5);
+    EXPECT_EQ(fs->reg(7), 1u);
+}
+
+TEST(FuncSim, FpDivByZeroYieldsZero)
+{
+    ProgramBuilder b;
+    b.addi(1, 0, 5);
+    b.rtype(Opcode::Fcvt, 1, 1, 0);
+    b.rtype(Opcode::Fdiv, 2, 1, 31); // f31 is 0
+    b.halt();
+    static Program prog = b.build("t");
+    auto fs = runProgram(prog);
+    EXPECT_DOUBLE_EQ(fs->freg(2), 0.0);
+}
+
+TEST(FuncSim, FpMemoryRoundTrip)
+{
+    ProgramBuilder b;
+    const auto base = b.allocData(16);
+    b.loadImm64(1, base);
+    b.addi(2, 0, 7);
+    b.rtype(Opcode::Fcvt, 3, 2, 0);
+    b.store(Opcode::Fsd, 3, 1, 0);
+    b.load(Opcode::Fld, 4, 1, 0);
+    b.halt();
+    static Program prog = b.build("t");
+    auto fs = runProgram(prog);
+    EXPECT_DOUBLE_EQ(fs->freg(4), 7.0);
+}
+
+TEST(FuncSim, BranchesTakenAndNot)
+{
+    ProgramBuilder b;
+    b.addi(1, 0, 1);
+    b.addi(2, 0, 2);
+    Label skip = b.newLabel();
+    b.branch(Opcode::Beq, 1, 2, skip); // not taken
+    b.addi(3, 0, 10);
+    b.bind(skip);
+    Label skip2 = b.newLabel();
+    b.branch(Opcode::Bne, 1, 2, skip2); // taken
+    b.addi(4, 0, 20);                   // skipped
+    b.bind(skip2);
+    Label skip3 = b.newLabel();
+    b.branch(Opcode::Blt, 2, 1, skip3); // not taken (2 >= 1)
+    b.addi(5, 0, 30);
+    b.bind(skip3);
+    Label skip4 = b.newLabel();
+    b.branch(Opcode::Bge, 2, 1, skip4); // taken
+    b.addi(6, 0, 40);                   // skipped
+    b.bind(skip4);
+    b.halt();
+    static Program prog = b.build("t");
+    auto fs = runProgram(prog);
+    EXPECT_EQ(fs->reg(3), 10u);
+    EXPECT_EQ(fs->reg(4), 0u);
+    EXPECT_EQ(fs->reg(5), 30u);
+    EXPECT_EQ(fs->reg(6), 0u);
+}
+
+TEST(FuncSim, LoopExecutesExactTripCount)
+{
+    ProgramBuilder b;
+    b.addi(1, 0, 10); // counter
+    b.addi(2, 0, 0);  // accumulator
+    Label loop = b.here();
+    b.addi(2, 2, 3);
+    b.addi(1, 1, -1);
+    b.branch(Opcode::Bne, 1, 0, loop);
+    b.halt();
+    static Program prog = b.build("t");
+    auto fs = runProgram(prog);
+    EXPECT_EQ(fs->reg(2), 30u);
+}
+
+TEST(FuncSim, CallAndReturn)
+{
+    ProgramBuilder b;
+    Label fn = b.newLabel();
+    Label entry = b.newLabel();
+    b.bind(entry);
+    b.call(fn);
+    b.addi(2, 0, 2); // runs after return
+    b.halt();
+    b.bind(fn);
+    b.addi(1, 0, 1);
+    b.ret();
+    static Program prog = b.build("t", entry);
+    auto fs = runProgram(prog);
+    EXPECT_EQ(fs->reg(1), 1u);
+    EXPECT_EQ(fs->reg(2), 2u);
+}
+
+TEST(FuncSim, IndirectCallThroughRegister)
+{
+    // Forward-referenced target published through a data-memory slot
+    // (poked once the function is bound), then called through a register.
+    ProgramBuilder b3;
+    Label fn3 = b3.newLabel();
+    Label entry3 = b3.newLabel();
+    const auto slot3 = b3.allocData(8);
+    b3.bind(entry3);
+    b3.loadImm64(5, slot3);
+    b3.load(Opcode::Ld, 6, 5, 0);
+    b3.callReg(6);
+    b3.halt();
+    b3.bind(fn3);
+    b3.addi(1, 0, 77);
+    b3.ret();
+    b3.pokeData(slot3, b3.addressOf(fn3), 8);
+    static Program prog3 = b3.build("t", entry3);
+    auto fs = runProgram(prog3);
+    EXPECT_EQ(fs->reg(1), 77u);
+}
+
+TEST(FuncSim, DynInstRecordsBranch)
+{
+    ProgramBuilder b;
+    b.addi(1, 0, 1);
+    Label target = b.newLabel();
+    b.branch(Opcode::Bne, 1, 0, target);
+    b.nop();
+    b.bind(target);
+    b.halt();
+    static Program prog = b.build("t");
+    FuncSim fs(prog);
+    DynInst d;
+    fs.step(&d); // addi
+    EXPECT_EQ(d.seq, 0u);
+    EXPECT_FALSE(d.isBranch());
+    fs.step(&d); // bne taken
+    EXPECT_TRUE(d.isBranch());
+    EXPECT_TRUE(d.taken);
+    EXPECT_EQ(d.nextPc, d.pc + 8);
+}
+
+TEST(FuncSim, DynInstRecordsMemAddr)
+{
+    ProgramBuilder b;
+    const auto base = b.allocData(32);
+    b.loadImm64(1, base);
+    b.load(Opcode::Ld, 2, 1, 16);
+    b.halt();
+    static Program prog = b.build("t");
+    FuncSim fs(prog);
+    DynInst d;
+    while (fs.step(&d))
+        if (d.inst.isMem())
+            break;
+    EXPECT_EQ(d.effAddr, base + 16);
+    EXPECT_TRUE(d.inst.isLoad());
+}
+
+TEST(FuncSim, HaltStopsExecution)
+{
+    ProgramBuilder b;
+    b.addi(1, 0, 1);
+    b.halt();
+    b.addi(1, 0, 99); // unreachable
+    static Program prog = b.build("t");
+    FuncSim fs(prog);
+    EXPECT_EQ(fs.run(100), 1u);
+    EXPECT_TRUE(fs.halted());
+    EXPECT_FALSE(fs.step(nullptr));
+    EXPECT_EQ(fs.reg(1), 1u);
+}
+
+TEST(FuncSim, RunOffCodeEndHalts)
+{
+    ProgramBuilder b;
+    b.addi(1, 0, 1); // no halt: falls off the end
+    static Program prog = b.build("t");
+    FuncSim fs(prog);
+    EXPECT_EQ(fs.run(100), 1u);
+    EXPECT_TRUE(fs.halted());
+}
+
+TEST(FuncSim, ResetRestoresInitialState)
+{
+    ProgramBuilder b;
+    const auto base = b.allocData(8);
+    b.pokeData(base, 5, 8);
+    b.loadImm64(1, base);
+    b.load(Opcode::Ld, 2, 1, 0);
+    b.addi(3, 2, 1);
+    b.store(Opcode::Sd, 3, 1, 0);
+    b.halt();
+    static Program prog = b.build("t");
+    FuncSim fs(prog);
+    fs.run(100);
+    EXPECT_EQ(fs.reg(2), 5u);
+    fs.reset();
+    EXPECT_EQ(fs.instCount(), 0u);
+    EXPECT_FALSE(fs.halted());
+    fs.run(100);
+    EXPECT_EQ(fs.reg(2), 5u); // data segment restored, not 6
+}
+
+TEST(FuncSim, DeterministicReplay)
+{
+    ProgramBuilder b;
+    b.addi(1, 0, 100);
+    Label loop = b.here();
+    b.rtype(Opcode::Mul, 2, 2, 1);
+    b.addi(1, 1, -1);
+    b.branch(Opcode::Bne, 1, 0, loop);
+    b.halt();
+    static Program prog = b.build("t");
+    FuncSim a(prog), c(prog);
+    DynInst da, dc;
+    while (true) {
+        const bool ra = a.step(&da);
+        const bool rc = c.step(&dc);
+        ASSERT_EQ(ra, rc);
+        if (!ra)
+            break;
+        ASSERT_EQ(da.pc, dc.pc);
+        ASSERT_EQ(da.nextPc, dc.nextPc);
+    }
+    EXPECT_EQ(a.reg(2), c.reg(2));
+}
+
+TEST(FuncSim, InitialSpLoaded)
+{
+    ProgramBuilder b;
+    b.halt();
+    Program prog = b.build("t");
+    prog.initialSp = 0x12340000;
+    FuncSim fs(prog);
+    EXPECT_EQ(fs.reg(isa::regSp), 0x12340000u);
+}
+
+} // namespace
+} // namespace rsr::func

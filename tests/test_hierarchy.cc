@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Bus and memory-hierarchy tests: arbitration/contention/transfer-delay
+ * modelling, the paper's Section-4 configuration, timed access paths,
+ * and warm (functional) access equivalence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/bus.hh"
+#include "cache/hierarchy.hh"
+
+namespace rsr::cache
+{
+namespace
+{
+
+TEST(Bus, TransferCycles)
+{
+    Bus b({"b", 16, 2});
+    EXPECT_EQ(b.transferCycles(16), 2u);
+    EXPECT_EQ(b.transferCycles(64), 8u);
+    EXPECT_EQ(b.transferCycles(8), 2u); // partial beat rounds up
+}
+
+TEST(Bus, PaperBusRates)
+{
+    // L1 bus: 16 B at 1 GHz against a 2 GHz core -> a 64 B line takes
+    // 4 beats = 8 CPU cycles. L2 bus: 32 B at 2 GHz -> 2 CPU cycles.
+    Bus l1({"l1", 16, 2}), l2({"l2", 32, 1});
+    EXPECT_EQ(l1.transferCycles(64), 8u);
+    EXPECT_EQ(l2.transferCycles(64), 2u);
+}
+
+TEST(Bus, UncontendedTransfer)
+{
+    Bus b({"b", 16, 2});
+    EXPECT_EQ(b.occupy(100, 64), 108u);
+    EXPECT_EQ(b.stats().waitCycles, 0u);
+}
+
+TEST(Bus, ContentionSerializes)
+{
+    Bus b({"b", 16, 2});
+    EXPECT_EQ(b.occupy(100, 64), 108u);
+    EXPECT_EQ(b.occupy(102, 64), 116u); // waits for the first transfer
+    EXPECT_EQ(b.stats().waitCycles, 6u);
+}
+
+TEST(Bus, IdleGapNoWait)
+{
+    Bus b({"b", 16, 2});
+    b.occupy(0, 64);
+    EXPECT_EQ(b.occupy(50, 64), 58u);
+    EXPECT_EQ(b.stats().waitCycles, 0u);
+}
+
+TEST(Bus, ResetClearsSchedule)
+{
+    Bus b({"b", 16, 2});
+    b.occupy(0, 64);
+    b.reset();
+    EXPECT_EQ(b.occupy(0, 64), 8u);
+}
+
+TEST(Hierarchy, PaperDefaultGeometry)
+{
+    const auto p = HierarchyParams::paperDefault();
+    EXPECT_EQ(p.dl1.sizeBytes, 32u * 1024);
+    EXPECT_EQ(p.dl1.assoc, 4u);
+    EXPECT_EQ(p.il1.sizeBytes, 64u * 1024);
+    EXPECT_EQ(p.l2.sizeBytes, 1024u * 1024);
+    EXPECT_EQ(p.l2.assoc, 8u);
+    EXPECT_EQ(p.dl1.writePolicy, WritePolicy::WriteThroughNoAllocate);
+    EXPECT_EQ(p.l2.writePolicy, WritePolicy::WriteBackAllocate);
+    EXPECT_EQ(p.l1Bus.widthBytes, 16u);
+    EXPECT_EQ(p.l2Bus.widthBytes, 32u);
+}
+
+TEST(Hierarchy, L1HitIsFast)
+{
+    MemoryHierarchy h(HierarchyParams::paperDefault());
+    h.timedLoad(0, 0x1000); // warm the line (miss)
+    const auto t = h.timedLoad(1000, 0x1008);
+    EXPECT_EQ(t, 1000u + h.dl1().params().hitLatency);
+}
+
+TEST(Hierarchy, L1MissL2HitLatency)
+{
+    MemoryHierarchy h(HierarchyParams::paperDefault());
+    // Put the line in L2 but a conflicting line in L1 so L1 misses.
+    h.timedLoad(0, 0x1000);
+    // Evict from L1 by filling its set (128 sets * 64B stride apart).
+    const std::uint64_t set_stride = 128 * 64;
+    for (int i = 1; i <= 4; ++i)
+        h.timedLoad(0, 0x1000 + i * set_stride);
+    ASSERT_FALSE(h.dl1().probe(0x1000));
+    ASSERT_TRUE(h.l2().probe(0x1000));
+    h.l1Bus().reset();
+    h.l2Bus().reset();
+    const auto t = h.timedLoad(10000, 0x1000);
+    // L1 bus (8) + L2 hit (12) + L1 fill-to-use (2).
+    EXPECT_EQ(t, 10000u + 8 + 12 + 2);
+}
+
+TEST(Hierarchy, FullMissIncludesMemoryLatency)
+{
+    MemoryHierarchy h(HierarchyParams::paperDefault());
+    const auto t = h.timedLoad(0, 0x400000);
+    // L1 bus (8) + L2 (12) + L2 bus (2) + memory (200) + fill (2).
+    EXPECT_EQ(t, 8u + 12 + 2 + 200 + 2);
+}
+
+TEST(Hierarchy, FetchUsesIl1)
+{
+    MemoryHierarchy h(HierarchyParams::paperDefault());
+    h.timedFetch(0, 0x2000);
+    EXPECT_TRUE(h.il1().probe(0x2000));
+    EXPECT_FALSE(h.dl1().probe(0x2000));
+    const auto t = h.timedFetch(500, 0x2004);
+    EXPECT_EQ(t, 500u + h.il1().params().hitLatency);
+}
+
+TEST(Hierarchy, StoreWritesThroughToL2)
+{
+    MemoryHierarchy h(HierarchyParams::paperDefault());
+    h.timedStore(0, 0x3000);
+    EXPECT_FALSE(h.dl1().probe(0x3000)); // WTNA: no L1 allocation
+    EXPECT_TRUE(h.l2().probe(0x3000));   // write-allocate in L2
+}
+
+TEST(Hierarchy, WarmAccessMatchesTimedStateTransitions)
+{
+    MemoryHierarchy timed(HierarchyParams::paperDefault());
+    MemoryHierarchy warm(HierarchyParams::paperDefault());
+    // Apply an identical mixed stream through both paths.
+    const std::uint64_t addrs[] = {0x1000, 0x8000, 0x1000, 0x40000,
+                                   0x1040, 0x8000, 0x100000};
+    const bool stores[] = {false, true, false, false, true, false, false};
+    std::uint64_t t = 0;
+    for (unsigned i = 0; i < std::size(addrs); ++i) {
+        t = timed.timedLoad(t, 0); // unrelated traffic is fine
+        if (stores[i])
+            timed.timedStore(t, addrs[i]);
+        else
+            timed.timedLoad(t, addrs[i]);
+        warm.warmAccess(0, false, false);
+        warm.warmAccess(addrs[i], stores[i], false);
+    }
+    for (auto a : addrs) {
+        EXPECT_EQ(timed.dl1().probe(a), warm.dl1().probe(a)) << a;
+        EXPECT_EQ(timed.l2().probe(a), warm.l2().probe(a)) << a;
+    }
+}
+
+TEST(Hierarchy, WarmUpdatesCounted)
+{
+    MemoryHierarchy h(HierarchyParams::paperDefault());
+    h.warmAccess(0x1000, false, false); // L1 miss -> L1 + L2 updates
+    EXPECT_EQ(h.warmUpdates(), 2u);
+    h.warmAccess(0x1000, false, false); // L1 hit -> 1 update
+    EXPECT_EQ(h.warmUpdates(), 3u);
+    h.warmAccess(0x1000, true, false); // store: L1 + write-through L2
+    EXPECT_EQ(h.warmUpdates(), 5u);
+}
+
+TEST(Hierarchy, ResetClearsEverything)
+{
+    MemoryHierarchy h(HierarchyParams::paperDefault());
+    h.timedLoad(0, 0x1000);
+    h.reset();
+    EXPECT_FALSE(h.dl1().probe(0x1000));
+    EXPECT_FALSE(h.l2().probe(0x1000));
+    EXPECT_EQ(h.warmUpdates(), 0u);
+}
+
+TEST(Hierarchy, WritebackOccupiesL2BusAfterFill)
+{
+    auto p = HierarchyParams::paperDefault();
+    p.l2.sizeBytes = 64 * 64 * 8; // tiny L2: 64 sets x 8 ways
+    MemoryHierarchy h(p);
+    // Dirty a line, then evict it with 8 conflicting fills.
+    const std::uint64_t set_stride = 64 * 64;
+    h.timedStore(0, 0x0);
+    const auto before = h.l2Bus().stats().transfers;
+    for (int i = 1; i <= 8; ++i)
+        h.timedLoad(10000 * i, i * set_stride);
+    const auto after = h.l2Bus().stats().transfers;
+    EXPECT_EQ(h.l2().stats().writebacks, 1u);
+    // 8 demand fills + 1 writeback.
+    EXPECT_EQ(after - before, 9u);
+}
+
+} // namespace
+} // namespace rsr::cache

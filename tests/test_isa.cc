@@ -1,0 +1,298 @@
+/**
+ * @file
+ * ISA tests: encode/decode round trips across the whole opcode space,
+ * immediate sign handling, branch-kind classification, and metadata.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/inst.hh"
+
+namespace rsr::isa
+{
+namespace
+{
+
+std::vector<Opcode>
+allOpcodes()
+{
+    std::vector<Opcode> ops;
+    for (unsigned i = 0; i < static_cast<unsigned>(Opcode::NumOpcodes); ++i)
+        ops.push_back(static_cast<Opcode>(i));
+    return ops;
+}
+
+Inst
+sampleInst(Opcode op)
+{
+    Inst in;
+    in.op = op;
+    switch (opcodeFormat(op)) {
+      case Format::R:
+        in.rd = 3;
+        in.rs1 = 7;
+        in.rs2 = 21;
+        break;
+      case Format::I:
+        in.rd = 5;
+        in.rs1 = 9;
+        in.imm = -123;
+        break;
+      case Format::S:
+      case Format::B:
+        in.rs1 = 11;
+        in.rs2 = 30;
+        in.imm = 456;
+        break;
+      case Format::J26:
+        in.imm = -100000;
+        break;
+      case Format::J21:
+        in.rd = 31;
+        in.imm = 90000;
+        break;
+      case Format::JR:
+        in.rd = 0;
+        in.rs1 = 31;
+        break;
+    }
+    return in;
+}
+
+class OpcodeRoundTrip : public ::testing::TestWithParam<Opcode>
+{};
+
+TEST_P(OpcodeRoundTrip, EncodeDecode)
+{
+    const Inst in = sampleInst(GetParam());
+    const Inst out = decode(encode(in));
+    EXPECT_EQ(in, out) << disassemble(in);
+}
+
+TEST_P(OpcodeRoundTrip, NameNonEmpty)
+{
+    EXPECT_STRNE(opcodeName(GetParam()), "");
+}
+
+TEST_P(OpcodeRoundTrip, DisassembleNonEmpty)
+{
+    EXPECT_FALSE(disassemble(sampleInst(GetParam()), 0x1000).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, OpcodeRoundTrip,
+                         ::testing::ValuesIn(allOpcodes()));
+
+TEST(IsaEncode, ImmediateBoundsRoundTrip)
+{
+    for (std::int32_t imm : {-32768, -1, 0, 1, 32767}) {
+        Inst in;
+        in.op = Opcode::Addi;
+        in.rd = 1;
+        in.rs1 = 2;
+        in.imm = imm;
+        EXPECT_EQ(decode(encode(in)).imm, imm);
+    }
+}
+
+TEST(IsaEncode, J26ImmediateBounds)
+{
+    for (std::int32_t imm : {-(1 << 25), -1, 0, (1 << 25) - 1}) {
+        Inst in;
+        in.op = Opcode::J;
+        in.imm = imm;
+        EXPECT_EQ(decode(encode(in)).imm, imm);
+    }
+}
+
+TEST(IsaDecode, UnknownOpcodeIsHalt)
+{
+    // Opcode field beyond NumOpcodes must decode to Halt, not crash.
+    const std::uint32_t word = 0x3fu << 26;
+    EXPECT_EQ(decode(word).op, Opcode::Halt);
+}
+
+TEST(IsaMeta, MemClassification)
+{
+    EXPECT_TRUE(opcodeIsLoad(Opcode::Lw));
+    EXPECT_TRUE(opcodeIsLoad(Opcode::Fld));
+    EXPECT_FALSE(opcodeIsLoad(Opcode::Sw));
+    EXPECT_TRUE(opcodeIsStore(Opcode::Sd));
+    EXPECT_TRUE(opcodeIsStore(Opcode::Fsd));
+    EXPECT_FALSE(opcodeIsStore(Opcode::Ld));
+    EXPECT_EQ(opcodeMemBytes(Opcode::Lb), 1u);
+    EXPECT_EQ(opcodeMemBytes(Opcode::Lh), 2u);
+    EXPECT_EQ(opcodeMemBytes(Opcode::Lw), 4u);
+    EXPECT_EQ(opcodeMemBytes(Opcode::Sd), 8u);
+    EXPECT_EQ(opcodeMemBytes(Opcode::Add), 0u);
+}
+
+TEST(IsaMeta, OpClassMapping)
+{
+    EXPECT_EQ(opcodeClass(Opcode::Add), OpClass::IntAlu);
+    EXPECT_EQ(opcodeClass(Opcode::Mul), OpClass::IntMul);
+    EXPECT_EQ(opcodeClass(Opcode::Div), OpClass::IntDiv);
+    EXPECT_EQ(opcodeClass(Opcode::Fadd), OpClass::FpAdd);
+    EXPECT_EQ(opcodeClass(Opcode::Fmul), OpClass::FpMul);
+    EXPECT_EQ(opcodeClass(Opcode::Fdiv), OpClass::FpDiv);
+    EXPECT_EQ(opcodeClass(Opcode::Lw), OpClass::Load);
+    EXPECT_EQ(opcodeClass(Opcode::Sw), OpClass::Store);
+    EXPECT_EQ(opcodeClass(Opcode::Beq), OpClass::Control);
+    EXPECT_EQ(opcodeClass(Opcode::Jalr), OpClass::Control);
+}
+
+TEST(IsaMeta, BranchKinds)
+{
+    Inst in;
+    in.op = Opcode::Beq;
+    EXPECT_EQ(in.branchKind(), BranchKind::Conditional);
+
+    in.op = Opcode::J;
+    EXPECT_EQ(in.branchKind(), BranchKind::DirectJump);
+
+    in.op = Opcode::Jal;
+    in.rd = regRa;
+    EXPECT_EQ(in.branchKind(), BranchKind::Call);
+
+    in.op = Opcode::Jal;
+    in.rd = 0;
+    EXPECT_EQ(in.branchKind(), BranchKind::DirectJump);
+
+    in.op = Opcode::Jalr;
+    in.rd = regRa;
+    in.rs1 = 5;
+    EXPECT_EQ(in.branchKind(), BranchKind::Call);
+
+    in.op = Opcode::Jalr;
+    in.rd = 0;
+    in.rs1 = regRa;
+    EXPECT_EQ(in.branchKind(), BranchKind::Return);
+
+    in.op = Opcode::Jalr;
+    in.rd = 0;
+    in.rs1 = 5;
+    EXPECT_EQ(in.branchKind(), BranchKind::IndirectJump);
+
+    in.op = Opcode::Add;
+    EXPECT_EQ(in.branchKind(), BranchKind::NotBranch);
+}
+
+TEST(IsaMeta, FpClassification)
+{
+    Inst in;
+    in.op = Opcode::Fadd;
+    EXPECT_TRUE(in.isFp());
+    in.op = Opcode::Fld;
+    EXPECT_TRUE(in.isFp());
+    in.op = Opcode::Fcvt;
+    EXPECT_FALSE(in.isFp()); // reads an integer source
+    in.op = Opcode::Add;
+    EXPECT_FALSE(in.isFp());
+}
+
+TEST(IsaDisasm, KnownPatterns)
+{
+    Inst in;
+    in.op = Opcode::Add;
+    in.rd = 1;
+    in.rs1 = 2;
+    in.rs2 = 3;
+    EXPECT_EQ(disassemble(in), "add r1, r2, r3");
+
+    in = Inst{};
+    in.op = Opcode::Lw;
+    in.rd = 4;
+    in.rs1 = 5;
+    in.imm = -8;
+    EXPECT_EQ(disassemble(in), "lw r4, -8(r5)");
+
+    in = Inst{};
+    in.op = Opcode::Nop;
+    EXPECT_EQ(disassemble(in), "nop");
+}
+
+/**
+ * Fuzz property: any instruction built from random in-range fields must
+ * survive an encode/decode round trip, and any random 32-bit word must
+ * decode without crashing (unknown opcodes become Halt).
+ */
+TEST(IsaFuzz, RandomFieldsRoundTrip)
+{
+    std::uint64_t state = 0x12345678;
+    auto next = [&] {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    };
+    for (int i = 0; i < 20000; ++i) {
+        Inst in;
+        in.op = static_cast<Opcode>(
+            next() % static_cast<unsigned>(Opcode::NumOpcodes));
+        in.rd = static_cast<std::uint8_t>(next() % 32);
+        in.rs1 = static_cast<std::uint8_t>(next() % 32);
+        in.rs2 = static_cast<std::uint8_t>(next() % 32);
+        switch (opcodeFormat(in.op)) {
+          case Format::I:
+          case Format::S:
+          case Format::B:
+            in.imm = static_cast<std::int32_t>(next() % 65536) - 32768;
+            break;
+          case Format::J26:
+            in.imm = static_cast<std::int32_t>(next() % (1u << 26)) -
+                     (1 << 25);
+            break;
+          case Format::J21:
+            in.imm = static_cast<std::int32_t>(next() % (1u << 21)) -
+                     (1 << 20);
+            break;
+          default:
+            in.rd %= 32;
+            break;
+        }
+        // Formats that do not carry some fields zero them on decode.
+        Inst canonical = in;
+        switch (opcodeFormat(in.op)) {
+          case Format::R:
+            canonical.imm = 0;
+            break;
+          case Format::I:
+            canonical.rs2 = 0;
+            break;
+          case Format::S:
+          case Format::B:
+            canonical.rd = 0;
+            break;
+          case Format::J26:
+            canonical.rd = canonical.rs1 = canonical.rs2 = 0;
+            break;
+          case Format::J21:
+            canonical.rs1 = canonical.rs2 = 0;
+            break;
+          case Format::JR:
+            canonical.rs2 = 0;
+            canonical.imm = 0;
+            break;
+        }
+        ASSERT_EQ(decode(encode(canonical)), canonical)
+            << disassemble(canonical);
+    }
+}
+
+TEST(IsaFuzz, ArbitraryWordsDecodeSafely)
+{
+    std::uint64_t state = 0xfeedface;
+    for (int i = 0; i < 50000; ++i) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        const Inst in = decode(static_cast<std::uint32_t>(state));
+        ASSERT_LT(static_cast<unsigned>(in.op),
+                  static_cast<unsigned>(Opcode::NumOpcodes));
+        ASSERT_LT(in.rd, 32);
+        ASSERT_LT(in.rs1, 32);
+        ASSERT_LT(in.rs2, 32);
+    }
+}
+
+} // namespace
+} // namespace rsr::isa

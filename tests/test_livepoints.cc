@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Live-point (checkpointed sampling) tests: capture/replay equivalence,
+ * core-parameter sweeps over one capture, serialization round-trips, and
+ * state-restoration fidelity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/livepoints.hh"
+#include "core/warmup.hh"
+#include "util/random.hh"
+#include "util/serial.hh"
+#include "workload/synthetic.hh"
+
+namespace rsr::core
+{
+namespace
+{
+
+class LivePoints : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        prog = new func::Program(workload::buildSynthetic(
+            workload::standardWorkloadParams("twolf")));
+        cfg = new SampledConfig();
+        cfg->totalInsts = 300'000;
+        cfg->regimen = {10, 2000};
+        cfg->machine = MachineConfig::scaledDefault();
+
+        auto smarts = FunctionalWarmup::smarts();
+        lib = new LivePointLibrary(
+            LivePointLibrary::capture(*prog, *smarts, *cfg));
+        auto smarts2 = FunctionalWarmup::smarts();
+        reference = new SampledResult(runSampled(*prog, *smarts2, *cfg));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete prog;
+        delete cfg;
+        delete lib;
+        delete reference;
+    }
+
+    static func::Program *prog;
+    static SampledConfig *cfg;
+    static LivePointLibrary *lib;
+    static SampledResult *reference;
+};
+
+func::Program *LivePoints::prog = nullptr;
+SampledConfig *LivePoints::cfg = nullptr;
+LivePointLibrary *LivePoints::lib = nullptr;
+SampledResult *LivePoints::reference = nullptr;
+
+TEST_F(LivePoints, CaptureShapes)
+{
+    ASSERT_EQ(lib->points().size(), cfg->regimen.numClusters);
+    for (const auto &lp : lib->points()) {
+        EXPECT_EQ(lp.trace.size(), cfg->regimen.clusterSize);
+        EXPECT_GT(lp.machineState.size(), 0u);
+    }
+    EXPECT_GT(lib->storageBytes(), 0u);
+}
+
+TEST_F(LivePoints, ReplayMatchesSampledRunExactly)
+{
+    // Under SMARTS warming the snapshot fully determines the cluster's
+    // initial state, so replay must reproduce per-cluster IPCs
+    // bit-exactly.
+    const auto r = lib->replay();
+    ASSERT_EQ(r.clusterIpc.size(), reference->clusterIpc.size());
+    for (std::size_t i = 0; i < r.clusterIpc.size(); ++i)
+        EXPECT_DOUBLE_EQ(r.clusterIpc[i], reference->clusterIpc[i]) << i;
+    EXPECT_EQ(r.hotCycles, reference->hotCycles);
+    EXPECT_EQ(r.branchMispredicts, reference->branchMispredicts);
+}
+
+TEST_F(LivePoints, ReplayIsCheaperThanSampledRun)
+{
+    // Replay skips all functional fast-forwarding; even on a tiny run it
+    // should be well under the full sampled time.
+    const auto r = lib->replay();
+    EXPECT_LT(r.seconds, reference->seconds);
+}
+
+TEST_F(LivePoints, CoreSweepOverOneCapture)
+{
+    // The core configuration may vary per replay: narrower machines must
+    // not be faster than wider ones.
+    auto narrow = cfg->machine.core;
+    narrow.issueWidth = 1;
+    narrow.fetchWidth = 2;
+    narrow.dispatchWidth = 2;
+    auto wide = cfg->machine.core;
+    wide.issueWidth = 8;
+    wide.numFUs = 8;
+    const auto rn = lib->replay(narrow);
+    const auto rw = lib->replay(wide);
+    EXPECT_LT(rn.estimate.mean, rw.estimate.mean);
+    EXPECT_GT(rn.hotCycles, rw.hotCycles);
+}
+
+TEST_F(LivePoints, SerializeRoundTrip)
+{
+    const auto bytes = lib->serialize();
+    const auto copy = LivePointLibrary::deserialize(bytes);
+    ASSERT_EQ(copy.points().size(), lib->points().size());
+    for (std::size_t i = 0; i < copy.points().size(); ++i) {
+        EXPECT_EQ(copy.points()[i].clusterStart,
+                  lib->points()[i].clusterStart);
+        EXPECT_EQ(copy.points()[i].machineState,
+                  lib->points()[i].machineState);
+        ASSERT_EQ(copy.points()[i].trace.size(),
+                  lib->points()[i].trace.size());
+    }
+    const auto r1 = lib->replay();
+    const auto r2 = copy.replay();
+    for (std::size_t i = 0; i < r1.clusterIpc.size(); ++i)
+        EXPECT_DOUBLE_EQ(r1.clusterIpc[i], r2.clusterIpc[i]);
+}
+
+TEST_F(LivePoints, ReplayDeterministic)
+{
+    const auto r1 = lib->replay();
+    const auto r2 = lib->replay();
+    EXPECT_EQ(r1.hotCycles, r2.hotCycles);
+}
+
+TEST(SerialHelpers, PrimitivesRoundTrip)
+{
+    ByteSink out;
+    out.putU8(0xab);
+    out.putU32(0xdeadbeef);
+    out.putU64(0x0123456789abcdefull);
+    const char payload[] = "hello";
+    out.putBytes(payload, sizeof(payload));
+
+    ByteSource in(out.bytes());
+    EXPECT_EQ(in.getU8(), 0xabu);
+    EXPECT_EQ(in.getU32(), 0xdeadbeefu);
+    EXPECT_EQ(in.getU64(), 0x0123456789abcdefull);
+    char back[sizeof(payload)];
+    in.getBytes(back, sizeof(back));
+    EXPECT_STREQ(back, "hello");
+    EXPECT_TRUE(in.exhausted());
+}
+
+TEST(SerialHelpers, UnderrunPanics)
+{
+    ByteSink out;
+    out.putU8(1);
+    ByteSource in(out.bytes());
+    in.getU8();
+    EXPECT_DEATH(in.getU8(), "underrun");
+}
+
+TEST(CacheCheckpoint, StateRoundTrip)
+{
+    cache::CacheParams p;
+    p.sizeBytes = 64 * 4 * 8;
+    p.assoc = 4;
+    p.lineBytes = 64;
+    p.writePolicy = cache::WritePolicy::WriteBackAllocate;
+    cache::Cache a(p), b(p);
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i)
+        a.access(rng.below(200) * 64, rng.chance(0.4));
+
+    ByteSink out;
+    a.serializeState(out);
+    ByteSource in(out.bytes());
+    b.unserializeState(in);
+    EXPECT_TRUE(in.exhausted());
+    for (std::uint64_t line = 0; line < 200; ++line) {
+        ASSERT_EQ(a.probe(line * 64), b.probe(line * 64)) << line;
+        ASSERT_EQ(a.recencyOf(line * 64), b.recencyOf(line * 64)) << line;
+    }
+}
+
+TEST(PredictorCheckpoint, StateRoundTrip)
+{
+    branch::PredictorParams pp;
+    pp.phtEntries = 512;
+    pp.historyBits = 9;
+    pp.btbEntries = 32;
+    pp.rasEntries = 4;
+    branch::GsharePredictor a(pp), b(pp);
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t pc = 0x1000 + 4 * rng.below(512);
+        a.warmApply(pc, isa::BranchKind::Conditional, rng.chance(0.7),
+                    pc + 64);
+    }
+    a.rasPush(0x123);
+    a.rasPush(0x456);
+
+    ByteSink out;
+    a.serializeState(out);
+    ByteSource in(out.bytes());
+    b.unserializeState(in);
+    EXPECT_TRUE(in.exhausted());
+    EXPECT_EQ(a.ghr(), b.ghr());
+    EXPECT_EQ(a.rasContents(), b.rasContents());
+    for (unsigned i = 0; i < pp.phtEntries; ++i)
+        ASSERT_EQ(a.phtEntry(i), b.phtEntry(i));
+    for (unsigned i = 0; i < pp.btbEntries; ++i) {
+        ASSERT_EQ(a.btbEntryValid(i), b.btbEntryValid(i));
+        if (a.btbEntryValid(i)) {
+            ASSERT_EQ(a.btbEntryTag(i), b.btbEntryTag(i));
+            ASSERT_EQ(a.btbEntryTarget(i), b.btbEntryTarget(i));
+        }
+    }
+}
+
+} // namespace
+} // namespace rsr::core

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Sparse-memory tests: zero-fill semantics, width handling, page-boundary
+ * crossing, and sparse allocation behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory.hh"
+
+namespace rsr::mem
+{
+namespace
+{
+
+TEST(Memory, ReadsZeroWhenUntouched)
+{
+    Memory m;
+    EXPECT_EQ(m.read(0x1234, 8), 0u);
+    EXPECT_EQ(m.readByte(0xdeadbeef), 0u);
+    EXPECT_EQ(m.numPages(), 0u);
+}
+
+TEST(Memory, ReadBackAllWidths)
+{
+    Memory m;
+    m.write(0x100, 0x1122334455667788ull, 8);
+    EXPECT_EQ(m.read(0x100, 8), 0x1122334455667788ull);
+    EXPECT_EQ(m.read(0x100, 4), 0x55667788u);
+    EXPECT_EQ(m.read(0x100, 2), 0x7788u);
+    EXPECT_EQ(m.read(0x100, 1), 0x88u);
+    EXPECT_EQ(m.read(0x104, 4), 0x11223344u);
+}
+
+TEST(Memory, LittleEndianBytes)
+{
+    Memory m;
+    m.write(0x40, 0xaabb, 2);
+    EXPECT_EQ(m.readByte(0x40), 0xbbu);
+    EXPECT_EQ(m.readByte(0x41), 0xaau);
+}
+
+TEST(Memory, PartialOverwrite)
+{
+    Memory m;
+    m.write(0x200, 0xffffffffffffffffull, 8);
+    m.write(0x202, 0x00, 1);
+    EXPECT_EQ(m.read(0x200, 8), 0xffffffffff00ffffull);
+}
+
+TEST(Memory, CrossPageAccess)
+{
+    Memory m;
+    const std::uint64_t addr = Memory::pageSize - 4;
+    m.write(addr, 0x0123456789abcdefull, 8);
+    EXPECT_EQ(m.read(addr, 8), 0x0123456789abcdefull);
+    EXPECT_EQ(m.numPages(), 2u);
+}
+
+TEST(Memory, SparseAllocation)
+{
+    Memory m;
+    m.writeByte(0, 1);
+    m.writeByte(100 * Memory::pageSize, 2);
+    m.writeByte(1ull << 40, 3);
+    EXPECT_EQ(m.numPages(), 3u);
+    EXPECT_EQ(m.readByte(0), 1u);
+    EXPECT_EQ(m.readByte(100 * Memory::pageSize), 2u);
+    EXPECT_EQ(m.readByte(1ull << 40), 3u);
+}
+
+TEST(Memory, ReadWordForFetch)
+{
+    Memory m;
+    m.write(0x1000, 0xcafebabe, 4);
+    EXPECT_EQ(m.readWord(0x1000), 0xcafebabeu);
+}
+
+TEST(Memory, ClearDropsEverything)
+{
+    Memory m;
+    m.write(0x300, 42, 8);
+    m.clear();
+    EXPECT_EQ(m.numPages(), 0u);
+    EXPECT_EQ(m.read(0x300, 8), 0u);
+}
+
+TEST(Memory, HighAddressesIndependent)
+{
+    Memory m;
+    m.write(0x7fff0000, 7, 8);
+    m.write(0x7fff0000 + Memory::pageSize, 9, 8);
+    EXPECT_EQ(m.read(0x7fff0000, 8), 7u);
+    EXPECT_EQ(m.read(0x7fff0000 + Memory::pageSize, 8), 9u);
+}
+
+} // namespace
+} // namespace rsr::mem

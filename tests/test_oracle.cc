@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Property tests against independent reference models: the cache is
+ * checked against a simple list-based true-LRU oracle across random
+ * mixed load/store streams and all write-policy combinations, and the
+ * gshare predictor against a naive map-based reimplementation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "cache/cache.hh"
+#include "util/random.hh"
+
+namespace rsr
+{
+namespace
+{
+
+/** Minimal true-LRU reference model. */
+class LruOracle
+{
+  public:
+    LruOracle(unsigned sets, unsigned assoc, bool write_allocate)
+        : sets(sets), assoc(assoc), writeAllocate(write_allocate),
+          lists(sets)
+    {}
+
+    /** Returns hit. */
+    bool
+    access(std::uint64_t line, bool is_store)
+    {
+        auto &l = lists[line % sets];
+        for (auto it = l.begin(); it != l.end(); ++it) {
+            if (*it == line) {
+                l.erase(it);
+                l.push_front(line);
+                return true;
+            }
+        }
+        if (!is_store || writeAllocate) {
+            l.push_front(line);
+            if (l.size() > assoc)
+                l.pop_back();
+        }
+        return false;
+    }
+
+    bool
+    present(std::uint64_t line) const
+    {
+        const auto &l = lists[line % sets];
+        for (auto v : l)
+            if (v == line)
+                return true;
+        return false;
+    }
+
+    int
+    recency(std::uint64_t line) const
+    {
+        const auto &l = lists[line % sets];
+        int pos = 0;
+        for (auto v : l) {
+            if (v == line)
+                return pos;
+            ++pos;
+        }
+        return -1;
+    }
+
+  private:
+    unsigned sets;
+    unsigned assoc;
+    bool writeAllocate;
+    std::vector<std::list<std::uint64_t>> lists;
+};
+
+class CacheVsOracle
+    : public ::testing::TestWithParam<
+          std::tuple<unsigned, unsigned, cache::WritePolicy, std::uint64_t>>
+{};
+
+TEST_P(CacheVsOracle, RandomStreamAgrees)
+{
+    const auto [assoc, sets, policy, seed] = GetParam();
+    cache::CacheParams p;
+    p.assoc = assoc;
+    p.lineBytes = 64;
+    p.sizeBytes = std::uint64_t{64} * assoc * sets;
+    p.writePolicy = policy;
+    cache::Cache c(p);
+    LruOracle oracle(sets, assoc,
+                     policy == cache::WritePolicy::WriteBackAllocate);
+
+    Rng rng(seed);
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t line = rng.below(sets * assoc * 4);
+        const bool store = rng.chance(0.3);
+        const bool hit = c.access(line * 64, store).hit;
+        const bool oracle_hit = oracle.access(line, store);
+        ASSERT_EQ(hit, oracle_hit) << "iteration " << i;
+    }
+    // Full-state comparison at the end.
+    for (std::uint64_t line = 0; line < sets * assoc * 4; ++line) {
+        ASSERT_EQ(c.probe(line * 64), oracle.present(line)) << line;
+        ASSERT_EQ(c.recencyOf(line * 64), oracle.recency(line)) << line;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CacheVsOracle,
+    ::testing::Combine(
+        ::testing::Values(1u, 2u, 4u, 8u), ::testing::Values(4u, 16u),
+        ::testing::Values(cache::WritePolicy::WriteThroughNoAllocate,
+                          cache::WritePolicy::WriteBackAllocate),
+        ::testing::Values(std::uint64_t{11}, std::uint64_t{97})));
+
+/** Naive gshare reference: explicit maps, no packing tricks. */
+struct GshareOracle
+{
+    unsigned phtBits;
+    unsigned histBits;
+    std::map<std::uint32_t, std::uint8_t> pht;
+    std::uint32_t ghr = 0;
+
+    std::uint32_t
+    index(std::uint64_t pc) const
+    {
+        const std::uint32_t mask = (1u << phtBits) - 1;
+        return (static_cast<std::uint32_t>(pc >> 2) ^ ghr) & mask;
+    }
+
+    bool
+    predict(std::uint64_t pc)
+    {
+        const auto it = pht.find(index(pc));
+        const std::uint8_t v =
+            it == pht.end() ? branch::counter::weaklyNotTaken : it->second;
+        return branch::counter::taken(v);
+    }
+
+    void
+    update(std::uint64_t pc, bool taken)
+    {
+        auto &v = pht.try_emplace(index(pc),
+                                  branch::counter::weaklyNotTaken)
+                      .first->second;
+        v = branch::counter::update(v, taken);
+        ghr = ((ghr << 1) | (taken ? 1 : 0)) & ((1u << histBits) - 1);
+    }
+};
+
+TEST(GshareVsOracle, RandomBranchStreamAgrees)
+{
+    branch::PredictorParams p;
+    p.phtEntries = 512;
+    p.historyBits = 9;
+    p.btbEntries = 16;
+    p.rasEntries = 4;
+    branch::GsharePredictor bp(p);
+    GshareOracle oracle{9, 9, {}, 0};
+
+    Rng rng(123);
+    std::vector<std::uint64_t> pcs;
+    for (int i = 0; i < 24; ++i)
+        pcs.push_back(0x1000 + 4 * rng.below(4096));
+
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t pc = pcs[rng.below(pcs.size())];
+        const bool taken = rng.chance((pc >> 4) % 10 / 10.0);
+        const auto pred =
+            bp.predict(pc, isa::BranchKind::Conditional).taken;
+        const auto oracle_pred = oracle.predict(pc);
+        ASSERT_EQ(pred, oracle_pred) << "iteration " << i;
+        bp.update(pc, isa::BranchKind::Conditional, taken, pc + 64);
+        oracle.update(pc, taken);
+        ASSERT_EQ(bp.ghr(), oracle.ghr);
+    }
+}
+
+/**
+ * Reverse-cache-reconstruction oracle property over mixed streams: every
+ * line *present* after forward warming under loads-only semantics also
+ * appears after reverse reconstruction when stores are excluded from the
+ * stream (complements the load-only exactness test in test_cache.cc by
+ * sweeping random seeds).
+ */
+class ReconSeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(ReconSeedSweep, LoadOnlyExactness)
+{
+    cache::CacheParams p;
+    p.assoc = 4;
+    p.lineBytes = 64;
+    p.sizeBytes = 64 * 4 * 8;
+    p.writePolicy = cache::WritePolicy::WriteThroughNoAllocate;
+    cache::Cache fwd(p), rev(p);
+
+    Rng rng(GetParam());
+    std::vector<std::uint64_t> stream;
+    for (int i = 0; i < 600; ++i)
+        stream.push_back(rng.below(128) * 64);
+    for (auto a : stream) {
+        fwd.access(a, false);
+    }
+    rev.beginReconstruction();
+    for (auto it = stream.rbegin(); it != stream.rend(); ++it)
+        rev.reconstructRef(*it);
+    for (std::uint64_t line = 0; line < 128; ++line)
+        ASSERT_EQ(fwd.recencyOf(line * 64), rev.recencyOf(line * 64))
+            << line;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReconSeedSweep,
+                         ::testing::Range(std::uint64_t{1},
+                                          std::uint64_t{21}));
+
+} // namespace
+} // namespace rsr

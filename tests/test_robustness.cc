@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Robustness tests: multi-seed statistical stability of sampled
+ * estimates, short-log GHR reconstruction, bimodal predictor mode
+ * (zero history bits), SimPoint parameter boundaries, and degenerate
+ * cache geometries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/branch_reconstructor.hh"
+#include "core/sampled_sim.hh"
+#include "core/warmup.hh"
+#include "simpoint/simpoint.hh"
+#include "workload/synthetic.hh"
+
+namespace rsr
+{
+namespace
+{
+
+TEST(Robustness, EstimatesStableAcrossScheduleSeeds)
+{
+    // Different cluster placements: SMARTS estimates should scatter
+    // around a common value, each within a loose band of the pooled mean.
+    const auto prog = workload::buildSynthetic(
+        workload::standardWorkloadParams("vpr"));
+    core::SampledConfig cfg;
+    cfg.totalInsts = 600'000;
+    cfg.regimen = {20, 2000};
+    cfg.machine = core::MachineConfig::scaledDefault();
+
+    std::vector<double> means;
+    for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+        cfg.scheduleSeed = seed;
+        auto smarts = core::FunctionalWarmup::smarts();
+        means.push_back(
+            core::runSampled(prog, *smarts, cfg).estimate.mean);
+    }
+    const double pooled = core::mean(means);
+    for (double m : means)
+        EXPECT_LT(std::fabs(m - pooled) / pooled, 0.15);
+}
+
+TEST(Robustness, GhrReconstructionWithShortLog)
+{
+    // Fewer logged conditionals than history bits: the reconstructed GHR
+    // must combine the pre-skip GHR with the few logged outcomes.
+    branch::PredictorParams pp;
+    pp.phtEntries = 256;
+    pp.historyBits = 8;
+    pp.btbEntries = 16;
+    pp.rasEntries = 4;
+    branch::GsharePredictor truth(pp), rsr(pp);
+
+    truth.setGhr(0b10110011);
+    core::SkipLog log;
+    log.ghrAtStart = 0b10110011;
+    for (bool taken : {true, false, true}) {
+        truth.warmApply(0x100, isa::BranchKind::Conditional, taken, 0x200);
+        log.branches.push_back(
+            {0x100, 0x200, isa::BranchKind::Conditional, taken});
+    }
+    core::BranchReconstructor recon(rsr);
+    recon.begin(log);
+    EXPECT_EQ(rsr.ghr(), truth.ghr());
+    recon.end();
+}
+
+TEST(Robustness, ZeroHistoryBitsIsBimodal)
+{
+    // historyBits = 0 degenerates gshare into a per-PC bimodal table:
+    // indices ignore outcomes entirely.
+    branch::PredictorParams pp;
+    pp.phtEntries = 256;
+    pp.historyBits = 0;
+    pp.btbEntries = 16;
+    pp.rasEntries = 4;
+    branch::GsharePredictor bp(pp);
+    const auto idx_before = bp.phtIndex(0x1230);
+    for (int i = 0; i < 10; ++i)
+        bp.update(0x1230, isa::BranchKind::Conditional, (i % 2) == 0,
+                  0x2000);
+    EXPECT_EQ(bp.ghr(), 0u);
+    EXPECT_EQ(bp.phtIndex(0x1230), idx_before);
+    // Distinct PCs map to distinct entries (no history xor).
+    EXPECT_NE(bp.phtIndex(0x1230), bp.phtIndex(0x1234));
+}
+
+TEST(Robustness, BimodalSampledRunWorksEndToEnd)
+{
+    const auto prog = workload::buildSynthetic(
+        workload::standardWorkloadParams("twolf"));
+    core::SampledConfig cfg;
+    cfg.totalInsts = 300'000;
+    cfg.regimen = {10, 2000};
+    cfg.machine = core::MachineConfig::scaledDefault();
+    cfg.machine.bp.historyBits = 0;
+    auto rsr = core::ReverseReconstructionWarmup::full(0.2);
+    const auto r = core::runSampled(prog, *rsr, cfg);
+    EXPECT_EQ(r.clusterIpc.size(), 10u);
+    EXPECT_GT(r.estimate.mean, 0.0);
+}
+
+TEST(Robustness, SimPointMaxKOne)
+{
+    const auto prog = workload::buildSynthetic(
+        workload::standardWorkloadParams("twolf"));
+    simpoint::SimPointConfig cfg;
+    cfg.intervalSize = 2000;
+    cfg.maxK = 1;
+    const auto sel = simpoint::pickSimPoints(prog, 100'000, cfg);
+    EXPECT_EQ(sel.k, 1u);
+    EXPECT_DOUBLE_EQ(sel.weights[0], 1.0);
+}
+
+TEST(Robustness, SimPointBicThresholdExtremes)
+{
+    const auto prog = workload::buildSynthetic(
+        workload::standardWorkloadParams("gcc"));
+    simpoint::SimPointConfig low;
+    low.intervalSize = 2000;
+    low.maxK = 12;
+    low.bicThreshold = 0.0; // accept the first (smallest) k
+    const auto sel_low = simpoint::pickSimPoints(prog, 150'000, low);
+
+    simpoint::SimPointConfig high = low;
+    high.bicThreshold = 1.0; // demand the best score
+    const auto sel_high = simpoint::pickSimPoints(prog, 150'000, high);
+    EXPECT_LE(sel_low.k, sel_high.k);
+}
+
+TEST(Robustness, SingleSetCacheReconstruction)
+{
+    // Degenerate geometry: one set, fully associative behaviour.
+    cache::CacheParams p;
+    p.sizeBytes = 64 * 8;
+    p.assoc = 8;
+    p.lineBytes = 64;
+    p.writePolicy = cache::WritePolicy::WriteThroughNoAllocate;
+    cache::Cache fwd(p), rev(p);
+    std::vector<std::uint64_t> stream;
+    for (int i = 0; i < 100; ++i)
+        stream.push_back((i * 7 % 20) * 64);
+    for (auto a : stream)
+        fwd.access(a, false);
+    rev.beginReconstruction();
+    for (auto it = stream.rbegin(); it != stream.rend(); ++it)
+        rev.reconstructRef(*it);
+    for (std::uint64_t line = 0; line < 20; ++line)
+        EXPECT_EQ(fwd.recencyOf(line * 64), rev.recencyOf(line * 64));
+}
+
+TEST(Robustness, DirectMappedWholeHierarchy)
+{
+    // Assoc-1 everywhere still runs a full sampled simulation.
+    const auto prog = workload::buildSynthetic(
+        workload::standardWorkloadParams("twolf"));
+    core::SampledConfig cfg;
+    cfg.totalInsts = 200'000;
+    cfg.regimen = {8, 1500};
+    cfg.machine = core::MachineConfig::scaledDefault();
+    cfg.machine.hier.il1.assoc = 1;
+    cfg.machine.hier.dl1.assoc = 1;
+    cfg.machine.hier.l2.assoc = 1;
+    auto rsr = core::ReverseReconstructionWarmup::full(1.0);
+    const auto r = core::runSampled(prog, *rsr, cfg);
+    EXPECT_EQ(r.clusterIpc.size(), 8u);
+}
+
+} // namespace
+} // namespace rsr

@@ -1,0 +1,478 @@
+/**
+ * @file
+ * Out-of-order core tests. Uses hand-crafted DynInst streams to check
+ * dependence-limited issue, width limits, memory latency exposure, branch
+ * misprediction penalties, and the checkpoint (unresolved-branch) limit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "cache/hierarchy.hh"
+#include "uarch/core.hh"
+
+namespace rsr::uarch
+{
+namespace
+{
+
+using func::DynInst;
+using isa::Inst;
+using isa::Opcode;
+
+/** Serves a pre-built vector of DynInsts. */
+class VectorSource : public InstSource
+{
+  public:
+    explicit VectorSource(std::vector<DynInst> insts)
+        : insts(std::move(insts))
+    {}
+
+    bool
+    next(DynInst &out) override
+    {
+        if (pos >= insts.size())
+            return false;
+        out = insts[pos++];
+        return true;
+    }
+
+  private:
+    std::vector<DynInst> insts;
+    std::size_t pos = 0;
+};
+
+/**
+ * PCs cycle within one I-cache line so fetch-side misses do not pollute
+ * the back-end behaviour under test; fills seq/pc/nextPc.
+ */
+std::vector<DynInst>
+sequence(const std::vector<Inst> &insts)
+{
+    std::vector<DynInst> out(insts.size());
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        out[i].seq = i;
+        out[i].pc = 0x10000 + 4 * (i % 16);
+        out[i].nextPc = out[i].pc + 4;
+        out[i].inst = insts[i];
+    }
+    return out;
+}
+
+Inst
+alu(Opcode op, unsigned rd, unsigned rs1, unsigned rs2)
+{
+    Inst in;
+    in.op = op;
+    in.rd = static_cast<std::uint8_t>(rd);
+    in.rs1 = static_cast<std::uint8_t>(rs1);
+    in.rs2 = static_cast<std::uint8_t>(rs2);
+    return in;
+}
+
+struct TestMachine
+{
+    TestMachine()
+        : hier(cache::HierarchyParams::paperDefault()), bp(), core(params, hier, bp)
+    {}
+
+    explicit TestMachine(const CoreParams &p)
+        : params(p), hier(cache::HierarchyParams::paperDefault()), bp(),
+          core(params, hier, bp)
+    {}
+
+    CoreParams params;
+    cache::MemoryHierarchy hier;
+    branch::GsharePredictor bp;
+    OoOCore core;
+};
+
+TEST(OoOCore, EmptyStream)
+{
+    TestMachine m;
+    VectorSource src({});
+    const auto r = m.core.run(src, 100);
+    EXPECT_EQ(r.insts, 0u);
+}
+
+TEST(OoOCore, IndependentAluReachIssueWidth)
+{
+    // 4000 independent single-cycle ops on distinct registers: IPC should
+    // approach the issue width (4), limited only by ramp-up.
+    std::vector<Inst> insts;
+    for (int i = 0; i < 4000; ++i)
+        insts.push_back(alu(Opcode::Add, 1 + (i % 8), 9, 10));
+    TestMachine m;
+    VectorSource src(sequence(insts));
+    const auto r = m.core.run(src, insts.size());
+    EXPECT_EQ(r.insts, insts.size());
+    EXPECT_GT(r.ipc(), 3.0);
+    EXPECT_LE(r.ipc(), 4.0 + 1e-9);
+}
+
+TEST(OoOCore, DependentChainSerializes)
+{
+    // A chain through r1 issues at most one per cycle.
+    std::vector<Inst> insts;
+    for (int i = 0; i < 2000; ++i)
+        insts.push_back(alu(Opcode::Add, 1, 1, 2));
+    TestMachine m;
+    VectorSource src(sequence(insts));
+    const auto r = m.core.run(src, insts.size());
+    EXPECT_LT(r.ipc(), 1.05);
+    EXPECT_GT(r.ipc(), 0.8);
+}
+
+TEST(OoOCore, DivLatencyExposedByChain)
+{
+    std::vector<Inst> insts;
+    for (int i = 0; i < 300; ++i)
+        insts.push_back(alu(Opcode::Div, 1, 1, 2));
+    TestMachine m;
+    VectorSource src(sequence(insts));
+    const auto r = m.core.run(src, insts.size());
+    // Each div in the chain costs ~intDivLat cycles.
+    const double cpi = 1.0 / r.ipc();
+    EXPECT_NEAR(cpi, m.params.intDivLat, 2.0);
+}
+
+TEST(OoOCore, MulLatencyExposedByChain)
+{
+    std::vector<Inst> insts;
+    for (int i = 0; i < 300; ++i)
+        insts.push_back(alu(Opcode::Mul, 1, 1, 2));
+    TestMachine m;
+    VectorSource src(sequence(insts));
+    const auto r = m.core.run(src, insts.size());
+    const double cpi = 1.0 / r.ipc();
+    EXPECT_NEAR(cpi, m.params.intMulLat, 1.0);
+}
+
+TEST(OoOCore, LoadMissLatencyExposed)
+{
+    // Pointer-chase-like: each load's address register is written by the
+    // previous load (dependence through r1), and every access is a fresh
+    // line -> full memory latency per load.
+    std::vector<DynInst> stream;
+    for (int i = 0; i < 100; ++i) {
+        DynInst d;
+        d.seq = i;
+        d.pc = 0x10000 + 4 * i;
+        d.nextPc = d.pc + 4;
+        d.inst.op = Opcode::Ld;
+        d.inst.rd = 1;
+        d.inst.rs1 = 1;
+        d.effAddr = 0x1000000 + i * 4096;
+        stream.push_back(d);
+    }
+    TestMachine m;
+    VectorSource src(stream);
+    const auto r = m.core.run(src, stream.size());
+    const double cpi = 1.0 / r.ipc();
+    // L1 miss through L2 to memory is ~224 cycles.
+    EXPECT_GT(cpi, 150.0);
+    EXPECT_LT(cpi, 300.0);
+}
+
+TEST(OoOCore, IndependentLoadsOverlap)
+{
+    // Same misses, but independent address registers: the OoO window
+    // must overlap them and beat the serialized chain by a wide margin.
+    std::vector<DynInst> stream;
+    for (int i = 0; i < 100; ++i) {
+        DynInst d;
+        d.seq = i;
+        d.pc = 0x10000 + 4 * i;
+        d.nextPc = d.pc + 4;
+        d.inst.op = Opcode::Ld;
+        d.inst.rd = 2 + (i % 8);
+        d.inst.rs1 = 1;
+        d.effAddr = 0x1000000 + i * 4096;
+        stream.push_back(d);
+    }
+    TestMachine m;
+    VectorSource src(stream);
+    const auto r = m.core.run(src, stream.size());
+    const double cpi = 1.0 / r.ipc();
+    EXPECT_LT(cpi, 60.0); // misses overlap (bus-limited, not latency)
+}
+
+TEST(OoOCore, CorrectlyPredictedLoopBranchCheap)
+{
+    // Train a loop-closing branch, then measure: well-predicted taken
+    // branches should not serialize fetch.
+    std::vector<DynInst> stream;
+    // Two-instruction loop: add; bne taken back.
+    for (int i = 0; i < 2000; ++i) {
+        DynInst d;
+        d.seq = stream.size();
+        if (i % 2 == 0) {
+            d.pc = 0x10000;
+            d.nextPc = 0x10004;
+            d.inst = alu(Opcode::Add, 1 + (i % 4), 9, 10);
+        } else {
+            d.pc = 0x10004;
+            d.nextPc = 0x10000;
+            d.inst.op = Opcode::Bne;
+            d.inst.rs1 = 9;
+            d.inst.rs2 = 0;
+            d.inst.imm = -2;
+            d.taken = true;
+        }
+        stream.push_back(d);
+    }
+    TestMachine m;
+    VectorSource src(stream);
+    const auto r = m.core.run(src, stream.size());
+    // The counter trains once the global history register stabilizes
+    // (one cold entry per distinct GHR value on the way to all-ones);
+    // after that, taken-branch fetch breaks cap the 2-inst loop near
+    // IPC 2 with no further mispredicts.
+    EXPECT_LT(r.branchMispredicts, 40u);
+    EXPECT_GT(r.ipc(), 1.0);
+}
+
+TEST(OoOCore, MispredictsCostAtLeastMinPenalty)
+{
+    // Alternating taken/not-taken conditional at one PC with a 1-bit-ish
+    // pattern the 2-bit counter cannot capture -> many mispredicts.
+    std::vector<DynInst> stream;
+    for (int i = 0; i < 1000; ++i) {
+        DynInst d;
+        d.seq = i;
+        d.pc = 0x10000;
+        d.inst.op = Opcode::Beq;
+        d.inst.rs1 = 1;
+        d.inst.rs2 = 2;
+        d.inst.imm = 4;
+        d.taken = (i % 2) == 0;
+        d.nextPc = d.taken ? d.pc + 4 + 16 : d.pc + 4;
+        stream.push_back(d);
+    }
+    TestMachine m;
+    VectorSource src(stream);
+    const auto r = m.core.run(src, stream.size());
+    EXPECT_GT(r.branchMispredicts, 100u);
+    // Every mispredict costs at least resolve + minMispredictPenalty.
+    EXPECT_GT(r.cycles, r.branchMispredicts * m.params.minMispredictPenalty);
+}
+
+TEST(OoOCore, RobLimitCapsOverlap)
+{
+    // Long-latency independent loads: a tiny ROB must be slower than the
+    // default because fewer misses can overlap.
+    auto mk_stream = [] {
+        std::vector<DynInst> s;
+        for (int i = 0; i < 200; ++i) {
+            DynInst d;
+            d.seq = i;
+            d.pc = 0x10000 + 4 * (i % 16); // stay in one I-cache line
+            d.nextPc = d.pc + 4;
+            d.inst.op = Opcode::Ld;
+            d.inst.rd = 2 + (i % 8);
+            d.inst.rs1 = 1;
+            d.effAddr = 0x1000000 + i * 4096;
+            s.push_back(d);
+        }
+        return s;
+    };
+    CoreParams small;
+    small.robSize = 8;
+    small.iqSize = 8;
+    TestMachine big, tiny(small);
+    VectorSource s1(mk_stream()), s2(mk_stream());
+    const auto rb = big.core.run(s1, 200);
+    const auto rt = tiny.core.run(s2, 200);
+    EXPECT_LT(rb.cycles * 2, rt.cycles);
+}
+
+TEST(OoOCore, IssueWidthLimits)
+{
+    CoreParams narrow;
+    narrow.issueWidth = 1;
+    std::vector<Inst> insts;
+    for (int i = 0; i < 2000; ++i)
+        insts.push_back(alu(Opcode::Add, 1 + (i % 8), 9, 10));
+    TestMachine m(narrow);
+    VectorSource src(sequence(insts));
+    const auto r = m.core.run(src, insts.size());
+    EXPECT_LE(r.ipc(), 1.0 + 1e-9);
+    // The single compulsory I-cache miss (~220 cycles) eats ~10% of a
+    // 2000-instruction run at IPC 1.
+    EXPECT_GT(r.ipc(), 0.85);
+}
+
+TEST(OoOCore, StopsAtMaxInsts)
+{
+    std::vector<Inst> insts;
+    for (int i = 0; i < 100; ++i)
+        insts.push_back(alu(Opcode::Add, 1, 9, 10));
+    TestMachine m;
+    VectorSource src(sequence(insts));
+    const auto r = m.core.run(src, 40);
+    EXPECT_EQ(r.insts, 40u);
+}
+
+TEST(OoOCore, CountsCondBranches)
+{
+    std::vector<DynInst> stream;
+    for (int i = 0; i < 50; ++i) {
+        DynInst d;
+        d.seq = i;
+        d.pc = 0x10000 + 4 * i;
+        d.nextPc = d.pc + 4;
+        if (i % 5 == 0) {
+            d.inst.op = Opcode::Beq;
+            d.inst.rs1 = 1;
+            d.inst.rs2 = 2;
+            d.taken = false;
+        } else {
+            d.inst = alu(Opcode::Add, 1, 9, 10);
+        }
+        stream.push_back(d);
+    }
+    TestMachine m;
+    VectorSource src(stream);
+    const auto r = m.core.run(src, stream.size());
+    EXPECT_EQ(r.condBranches, 10u);
+}
+
+TEST(OoOCore, DeterministicAcrossRuns)
+{
+    std::vector<Inst> insts;
+    for (int i = 0; i < 500; ++i)
+        insts.push_back(alu(i % 7 ? Opcode::Add : Opcode::Mul,
+                            1 + (i % 5), 1 + ((i + 1) % 5), 9));
+    TestMachine m1, m2;
+    VectorSource s1(sequence(insts)), s2(sequence(insts));
+    const auto r1 = m1.core.run(s1, insts.size());
+    const auto r2 = m2.core.run(s2, insts.size());
+    EXPECT_EQ(r1.cycles, r2.cycles);
+    EXPECT_EQ(r1.insts, r2.insts);
+}
+
+TEST(OoOCore, SharedStateWarmsAcrossRuns)
+{
+    // Two identical runs on one machine: the second sees warm caches and
+    // a trained predictor, so it must be no slower.
+    std::vector<DynInst> stream;
+    for (int i = 0; i < 500; ++i) {
+        DynInst d;
+        d.seq = i;
+        d.pc = 0x10000 + 4 * (i % 50);
+        d.nextPc = d.pc + 4;
+        d.inst.op = Opcode::Ld;
+        d.inst.rd = 2 + (i % 8);
+        d.inst.rs1 = 1;
+        d.effAddr = 0x1000000 + (i % 64) * 64;
+        stream.push_back(d);
+    }
+    TestMachine m;
+    VectorSource s1(stream), s2(stream);
+    const auto cold = m.core.run(s1, stream.size());
+    m.hier.l1Bus().reset();
+    m.hier.l2Bus().reset();
+    const auto warm = m.core.run(s2, stream.size());
+    EXPECT_LT(warm.cycles, cold.cycles);
+}
+
+TEST(OoOCore, StoreForwardingAcceleratesDependentLoads)
+{
+    // store to X; load from X shortly after, repeatedly at fresh lines so
+    // the load misses the cache: with forwarding the load completes from
+    // the LSQ, without it each load pays the full miss.
+    auto mk = [] {
+        std::vector<DynInst> s;
+        for (int i = 0; i < 400; i += 2) {
+            DynInst st;
+            st.seq = i;
+            st.pc = 0x10000 + 4 * (i % 16);
+            st.nextPc = st.pc + 4;
+            st.inst.op = Opcode::Sd;
+            st.inst.rs1 = 1;
+            st.inst.rs2 = 9;
+            st.effAddr = 0x2000000 + (i / 2) * 4096;
+            s.push_back(st);
+            DynInst ld;
+            ld.seq = i + 1;
+            ld.pc = st.pc + 4;
+            ld.nextPc = ld.pc + 4;
+            ld.inst.op = Opcode::Ld;
+            ld.inst.rd = 2 + (i % 8);
+            ld.inst.rs1 = 1;
+            ld.effAddr = st.effAddr;
+            s.push_back(ld);
+        }
+        return s;
+    };
+    CoreParams fwd;
+    fwd.storeForwarding = true;
+    TestMachine with(fwd), without;
+    VectorSource s1(mk()), s2(mk());
+    const auto rf = with.core.run(s1, 400);
+    const auto rn = without.core.run(s2, 400);
+    EXPECT_GT(rf.forwardedLoads, 150u);
+    EXPECT_EQ(rn.forwardedLoads, 0u);
+    EXPECT_LT(rf.cycles, rn.cycles);
+    EXPECT_EQ(rf.loads, 200u);
+    EXPECT_EQ(rf.stores, 200u);
+}
+
+TEST(OoOCore, ForwardingOnlyFromOlderStores)
+{
+    // A load *before* the store to the same address must not forward.
+    std::vector<DynInst> s;
+    DynInst ld;
+    ld.seq = 0;
+    ld.pc = 0x10000;
+    ld.nextPc = ld.pc + 4;
+    ld.inst.op = Opcode::Ld;
+    ld.inst.rd = 2;
+    ld.inst.rs1 = 1;
+    ld.effAddr = 0x2000000;
+    s.push_back(ld);
+    DynInst st;
+    st.seq = 1;
+    st.pc = 0x10004;
+    st.nextPc = st.pc + 4;
+    st.inst.op = Opcode::Sd;
+    st.inst.rs1 = 1;
+    st.inst.rs2 = 9;
+    st.effAddr = 0x2000000;
+    s.push_back(st);
+    CoreParams fwd;
+    fwd.storeForwarding = true;
+    TestMachine m(fwd);
+    VectorSource src(s);
+    const auto r = m.core.run(src, 2);
+    EXPECT_EQ(r.forwardedLoads, 0u);
+}
+
+TEST(OoOCore, StallCounterspopulated)
+{
+    // Dependent-load chain: the ROB drains slowly, so dispatch stalls;
+    // the single I-cache miss blocks fetch briefly.
+    std::vector<DynInst> s;
+    for (int i = 0; i < 300; ++i) {
+        DynInst d;
+        d.seq = i;
+        d.pc = 0x10000 + 4 * (i % 16);
+        d.nextPc = d.pc + 4;
+        d.inst.op = Opcode::Ld;
+        d.inst.rd = 1;
+        d.inst.rs1 = 1;
+        d.effAddr = 0x1000000 + i * 4096;
+        s.push_back(d);
+    }
+    TestMachine m;
+    VectorSource src(s);
+    const auto r = m.core.run(src, s.size());
+    EXPECT_GT(r.dispatchStallCycles, 100u);
+    EXPECT_GT(r.fetchBlockedCycles, 0u);
+    EXPECT_EQ(r.loads, 300u);
+}
+
+} // namespace
+} // namespace rsr::uarch

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Workload tests: ProgramBuilder label/fixup/data machinery and the nine
+ * synthetic SPEC2000-like generators — validity (programs run without
+ * falling off the code), determinism, and first-order characteristics
+ * (memory/branch/FP mix, call activity, working-set axes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "func/funcsim.hh"
+#include "workload/program_builder.hh"
+#include "workload/synthetic.hh"
+
+namespace rsr::workload
+{
+namespace
+{
+
+using isa::BranchKind;
+using isa::Opcode;
+
+TEST(ProgramBuilder, ForwardBranchFixup)
+{
+    ProgramBuilder b;
+    Label target = b.newLabel();
+    b.branch(Opcode::Beq, 0, 0, target); // always taken
+    b.addi(1, 0, 99);                    // skipped
+    b.bind(target);
+    b.addi(2, 0, 7);
+    b.halt();
+    static func::Program prog = b.build("t");
+    func::FuncSim fs(prog);
+    fs.run(100);
+    EXPECT_EQ(fs.reg(1), 0u);
+    EXPECT_EQ(fs.reg(2), 7u);
+}
+
+TEST(ProgramBuilder, BackwardBranch)
+{
+    ProgramBuilder b;
+    b.addi(1, 0, 3);
+    Label loop = b.here();
+    b.addi(2, 2, 1);
+    b.addi(1, 1, -1);
+    b.branch(Opcode::Bne, 1, 0, loop);
+    b.halt();
+    static func::Program prog = b.build("t");
+    func::FuncSim fs(prog);
+    fs.run(100);
+    EXPECT_EQ(fs.reg(2), 3u);
+}
+
+TEST(ProgramBuilder, JumpFixup)
+{
+    ProgramBuilder b;
+    Label over = b.newLabel();
+    b.jump(over);
+    b.addi(1, 0, 1);
+    b.bind(over);
+    b.halt();
+    static func::Program prog = b.build("t");
+    func::FuncSim fs(prog);
+    fs.run(100);
+    EXPECT_EQ(fs.reg(1), 0u);
+}
+
+TEST(ProgramBuilder, EntryLabel)
+{
+    ProgramBuilder b;
+    b.addi(1, 0, 1); // skipped: entry points past it
+    Label entry = b.here();
+    b.addi(2, 0, 2);
+    b.halt();
+    static func::Program prog = b.build("t", entry);
+    func::FuncSim fs(prog);
+    fs.run(100);
+    EXPECT_EQ(fs.reg(1), 0u);
+    EXPECT_EQ(fs.reg(2), 2u);
+}
+
+TEST(ProgramBuilder, DataAllocationAlignedAndDisjoint)
+{
+    ProgramBuilder b;
+    const auto a = b.allocData(100, 64);
+    const auto c = b.allocData(10, 64);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(c % 64, 0u);
+    EXPECT_GE(c, a + 100);
+}
+
+TEST(ProgramBuilder, PokeDataVisibleToProgram)
+{
+    ProgramBuilder b;
+    const auto slot = b.allocData(8);
+    b.pokeData(slot, 0xabcdef, 8);
+    b.loadImm64(1, slot);
+    b.load(Opcode::Ld, 2, 1, 0);
+    b.halt();
+    static func::Program prog = b.build("t");
+    func::FuncSim fs(prog);
+    fs.run(100);
+    EXPECT_EQ(fs.reg(2), 0xabcdefu);
+}
+
+TEST(ProgramBuilder, AddressOfBoundLabel)
+{
+    ProgramBuilder b;
+    b.nop();
+    Label l = b.here();
+    EXPECT_EQ(b.addressOf(l), 0x10000u + 4);
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic generators.
+// ---------------------------------------------------------------------------
+
+/** Dynamic profile of a program's first @p n instructions. */
+struct DynProfile
+{
+    std::uint64_t insts = 0;
+    std::uint64_t memOps = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t condBranches = 0;
+    std::uint64_t condTaken = 0;
+    std::uint64_t calls = 0;
+    std::uint64_t returns = 0;
+    std::uint64_t indirect = 0;
+    std::uint64_t fpOps = 0;
+    std::set<std::uint64_t> dataLines;
+    std::set<std::uint64_t> codeLines;
+};
+
+DynProfile
+profile(const func::Program &prog, std::uint64_t n)
+{
+    DynProfile p;
+    func::FuncSim fs(prog);
+    func::DynInst d;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (!fs.step(&d))
+            break;
+        ++p.insts;
+        p.codeLines.insert(d.pc >> 6);
+        if (d.inst.isMem()) {
+            ++p.memOps;
+            d.inst.isStore() ? ++p.stores : ++p.loads;
+            p.dataLines.insert(d.effAddr >> 6);
+        }
+        if (d.inst.isFp())
+            ++p.fpOps;
+        switch (d.inst.branchKind()) {
+          case BranchKind::Conditional:
+            ++p.condBranches;
+            p.condTaken += d.taken;
+            break;
+          case BranchKind::Call:
+            ++p.calls;
+            p.indirect += d.inst.op == Opcode::Jalr;
+            break;
+          case BranchKind::Return:
+            ++p.returns;
+            break;
+          default:
+            break;
+        }
+    }
+    return p;
+}
+
+TEST(Synthetic, NineStandardProfiles)
+{
+    const auto all = standardWorkloadParams();
+    ASSERT_EQ(all.size(), 9u);
+    std::set<std::string> names;
+    for (const auto &p : all)
+        names.insert(p.name);
+    for (const char *n : {"ammp", "art", "gcc", "mcf", "parser", "perl",
+                          "twolf", "vortex", "vpr"})
+        EXPECT_TRUE(names.count(n)) << n;
+}
+
+TEST(Synthetic, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(standardWorkloadParams("nonesuch"),
+                ::testing::ExitedWithCode(1), "unknown standard workload");
+}
+
+class StandardWorkload : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(StandardWorkload, RunsFarWithoutHalting)
+{
+    const auto prog =
+        buildSynthetic(standardWorkloadParams(GetParam()));
+    func::FuncSim fs(prog);
+    EXPECT_EQ(fs.run(300000), 300000u) << "program halted early";
+}
+
+TEST_P(StandardWorkload, DeterministicBuildAndRun)
+{
+    const auto p1 = buildSynthetic(standardWorkloadParams(GetParam()));
+    const auto p2 = buildSynthetic(standardWorkloadParams(GetParam()));
+    ASSERT_EQ(p1.code, p2.code);
+    func::FuncSim a(p1), b(p2);
+    a.run(50000);
+    b.run(50000);
+    EXPECT_EQ(a.pc(), b.pc());
+    EXPECT_EQ(a.state().regs, b.state().regs);
+}
+
+TEST_P(StandardWorkload, ReasonableInstructionMix)
+{
+    const auto prog =
+        buildSynthetic(standardWorkloadParams(GetParam()));
+    const auto p = profile(prog, 200000);
+    ASSERT_EQ(p.insts, 200000u);
+    const double mem = double(p.memOps) / p.insts;
+    const double br = double(p.condBranches) / p.insts;
+    EXPECT_GT(mem, 0.05) << "too few memory ops";
+    EXPECT_LT(mem, 0.6) << "too many memory ops";
+    EXPECT_GT(br, 0.01) << "too few conditional branches";
+    EXPECT_LT(br, 0.35) << "too many conditional branches";
+    EXPECT_GT(p.stores, 0u);
+    EXPECT_GT(p.calls, 0u);
+    EXPECT_EQ(p.calls >= p.returns, true);
+}
+
+TEST_P(StandardWorkload, BranchBiasRoughlyAsConfigured)
+{
+    const auto params = standardWorkloadParams(GetParam());
+    const auto prog = buildSynthetic(params);
+    const auto p = profile(prog, 200000);
+    const double taken = double(p.condTaken) / p.condBranches;
+    // Loop-closing and dispatch branches push the overall ratio around;
+    // just require a sane band and correlation with the bias knob.
+    EXPECT_GT(taken, 0.35);
+    EXPECT_LT(taken, 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, StandardWorkload,
+                         ::testing::Values("ammp", "art", "gcc", "mcf",
+                                           "parser", "perl", "twolf",
+                                           "vortex", "vpr"));
+
+TEST(Synthetic, FpProfilesUseFp)
+{
+    const auto ammp = profile(
+        buildSynthetic(standardWorkloadParams("ammp")), 100000);
+    const auto gcc = profile(
+        buildSynthetic(standardWorkloadParams("gcc")), 100000);
+    EXPECT_GT(ammp.fpOps * 10, ammp.insts) << "ammp should be FP-heavy";
+    EXPECT_EQ(gcc.fpOps, 0u) << "gcc is an integer workload";
+}
+
+TEST(Synthetic, McfChasesPointers)
+{
+    // mcf's footprint should dwarf twolf's (pointer chase over 2 MB).
+    const auto mcf =
+        profile(buildSynthetic(standardWorkloadParams("mcf")), 150000);
+    const auto twolf =
+        profile(buildSynthetic(standardWorkloadParams("twolf")), 150000);
+    EXPECT_GT(mcf.dataLines.size(), 4 * twolf.dataLines.size());
+}
+
+TEST(Synthetic, CodeFootprintsDiffer)
+{
+    const auto gcc =
+        profile(buildSynthetic(standardWorkloadParams("gcc")), 150000);
+    const auto art =
+        profile(buildSynthetic(standardWorkloadParams("art")), 150000);
+    EXPECT_GT(gcc.codeLines.size(), 3 * art.codeLines.size());
+}
+
+TEST(Synthetic, RecursionExercisesReturnStack)
+{
+    const auto parser =
+        profile(buildSynthetic(standardWorkloadParams("parser")), 150000);
+    EXPECT_GT(parser.returns, 100u);
+}
+
+TEST(Synthetic, IndirectDispatchWorkloadsUseJalr)
+{
+    const auto perl =
+        profile(buildSynthetic(standardWorkloadParams("perl")), 150000);
+    const auto art =
+        profile(buildSynthetic(standardWorkloadParams("art")), 150000);
+    EXPECT_GT(perl.indirect, 0u);
+    EXPECT_EQ(art.indirect, 0u); // compare-chain dispatch
+}
+
+TEST(Synthetic, CustomParamsRespected)
+{
+    WorkloadParams p;
+    p.name = "custom";
+    p.seed = 7;
+    p.streamBytes = 64 * 1024;
+    p.fpFrac = 0.0;
+    p.numFuncs = 4;
+    p.blocksPerFunc = 2;
+    p.innerIters = 4;
+    const auto prof = profile(buildSynthetic(p), 50000);
+    EXPECT_EQ(prof.fpOps, 0u);
+    EXPECT_EQ(prof.insts, 50000u);
+}
+
+TEST(Synthetic, SeedChangesProgram)
+{
+    WorkloadParams a = standardWorkloadParams("gcc");
+    WorkloadParams b = a;
+    b.seed = a.seed + 1;
+    EXPECT_NE(buildSynthetic(a).code, buildSynthetic(b).code);
+}
+
+} // namespace
+} // namespace rsr::workload

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * The rsr-sim command-line driver: one binary exposing the library's
+ * main flows for interactive use and scripting.
+ *
+ *   rsr_sim list-workloads
+ *   rsr_sim true-ipc     --workload gcc [--insts N] [--machine scaled|paper]
+ *   rsr_sim sample       --workload gcc --policy rsr20 [--insts N]
+ *                        [--clusters C] [--cluster-size S] [--seed X]
+ *                        [--machine scaled|paper] [--true-ipc] [--csv]
+ *   rsr_sim record-trace --workload gcc --out file.trc [--insts N]
+ *   rsr_sim sim-trace    --trace file.trc [--insts N] [--machine ...]
+ *   rsr_sim simpoint     --workload gcc [--insts N] [--interval I]
+ *                        [--max-k K] [--warm]
+ *
+ * Policies: none, smarts, scache, sbp, fp<pct>, rsr<pct>, rcache<pct>,
+ * rbp (RSR variants accept a +stale suffix), mrrl, blrl.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/config_file.hh"
+#include "core/livepoints.hh"
+#include "core/stats_report.hh"
+#include "func/funcsim.hh"
+#include "core/reuse_latency.hh"
+#include "core/sampled_sim.hh"
+#include "core/warmup.hh"
+#include "simpoint/simpoint.hh"
+#include "trace/trace.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "workload/synthetic.hh"
+
+namespace
+{
+
+using namespace rsr;
+
+core::MachineConfig
+machineFor(const ArgParser &args)
+{
+    const std::string kind = args.get("machine", "scaled");
+    core::MachineConfig mc;
+    if (kind == "scaled")
+        mc = core::MachineConfig::scaledDefault();
+    else if (kind == "paper")
+        mc = core::MachineConfig::paperDefault();
+    else
+        rsr_fatal("--machine must be 'scaled' or 'paper', got '", kind,
+                  "'");
+    if (args.has("config"))
+        mc = core::loadMachineConfig(args.get("config"), mc);
+    if (args.has("set")) {
+        const std::string kv = args.get("set");
+        const auto eq = kv.find('=');
+        if (eq == std::string::npos)
+            rsr_fatal("--set expects key=value, got '", kv, "'");
+        core::applyMachineOption(mc, kv.substr(0, eq), kv.substr(eq + 1));
+    }
+    return mc;
+}
+
+func::Program
+workloadFor(const ArgParser &args)
+{
+    const std::string name = args.get("workload");
+    if (name.empty())
+        rsr_fatal("--workload is required (try: rsr_sim list-workloads)");
+    return workload::buildSynthetic(
+        workload::standardWorkloadParams(name));
+}
+
+int
+cmdListWorkloads()
+{
+    TextTable t({"name", "stream", "chase", "branch bias", "funcs",
+                 "recursion", "fp", "dispatch"});
+    for (const auto &p : workload::standardWorkloadParams()) {
+        t.addRow({p.name, std::to_string(p.streamBytes >> 10) + "K",
+                  p.chaseBytes ? std::to_string(p.chaseBytes >> 10) + "K"
+                               : "-",
+                  TextTable::num(p.branchBias, 2),
+                  std::to_string(p.numFuncs),
+                  p.recursionDepth ? std::to_string(p.recursionDepth)
+                                   : "-",
+                  TextTable::num(p.fpFrac, 2),
+                  p.indirectDispatch ? "indirect" : "chain"});
+    }
+    t.print();
+    return 0;
+}
+
+int
+cmdTrueIpc(const ArgParser &args)
+{
+    const auto program = workloadFor(args);
+    const auto insts = args.getU64("insts", 4'000'000);
+    const auto mc = machineFor(args);
+    if (args.has("stats")) {
+        // Run inline so the machine's counters survive for the report.
+        core::Machine machine(mc);
+        func::FuncSim fs(program);
+        struct Src : uarch::InstSource
+        {
+            func::FuncSim &fs;
+            explicit Src(func::FuncSim &fs) : fs(fs) {}
+            bool next(func::DynInst &out) override { return fs.step(&out); }
+        } src(fs);
+        uarch::OoOCore core(mc.core, machine.hier, machine.bp);
+        const auto r = core.run(src, insts);
+        std::printf("%s", core::formatStats(machine, r).c_str());
+        return 0;
+    }
+    const auto full = core::runFull(program, insts, mc);
+    std::printf("workload %s: true IPC %.4f over %llu instructions "
+                "(%llu cycles, %.2fs)\n",
+                args.get("workload").c_str(), full.ipc(),
+                static_cast<unsigned long long>(full.timing.insts),
+                static_cast<unsigned long long>(full.timing.cycles),
+                full.seconds);
+    return 0;
+}
+
+int
+cmdSample(const ArgParser &args)
+{
+    const auto program = workloadFor(args);
+    core::SampledConfig cfg;
+    cfg.totalInsts = args.getU64("insts", 4'000'000);
+    cfg.regimen.numClusters = args.getU64("clusters", 60);
+    cfg.regimen.clusterSize = args.getU64("cluster-size", 3000);
+    cfg.scheduleSeed = args.getU64("seed", cfg.scheduleSeed);
+    cfg.machine = machineFor(args);
+
+    const std::string policy_name = args.get("policy", "rsr20");
+    std::unique_ptr<core::WarmupPolicy> policy;
+    if (policy_name == "mrrl" || policy_name == "blrl") {
+        Rng rng(cfg.scheduleSeed);
+        const auto schedule =
+            core::makeSchedule(cfg.regimen, cfg.totalInsts, rng);
+        const auto kind = policy_name == "mrrl"
+                              ? core::ReuseLatencyKind::Mrrl
+                              : core::ReuseLatencyKind::Blrl;
+        policy = std::make_unique<core::ReuseLatencyWarmup>(
+            core::profileReuseLatency(program, schedule, kind));
+    } else {
+        policy = core::makePolicyByName(policy_name);
+    }
+
+    const auto r = core::runSampled(program, *policy, cfg);
+
+    if (args.has("csv")) {
+        std::printf("cluster,ipc\n");
+        for (std::size_t i = 0; i < r.clusterIpc.size(); ++i)
+            std::printf("%zu,%.6f\n", i, r.clusterIpc[i]);
+    }
+
+    std::printf("policy %s on %s: IPC estimate %.4f  "
+                "CI [%.4f, %.4f]  aggregate %.4f\n",
+                policy->name().c_str(), args.get("workload").c_str(),
+                r.estimate.mean, r.estimate.ciLow, r.estimate.ciHigh,
+                r.aggregateIpc());
+    std::printf("  %llu clusters x %llu insts, %llu skipped; %.3fs; "
+                "warm updates %llu; logged %llu (peak %llu bytes)\n",
+                static_cast<unsigned long long>(r.clusterIpc.size()),
+                static_cast<unsigned long long>(cfg.regimen.clusterSize),
+                static_cast<unsigned long long>(r.skippedInsts),
+                r.seconds,
+                static_cast<unsigned long long>(
+                    r.warmWork.totalUpdates()),
+                static_cast<unsigned long long>(
+                    r.warmWork.loggedRecords),
+                static_cast<unsigned long long>(r.warmWork.peakLogBytes));
+
+    if (args.has("true-ipc")) {
+        const auto full =
+            core::runFull(program, cfg.totalInsts, cfg.machine);
+        std::printf("  true IPC %.4f  relative error %.4f  CI %s\n",
+                    full.ipc(), r.estimate.relativeError(full.ipc()),
+                    r.estimate.passesCi(full.ipc()) ? "pass" : "FAIL");
+    }
+    return 0;
+}
+
+int
+cmdCapture(const ArgParser &args)
+{
+    const auto program = workloadFor(args);
+    const std::string out = args.get("out");
+    if (out.empty())
+        rsr_fatal("--out is required");
+    core::SampledConfig cfg;
+    cfg.totalInsts = args.getU64("insts", 4'000'000);
+    cfg.regimen.numClusters = args.getU64("clusters", 60);
+    cfg.regimen.clusterSize = args.getU64("cluster-size", 3000);
+    cfg.scheduleSeed = args.getU64("seed", cfg.scheduleSeed);
+    cfg.machine = machineFor(args);
+    auto policy = core::makePolicyByName(args.get("policy", "smarts"));
+    const auto lib =
+        core::LivePointLibrary::capture(program, *policy, cfg);
+    const auto bytes = lib.serialize();
+    std::FILE *f = std::fopen(out.c_str(), "wb");
+    if (!f)
+        rsr_fatal("cannot open ", out, " for writing");
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    std::printf("captured %zu live-points (%.1f MB) to %s\n",
+                lib.points().size(), bytes.size() / 1048576.0,
+                out.c_str());
+    return 0;
+}
+
+int
+cmdReplay(const ArgParser &args)
+{
+    const std::string path = args.get("lib");
+    if (path.empty())
+        rsr_fatal("--lib is required");
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        rsr_fatal("cannot open live-point library: ", path);
+    std::vector<std::uint8_t> bytes;
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    std::fclose(f);
+    const auto lib = core::LivePointLibrary::deserialize(bytes);
+
+    auto core_params = lib.machineConfig().core;
+    if (args.has("set")) {
+        // Reuse the machine-option syntax for core overrides.
+        auto mc = lib.machineConfig();
+        const std::string kv = args.get("set");
+        const auto eq = kv.find('=');
+        if (eq == std::string::npos)
+            rsr_fatal("--set expects key=value");
+        core::applyMachineOption(mc, kv.substr(0, eq),
+                                 kv.substr(eq + 1));
+        core_params = mc.core;
+    }
+    const auto r = lib.replay(core_params);
+    std::printf("replayed %zu clusters: IPC %.4f  CI [%.4f, %.4f]  "
+                "(%.3fs)\n",
+                lib.points().size(), r.estimate.mean, r.estimate.ciLow,
+                r.estimate.ciHigh, r.seconds);
+    return 0;
+}
+
+int
+cmdRecordTrace(const ArgParser &args)
+{
+    const auto program = workloadFor(args);
+    const std::string out = args.get("out");
+    if (out.empty())
+        rsr_fatal("--out is required");
+    const auto insts = args.getU64("insts", 1'000'000);
+    const auto n = trace::recordTrace(program, insts, out);
+    std::printf("recorded %llu instructions to %s\n",
+                static_cast<unsigned long long>(n), out.c_str());
+    return 0;
+}
+
+int
+cmdSimTrace(const ArgParser &args)
+{
+    const std::string path = args.get("trace");
+    if (path.empty())
+        rsr_fatal("--trace is required");
+    trace::TraceReader reader(path);
+    const auto mc = machineFor(args);
+    core::Machine machine(mc);
+    uarch::OoOCore core(mc.core, machine.hier, machine.bp);
+    const auto insts = args.getU64("insts", reader.records());
+    const auto r = core.run(reader, insts);
+    std::printf("trace %s: %llu insts, %llu cycles, IPC %.4f, "
+                "%llu mispredicts\n",
+                path.c_str(), static_cast<unsigned long long>(r.insts),
+                static_cast<unsigned long long>(r.cycles), r.ipc(),
+                static_cast<unsigned long long>(r.branchMispredicts));
+    return 0;
+}
+
+int
+cmdSimPoint(const ArgParser &args)
+{
+    const auto program = workloadFor(args);
+    const auto insts = args.getU64("insts", 2'000'000);
+    simpoint::SimPointConfig cfg;
+    cfg.intervalSize = args.getU64("interval", 2000);
+    cfg.maxK = static_cast<unsigned>(args.getU64("max-k", 30));
+    const auto sel = simpoint::pickSimPoints(program, insts, cfg);
+    std::printf("selected %u simulation points (interval %llu)\n", sel.k,
+                static_cast<unsigned long long>(cfg.intervalSize));
+    const auto r = simpoint::runSimPoints(program, sel, args.has("warm"),
+                                          machineFor(args));
+    std::printf("SimPoint IPC estimate %.4f (%s warm-up, %.2fs)\n", r.ipc,
+                args.has("warm") ? "SMARTS" : "no", r.seconds);
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: rsr_sim <command> [--flags]\n"
+        "  list-workloads\n"
+        "  true-ipc     --workload W [--insts N] [--machine scaled|paper]\n"
+        "  sample       --workload W --policy P [--insts N] [--clusters C]\n"
+        "               [--cluster-size S] [--seed X] [--true-ipc] [--csv]\n"
+        "  record-trace --workload W --out FILE [--insts N]\n"
+        "  sim-trace    --trace FILE [--insts N]\n"
+        "  simpoint     --workload W [--insts N] [--interval I] [--max-k K]"
+        " [--warm]\n"
+        "  capture      --workload W --out FILE [--policy P] [--insts N]\n"
+        "  replay       --lib FILE [--set core.<field>=V]\n"
+        "policies: none smarts scache sbp fp<pct> rsr<pct>[+stale] "
+        "rcache<pct> rbp mrrl blrl\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const ArgParser args(argc, argv);
+    const std::set<std::string> allowed{
+        "workload", "insts", "machine", "policy", "clusters",
+        "cluster-size", "seed",  "true-ipc", "csv",   "out",
+        "trace",    "interval", "max-k",  "warm", "stats", "config",
+        "set",      "lib"};
+    for (const auto &f : args.unknownFlags(allowed))
+        rsr_fatal("unknown flag --", f, " (run without arguments for "
+                  "usage)");
+
+    const std::string cmd = args.command();
+    if (cmd == "list-workloads")
+        return cmdListWorkloads();
+    if (cmd == "true-ipc")
+        return cmdTrueIpc(args);
+    if (cmd == "sample")
+        return cmdSample(args);
+    if (cmd == "record-trace")
+        return cmdRecordTrace(args);
+    if (cmd == "capture")
+        return cmdCapture(args);
+    if (cmd == "replay")
+        return cmdReplay(args);
+    if (cmd == "sim-trace")
+        return cmdSimTrace(args);
+    if (cmd == "simpoint")
+        return cmdSimPoint(args);
+    usage();
+    return cmd.empty() ? 0 : 1;
+}
