@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rsr_variants.dir/ablation_rsr_variants.cc.o"
+  "CMakeFiles/ablation_rsr_variants.dir/ablation_rsr_variants.cc.o.d"
+  "ablation_rsr_variants"
+  "ablation_rsr_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rsr_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

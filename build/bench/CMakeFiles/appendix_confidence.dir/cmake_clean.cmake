@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_confidence.dir/appendix_confidence.cc.o"
+  "CMakeFiles/appendix_confidence.dir/appendix_confidence.cc.o.d"
+  "appendix_confidence"
+  "appendix_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for appendix_confidence.
+# This may be replaced when dependencies are built.

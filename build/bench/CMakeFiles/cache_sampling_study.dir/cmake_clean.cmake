@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_sampling_study.dir/cache_sampling_study.cc.o"
+  "CMakeFiles/cache_sampling_study.dir/cache_sampling_study.cc.o.d"
+  "cache_sampling_study"
+  "cache_sampling_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_sampling_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_cache_warmup.dir/fig5_cache_warmup.cc.o"
+  "CMakeFiles/fig5_cache_warmup.dir/fig5_cache_warmup.cc.o.d"
+  "fig5_cache_warmup"
+  "fig5_cache_warmup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cache_warmup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_branch_warmup.dir/fig6_branch_warmup.cc.o"
+  "CMakeFiles/fig6_branch_warmup.dir/fig6_branch_warmup.cc.o.d"
+  "fig6_branch_warmup"
+  "fig6_branch_warmup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_branch_warmup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

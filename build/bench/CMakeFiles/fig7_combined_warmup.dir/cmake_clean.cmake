@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_combined_warmup.dir/fig7_combined_warmup.cc.o"
+  "CMakeFiles/fig7_combined_warmup.dir/fig7_combined_warmup.cc.o.d"
+  "fig7_combined_warmup"
+  "fig7_combined_warmup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_combined_warmup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

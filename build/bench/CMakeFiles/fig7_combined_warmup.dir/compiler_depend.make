@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_combined_warmup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_combined_warmup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_rsr_vs_smarts.dir/fig8_rsr_vs_smarts.cc.o"
+  "CMakeFiles/fig8_rsr_vs_smarts.dir/fig8_rsr_vs_smarts.cc.o.d"
+  "fig8_rsr_vs_smarts"
+  "fig8_rsr_vs_smarts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_rsr_vs_smarts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

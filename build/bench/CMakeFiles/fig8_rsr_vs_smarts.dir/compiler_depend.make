@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8_rsr_vs_smarts.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_simpoint.dir/fig9_simpoint.cc.o"
+  "CMakeFiles/fig9_simpoint.dir/fig9_simpoint.cc.o.d"
+  "fig9_simpoint"
+  "fig9_simpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_simpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

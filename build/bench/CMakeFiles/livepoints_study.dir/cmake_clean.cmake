@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livepoints_study.dir/livepoints_study.cc.o"
+  "CMakeFiles/livepoints_study.dir/livepoints_study.cc.o.d"
+  "livepoints_study"
+  "livepoints_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livepoints_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

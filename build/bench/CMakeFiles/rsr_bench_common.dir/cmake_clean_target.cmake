@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/librsr_bench_common.a"
+)

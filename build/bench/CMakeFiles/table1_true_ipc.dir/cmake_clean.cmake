@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_true_ipc.dir/table1_true_ipc.cc.o"
+  "CMakeFiles/table1_true_ipc.dir/table1_true_ipc.cc.o.d"
+  "table1_true_ipc"
+  "table1_true_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_true_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_warmup_methods.dir/table2_warmup_methods.cc.o"
+  "CMakeFiles/table2_warmup_methods.dir/table2_warmup_methods.cc.o.d"
+  "table2_warmup_methods"
+  "table2_warmup_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_warmup_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_reconstruction_demo.dir/cache_reconstruction_demo.cpp.o"
+  "CMakeFiles/cache_reconstruction_demo.dir/cache_reconstruction_demo.cpp.o.d"
+  "cache_reconstruction_demo"
+  "cache_reconstruction_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_reconstruction_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

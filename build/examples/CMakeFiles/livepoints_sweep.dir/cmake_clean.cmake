@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livepoints_sweep.dir/livepoints_sweep.cpp.o"
+  "CMakeFiles/livepoints_sweep.dir/livepoints_sweep.cpp.o.d"
+  "livepoints_sweep"
+  "livepoints_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livepoints_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simpoint_demo.dir/simpoint_demo.cpp.o"
+  "CMakeFiles/simpoint_demo.dir/simpoint_demo.cpp.o.d"
+  "simpoint_demo"
+  "simpoint_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simpoint_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warmup_comparison.dir/warmup_comparison.cpp.o"
+  "CMakeFiles/warmup_comparison.dir/warmup_comparison.cpp.o.d"
+  "warmup_comparison"
+  "warmup_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warmup_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("isa")
+subdirs("mem")
+subdirs("func")
+subdirs("workload")
+subdirs("cache")
+subdirs("branch")
+subdirs("uarch")
+subdirs("trace")
+subdirs("core")
+subdirs("simpoint")
+subdirs("cachestudy")

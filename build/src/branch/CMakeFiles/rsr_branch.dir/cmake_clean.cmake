@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsr_branch.dir/predictor.cc.o"
+  "CMakeFiles/rsr_branch.dir/predictor.cc.o.d"
+  "librsr_branch.a"
+  "librsr_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsr_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

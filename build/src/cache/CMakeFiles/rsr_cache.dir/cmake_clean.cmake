@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsr_cache.dir/cache.cc.o"
+  "CMakeFiles/rsr_cache.dir/cache.cc.o.d"
+  "CMakeFiles/rsr_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/rsr_cache.dir/hierarchy.cc.o.d"
+  "librsr_cache.a"
+  "librsr_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsr_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

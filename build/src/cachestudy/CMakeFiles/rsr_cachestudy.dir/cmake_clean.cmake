@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsr_cachestudy.dir/miss_ratio.cc.o"
+  "CMakeFiles/rsr_cachestudy.dir/miss_ratio.cc.o.d"
+  "librsr_cachestudy.a"
+  "librsr_cachestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsr_cachestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

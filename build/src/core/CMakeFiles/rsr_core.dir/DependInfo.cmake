@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/branch_reconstructor.cc" "src/core/CMakeFiles/rsr_core.dir/branch_reconstructor.cc.o" "gcc" "src/core/CMakeFiles/rsr_core.dir/branch_reconstructor.cc.o.d"
+  "/root/repo/src/core/cache_reconstructor.cc" "src/core/CMakeFiles/rsr_core.dir/cache_reconstructor.cc.o" "gcc" "src/core/CMakeFiles/rsr_core.dir/cache_reconstructor.cc.o.d"
+  "/root/repo/src/core/config_file.cc" "src/core/CMakeFiles/rsr_core.dir/config_file.cc.o" "gcc" "src/core/CMakeFiles/rsr_core.dir/config_file.cc.o.d"
+  "/root/repo/src/core/counter_inference.cc" "src/core/CMakeFiles/rsr_core.dir/counter_inference.cc.o" "gcc" "src/core/CMakeFiles/rsr_core.dir/counter_inference.cc.o.d"
+  "/root/repo/src/core/livepoints.cc" "src/core/CMakeFiles/rsr_core.dir/livepoints.cc.o" "gcc" "src/core/CMakeFiles/rsr_core.dir/livepoints.cc.o.d"
+  "/root/repo/src/core/regimen.cc" "src/core/CMakeFiles/rsr_core.dir/regimen.cc.o" "gcc" "src/core/CMakeFiles/rsr_core.dir/regimen.cc.o.d"
+  "/root/repo/src/core/reuse_latency.cc" "src/core/CMakeFiles/rsr_core.dir/reuse_latency.cc.o" "gcc" "src/core/CMakeFiles/rsr_core.dir/reuse_latency.cc.o.d"
+  "/root/repo/src/core/sampled_sim.cc" "src/core/CMakeFiles/rsr_core.dir/sampled_sim.cc.o" "gcc" "src/core/CMakeFiles/rsr_core.dir/sampled_sim.cc.o.d"
+  "/root/repo/src/core/statistics.cc" "src/core/CMakeFiles/rsr_core.dir/statistics.cc.o" "gcc" "src/core/CMakeFiles/rsr_core.dir/statistics.cc.o.d"
+  "/root/repo/src/core/stats_report.cc" "src/core/CMakeFiles/rsr_core.dir/stats_report.cc.o" "gcc" "src/core/CMakeFiles/rsr_core.dir/stats_report.cc.o.d"
+  "/root/repo/src/core/warmup.cc" "src/core/CMakeFiles/rsr_core.dir/warmup.cc.o" "gcc" "src/core/CMakeFiles/rsr_core.dir/warmup.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uarch/CMakeFiles/rsr_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/rsr_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/rsr_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/rsr_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rsr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rsr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

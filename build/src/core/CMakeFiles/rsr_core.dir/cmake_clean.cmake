@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsr_core.dir/branch_reconstructor.cc.o"
+  "CMakeFiles/rsr_core.dir/branch_reconstructor.cc.o.d"
+  "CMakeFiles/rsr_core.dir/cache_reconstructor.cc.o"
+  "CMakeFiles/rsr_core.dir/cache_reconstructor.cc.o.d"
+  "CMakeFiles/rsr_core.dir/config_file.cc.o"
+  "CMakeFiles/rsr_core.dir/config_file.cc.o.d"
+  "CMakeFiles/rsr_core.dir/counter_inference.cc.o"
+  "CMakeFiles/rsr_core.dir/counter_inference.cc.o.d"
+  "CMakeFiles/rsr_core.dir/livepoints.cc.o"
+  "CMakeFiles/rsr_core.dir/livepoints.cc.o.d"
+  "CMakeFiles/rsr_core.dir/regimen.cc.o"
+  "CMakeFiles/rsr_core.dir/regimen.cc.o.d"
+  "CMakeFiles/rsr_core.dir/reuse_latency.cc.o"
+  "CMakeFiles/rsr_core.dir/reuse_latency.cc.o.d"
+  "CMakeFiles/rsr_core.dir/sampled_sim.cc.o"
+  "CMakeFiles/rsr_core.dir/sampled_sim.cc.o.d"
+  "CMakeFiles/rsr_core.dir/statistics.cc.o"
+  "CMakeFiles/rsr_core.dir/statistics.cc.o.d"
+  "CMakeFiles/rsr_core.dir/stats_report.cc.o"
+  "CMakeFiles/rsr_core.dir/stats_report.cc.o.d"
+  "CMakeFiles/rsr_core.dir/warmup.cc.o"
+  "CMakeFiles/rsr_core.dir/warmup.cc.o.d"
+  "librsr_core.a"
+  "librsr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsr_func.dir/funcsim.cc.o"
+  "CMakeFiles/rsr_func.dir/funcsim.cc.o.d"
+  "librsr_func.a"
+  "librsr_func.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsr_func.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

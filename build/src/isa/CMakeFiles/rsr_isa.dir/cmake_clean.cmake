@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsr_isa.dir/inst.cc.o"
+  "CMakeFiles/rsr_isa.dir/inst.cc.o.d"
+  "CMakeFiles/rsr_isa.dir/opcode.cc.o"
+  "CMakeFiles/rsr_isa.dir/opcode.cc.o.d"
+  "librsr_isa.a"
+  "librsr_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsr_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

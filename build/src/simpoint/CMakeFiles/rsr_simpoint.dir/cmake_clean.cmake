@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsr_simpoint.dir/bbv.cc.o"
+  "CMakeFiles/rsr_simpoint.dir/bbv.cc.o.d"
+  "CMakeFiles/rsr_simpoint.dir/kmeans.cc.o"
+  "CMakeFiles/rsr_simpoint.dir/kmeans.cc.o.d"
+  "CMakeFiles/rsr_simpoint.dir/simpoint.cc.o"
+  "CMakeFiles/rsr_simpoint.dir/simpoint.cc.o.d"
+  "librsr_simpoint.a"
+  "librsr_simpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsr_simpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsr_trace.dir/trace.cc.o"
+  "CMakeFiles/rsr_trace.dir/trace.cc.o.d"
+  "librsr_trace.a"
+  "librsr_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsr_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librsr_trace.a"
+)

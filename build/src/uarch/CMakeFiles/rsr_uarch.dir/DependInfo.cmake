@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/core.cc" "src/uarch/CMakeFiles/rsr_uarch.dir/core.cc.o" "gcc" "src/uarch/CMakeFiles/rsr_uarch.dir/core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/branch/CMakeFiles/rsr_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/rsr_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/rsr_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rsr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rsr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

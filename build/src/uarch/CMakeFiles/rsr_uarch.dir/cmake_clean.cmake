@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsr_uarch.dir/core.cc.o"
+  "CMakeFiles/rsr_uarch.dir/core.cc.o.d"
+  "librsr_uarch.a"
+  "librsr_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsr_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

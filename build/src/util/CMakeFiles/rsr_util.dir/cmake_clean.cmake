@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsr_util.dir/args.cc.o"
+  "CMakeFiles/rsr_util.dir/args.cc.o.d"
+  "CMakeFiles/rsr_util.dir/logging.cc.o"
+  "CMakeFiles/rsr_util.dir/logging.cc.o.d"
+  "CMakeFiles/rsr_util.dir/table.cc.o"
+  "CMakeFiles/rsr_util.dir/table.cc.o.d"
+  "librsr_util.a"
+  "librsr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/characterize.cc" "src/workload/CMakeFiles/rsr_workload.dir/characterize.cc.o" "gcc" "src/workload/CMakeFiles/rsr_workload.dir/characterize.cc.o.d"
+  "/root/repo/src/workload/program_builder.cc" "src/workload/CMakeFiles/rsr_workload.dir/program_builder.cc.o" "gcc" "src/workload/CMakeFiles/rsr_workload.dir/program_builder.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/workload/CMakeFiles/rsr_workload.dir/synthetic.cc.o" "gcc" "src/workload/CMakeFiles/rsr_workload.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/func/CMakeFiles/rsr_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rsr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rsr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsr_workload.dir/characterize.cc.o"
+  "CMakeFiles/rsr_workload.dir/characterize.cc.o.d"
+  "CMakeFiles/rsr_workload.dir/program_builder.cc.o"
+  "CMakeFiles/rsr_workload.dir/program_builder.cc.o.d"
+  "CMakeFiles/rsr_workload.dir/synthetic.cc.o"
+  "CMakeFiles/rsr_workload.dir/synthetic.cc.o.d"
+  "librsr_workload.a"
+  "librsr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_args.cc" "tests/CMakeFiles/rsr_tests.dir/test_args.cc.o" "gcc" "tests/CMakeFiles/rsr_tests.dir/test_args.cc.o.d"
+  "/root/repo/tests/test_branch.cc" "tests/CMakeFiles/rsr_tests.dir/test_branch.cc.o" "gcc" "tests/CMakeFiles/rsr_tests.dir/test_branch.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/rsr_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/rsr_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_cachestudy.cc" "tests/CMakeFiles/rsr_tests.dir/test_cachestudy.cc.o" "gcc" "tests/CMakeFiles/rsr_tests.dir/test_cachestudy.cc.o.d"
+  "/root/repo/tests/test_characterize.cc" "tests/CMakeFiles/rsr_tests.dir/test_characterize.cc.o" "gcc" "tests/CMakeFiles/rsr_tests.dir/test_characterize.cc.o.d"
+  "/root/repo/tests/test_config_file.cc" "tests/CMakeFiles/rsr_tests.dir/test_config_file.cc.o" "gcc" "tests/CMakeFiles/rsr_tests.dir/test_config_file.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/rsr_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/rsr_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_counter_inference.cc" "tests/CMakeFiles/rsr_tests.dir/test_counter_inference.cc.o" "gcc" "tests/CMakeFiles/rsr_tests.dir/test_counter_inference.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/rsr_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/rsr_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_func.cc" "tests/CMakeFiles/rsr_tests.dir/test_func.cc.o" "gcc" "tests/CMakeFiles/rsr_tests.dir/test_func.cc.o.d"
+  "/root/repo/tests/test_hierarchy.cc" "tests/CMakeFiles/rsr_tests.dir/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/rsr_tests.dir/test_hierarchy.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/rsr_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/rsr_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/rsr_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/rsr_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_livepoints.cc" "tests/CMakeFiles/rsr_tests.dir/test_livepoints.cc.o" "gcc" "tests/CMakeFiles/rsr_tests.dir/test_livepoints.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/rsr_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/rsr_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_misc_coverage.cc" "tests/CMakeFiles/rsr_tests.dir/test_misc_coverage.cc.o" "gcc" "tests/CMakeFiles/rsr_tests.dir/test_misc_coverage.cc.o.d"
+  "/root/repo/tests/test_oracle.cc" "tests/CMakeFiles/rsr_tests.dir/test_oracle.cc.o" "gcc" "tests/CMakeFiles/rsr_tests.dir/test_oracle.cc.o.d"
+  "/root/repo/tests/test_regression.cc" "tests/CMakeFiles/rsr_tests.dir/test_regression.cc.o" "gcc" "tests/CMakeFiles/rsr_tests.dir/test_regression.cc.o.d"
+  "/root/repo/tests/test_robustness.cc" "tests/CMakeFiles/rsr_tests.dir/test_robustness.cc.o" "gcc" "tests/CMakeFiles/rsr_tests.dir/test_robustness.cc.o.d"
+  "/root/repo/tests/test_sampled.cc" "tests/CMakeFiles/rsr_tests.dir/test_sampled.cc.o" "gcc" "tests/CMakeFiles/rsr_tests.dir/test_sampled.cc.o.d"
+  "/root/repo/tests/test_simpoint.cc" "tests/CMakeFiles/rsr_tests.dir/test_simpoint.cc.o" "gcc" "tests/CMakeFiles/rsr_tests.dir/test_simpoint.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/rsr_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/rsr_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_uarch.cc" "tests/CMakeFiles/rsr_tests.dir/test_uarch.cc.o" "gcc" "tests/CMakeFiles/rsr_tests.dir/test_uarch.cc.o.d"
+  "/root/repo/tests/test_util.cc" "tests/CMakeFiles/rsr_tests.dir/test_util.cc.o" "gcc" "tests/CMakeFiles/rsr_tests.dir/test_util.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/rsr_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/rsr_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rsr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simpoint/CMakeFiles/rsr_simpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rsr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachestudy/CMakeFiles/rsr_cachestudy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rsr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/rsr_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/rsr_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/rsr_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/rsr_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rsr_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rsr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/rsr_sim.cc" "tools/CMakeFiles/rsr_sim.dir/rsr_sim.cc.o" "gcc" "tools/CMakeFiles/rsr_sim.dir/rsr_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rsr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simpoint/CMakeFiles/rsr_simpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rsr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rsr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rsr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/rsr_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/rsr_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/rsr_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/rsr_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rsr_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsr_sim.dir/rsr_sim.cc.o"
+  "CMakeFiles/rsr_sim.dir/rsr_sim.cc.o.d"
+  "rsr_sim"
+  "rsr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
