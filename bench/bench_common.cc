@@ -32,7 +32,7 @@ regimenFor(const std::string &name)
         return {80, 3000};
     if (name == "vpr")
         return {70, 3500};
-    rsr_fatal("no regimen for workload ", name);
+    rsr_throw_user("no regimen for workload ", name);
 }
 
 std::vector<WorkloadSetup>

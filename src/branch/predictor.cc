@@ -135,7 +135,7 @@ GsharePredictor::predict(std::uint64_t pc, BranchKind kind)
         break;
       }
       case BranchKind::NotBranch:
-        rsr_panic("predict() called for a non-branch");
+        rsr_throw_internal("predict() called for a non-branch");
     }
     return p;
 }

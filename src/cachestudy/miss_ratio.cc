@@ -15,7 +15,7 @@ coldStartName(ColdStart policy)
       case ColdStart::Stale: return "stale";
       case ColdStart::ColdCorrected: return "cold-corrected";
     }
-    rsr_panic("bad cold-start policy");
+    rsr_throw_internal("bad cold-start policy");
 }
 
 double

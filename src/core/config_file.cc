@@ -28,8 +28,9 @@ parseValue(const std::string &key, const std::string &value)
 {
     char *end = nullptr;
     const auto v = std::strtoull(value.c_str(), &end, 0);
-    rsr_assert(end && *end == '\0' && !value.empty(), "config key '",
-               key, "' expects an integer, got '", value, "'");
+    if (!end || *end != '\0' || value.empty())
+        rsr_throw_user("config key '", key, "' expects an integer, got '",
+                       value, "'");
     return v;
 }
 
@@ -53,12 +54,14 @@ applyMachineOption(MachineConfig &config, const std::string &key,
         else if (field == "hit_latency")
             p.hitLatency = u32;
         else
-            rsr_fatal("unknown cache config field in key '", key, "'");
+            rsr_throw_user("unknown cache config field in key '", key,
+                           "'");
     };
 
     const auto dot = key.find('.');
-    rsr_assert(dot != std::string::npos, "config key '", key,
-               "' needs a '<section>.<field>' form");
+    if (dot == std::string::npos)
+        rsr_throw_user("config key '", key,
+                       "' needs a '<section>.<field>' form");
     const std::string section = key.substr(0, dot);
     const std::string field = key.substr(dot + 1);
 
@@ -76,12 +79,12 @@ applyMachineOption(MachineConfig &config, const std::string &key,
         else if (field == "cpu_cycles_per_bus_cycle")
             bus.cpuCyclesPerBusCycle = u32;
         else
-            rsr_fatal("unknown bus config field in key '", key, "'");
+            rsr_throw_user("unknown bus config field in key '", key, "'");
     } else if (section == "mem") {
         if (field == "latency")
             config.hier.memLatency = v;
         else
-            rsr_fatal("unknown mem config field in key '", key, "'");
+            rsr_throw_user("unknown mem config field in key '", key, "'");
     } else if (section == "bp") {
         if (field == "pht_entries")
             config.bp.phtEntries = u32;
@@ -92,7 +95,7 @@ applyMachineOption(MachineConfig &config, const std::string &key,
         else if (field == "ras_entries")
             config.bp.rasEntries = u32;
         else
-            rsr_fatal("unknown bp config field in key '", key, "'");
+            rsr_throw_user("unknown bp config field in key '", key, "'");
     } else if (section == "core") {
         static const std::map<std::string,
                               unsigned uarch::CoreParams::*>
@@ -126,10 +129,11 @@ applyMachineOption(MachineConfig &config, const std::string &key,
         }
         const auto it = fields.find(field);
         if (it == fields.end())
-            rsr_fatal("unknown core config field in key '", key, "'");
+            rsr_throw_user("unknown core config field in key '", key,
+                           "'");
         config.core.*(it->second) = u32;
     } else {
-        rsr_fatal("unknown config section in key '", key, "'");
+        rsr_throw_user("unknown config section in key '", key, "'");
     }
 }
 
@@ -147,8 +151,9 @@ parseMachineConfig(const std::string &text, MachineConfig base)
         if (line.empty())
             continue;
         const auto eq = line.find('=');
-        rsr_assert(eq != std::string::npos, "config line ", lineno,
-                   " is not 'key = value': '", line, "'");
+        if (eq == std::string::npos)
+            rsr_throw_user("config line ", lineno,
+                           " is not 'key = value': '", line, "'");
         applyMachineOption(base, trim(line.substr(0, eq)),
                            trim(line.substr(eq + 1)));
     }
@@ -160,7 +165,7 @@ loadMachineConfig(const std::string &path, MachineConfig base)
 {
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
-        rsr_fatal("cannot open config file: ", path);
+        rsr_throw_user("cannot open config file: ", path);
     std::string text;
     char buf[4096];
     std::size_t n;

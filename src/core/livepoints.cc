@@ -1,6 +1,10 @@
 #include "livepoints.hh"
 
 #include "func/funcsim.hh"
+#include "util/checksum.hh"
+#include "util/error.hh"
+#include "util/fault.hh"
+#include "util/fileio.hh"
 #include "util/logging.hh"
 #include "util/serial.hh"
 #include "util/timer.hh"
@@ -12,7 +16,10 @@ namespace
 {
 
 constexpr std::uint32_t libraryMagic = 0x52535250; // "RSRP"
-constexpr std::uint32_t libraryVersion = 1;
+// v2 added the payload checksum after the version word.
+constexpr std::uint32_t libraryVersion = 2;
+// magic (4) + version (4) + payload checksum (8)
+constexpr std::size_t libraryHeaderBytes = 16;
 
 /** Streams committed instructions and records them into a trace. */
 class RecordingSource : public uarch::InstSource
@@ -248,43 +255,75 @@ LivePointLibrary::storageBytes() const
 std::vector<std::uint8_t>
 LivePointLibrary::serialize() const
 {
+    ByteSink payload;
+    putMachineConfig(payload, machine);
+    payload.putU64(points_.size());
+    for (const auto &lp : points_) {
+        payload.putU64(lp.clusterStart);
+        payload.putU64(lp.machineState.size());
+        payload.putBytes(lp.machineState.data(), lp.machineState.size());
+        payload.putU64(lp.trace.size());
+        for (const auto &d : lp.trace) {
+            payload.putU64(d.pc);
+            payload.putU64(d.nextPc);
+            payload.putU64(d.effAddr);
+            payload.putU32(isa::encode(d.inst));
+        }
+    }
+
     ByteSink out;
     out.putU32(libraryMagic);
     out.putU32(libraryVersion);
-    putMachineConfig(out, machine);
-    out.putU64(points_.size());
-    for (const auto &lp : points_) {
-        out.putU64(lp.clusterStart);
-        out.putU64(lp.machineState.size());
-        out.putBytes(lp.machineState.data(), lp.machineState.size());
-        out.putU64(lp.trace.size());
-        for (const auto &d : lp.trace) {
-            out.putU64(d.pc);
-            out.putU64(d.nextPc);
-            out.putU64(d.effAddr);
-            out.putU32(isa::encode(d.inst));
-        }
-    }
+    out.putU64(fnv64(payload.bytes().data(), payload.size()));
+    out.putBytes(payload.bytes().data(), payload.size());
     return out.take();
 }
 
 LivePointLibrary
 LivePointLibrary::deserialize(const std::vector<std::uint8_t> &bytes)
 {
+    if (bytes.size() < libraryHeaderBytes)
+        rsr_throw_corrupt("live-point library too small (", bytes.size(),
+                          " bytes)");
     ByteSource in(bytes);
-    rsr_assert(in.getU32() == libraryMagic, "not a live-point library");
-    rsr_assert(in.getU32() == libraryVersion,
-               "unsupported live-point library version");
+    if (in.getU32() != libraryMagic)
+        rsr_throw_corrupt("not a live-point library (bad magic)");
+    const std::uint32_t version = in.getU32();
+    if (version != libraryVersion)
+        rsr_throw_corrupt("unsupported live-point library version ",
+                          version, " (expected ", libraryVersion, ")");
+    const std::uint64_t want_checksum = in.getU64();
+    if (fnv64(bytes.data() + libraryHeaderBytes,
+              bytes.size() - libraryHeaderBytes) != want_checksum)
+        rsr_throw_corrupt("live-point library checksum mismatch "
+                          "(truncated or corrupted)");
+
     LivePointLibrary lib;
     lib.machine = getMachineConfig(in);
     const std::uint64_t n = in.getU64();
+    if (n > in.remaining())
+        rsr_throw_corrupt("implausible live-point count ", n);
+    FaultInjector::global().checkAlloc("livepoints:points",
+                                       n * sizeof(LivePoint));
     lib.points_.resize(n);
     std::uint64_t seq = 0;
     for (auto &lp : lib.points_) {
         lp.clusterStart = in.getU64();
-        lp.machineState.resize(in.getU64());
+        const std::uint64_t state_len = in.getU64();
+        if (state_len > in.remaining())
+            rsr_throw_corrupt("live-point state length ", state_len,
+                              " exceeds remaining ", in.remaining(),
+                              " bytes");
+        lp.machineState.resize(state_len);
         in.getBytes(lp.machineState.data(), lp.machineState.size());
-        lp.trace.resize(in.getU64());
+        const std::uint64_t trace_len = in.getU64();
+        if (trace_len * 28 > in.remaining())
+            rsr_throw_corrupt("live-point trace length ", trace_len,
+                              " exceeds remaining ", in.remaining(),
+                              " bytes");
+        FaultInjector::global().checkAlloc(
+            "livepoints:trace", trace_len * sizeof(func::DynInst));
+        lp.trace.resize(trace_len);
         for (auto &d : lp.trace) {
             d.pc = in.getU64();
             d.nextPc = in.getU64();
@@ -294,8 +333,21 @@ LivePointLibrary::deserialize(const std::vector<std::uint8_t> &bytes)
             d.seq = seq++;
         }
     }
-    rsr_assert(in.exhausted(), "trailing bytes in live-point library");
+    if (!in.exhausted())
+        rsr_throw_corrupt("trailing bytes in live-point library");
     return lib;
+}
+
+void
+LivePointLibrary::saveFile(const std::string &path) const
+{
+    atomicWriteFile(path, serialize());
+}
+
+LivePointLibrary
+LivePointLibrary::loadFile(const std::string &path)
+{
+    return deserialize(readFileBytes(path));
 }
 
 } // namespace rsr::core

@@ -22,6 +22,7 @@
 #define RSR_CORE_LIVEPOINTS_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/sampled_sim.hh"
@@ -78,8 +79,18 @@ class LivePointLibrary
     /** Serialize the whole library (for persistence tests/tools). */
     std::vector<std::uint8_t> serialize() const;
 
-    /** Rebuild a library serialized with serialize(). */
+    /**
+     * Rebuild a library serialized with serialize(). Validates the
+     * magic, version, and payload checksum; throws CorruptInputError on
+     * any mismatch (truncation, bit flips, wrong file).
+     */
     static LivePointLibrary deserialize(const std::vector<std::uint8_t> &);
+
+    /** Atomically write the serialized library to @p path. */
+    void saveFile(const std::string &path) const;
+
+    /** Read and validate a library written by saveFile(). */
+    static LivePointLibrary loadFile(const std::string &path);
 
   private:
     MachineConfig machine;

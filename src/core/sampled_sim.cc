@@ -47,14 +47,24 @@ runSampled(const func::Program &program, WarmupPolicy &policy,
     const std::uint64_t iline_mask =
         ~std::uint64_t{machine.hier.il1().params().lineBytes - 1};
 
+    // Watchdog poll mask: cheap enough to check inside long skips.
+    constexpr std::uint64_t deadlineCheckMask = (1u << 16) - 1;
+
     std::uint64_t pos = 0;
     func::DynInst d;
     for (const Cluster &cluster : schedule) {
+        if (config.deadline && config.deadline->expired())
+            throw TimeoutError("sampled run exceeded its deadline at "
+                               "cluster boundary");
         // ---- cold/warm phases: functionally skip to the cluster.
         const std::uint64_t skip_len = cluster.start - pos;
         policy.beginSkip(skip_len);
         std::uint64_t last_iblock = ~std::uint64_t{0};
         for (std::uint64_t i = 0; i < skip_len; ++i) {
+            if (config.deadline && (i & deadlineCheckMask) == 0 &&
+                config.deadline->expired())
+                throw TimeoutError("sampled run exceeded its deadline "
+                                   "inside a skip region");
             const bool ok = fs.step(&d);
             rsr_assert(ok, "workload halted inside a skip region");
             const std::uint64_t blk = d.pc & iline_mask;

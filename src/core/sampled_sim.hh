@@ -20,6 +20,7 @@
 #include "core/warmup.hh"
 #include "func/program.hh"
 #include "uarch/core.hh"
+#include "util/deadline.hh"
 
 namespace rsr::core
 {
@@ -34,6 +35,12 @@ struct SampledConfig
      *  bias constant, as the paper does). */
     std::uint64_t scheduleSeed = 0x5eed;
     MachineConfig machine = MachineConfig::paperDefault();
+    /**
+     * Optional cooperative watchdog: polled at cluster boundaries and
+     * periodically inside skips; TimeoutError is thrown when it expires
+     * (not owned; must outlive the run).
+     */
+    const Deadline *deadline = nullptr;
 };
 
 /** Everything measured from one sampled run. */

@@ -231,13 +231,13 @@ makePolicyByName(const std::string &name)
 
     auto percent_of = [&](std::size_t prefix_len) {
         const std::string digits = base.substr(prefix_len);
-        rsr_assert(!digits.empty() &&
-                       digits.find_first_not_of("0123456789") ==
-                           std::string::npos,
-                   "bad warm-up percentage in '", name, "'");
+        if (digits.empty() ||
+            digits.find_first_not_of("0123456789") != std::string::npos)
+            rsr_throw_user("bad warm-up percentage in '", name, "'");
         const int pct = std::atoi(digits.c_str());
-        rsr_assert(pct > 0 && pct <= 100, "warm-up percentage out of "
-                   "range in '", name, "'");
+        if (pct <= 0 || pct > 100)
+            rsr_throw_user("warm-up percentage out of range in '", name,
+                           "'");
         return pct / 100.0;
     };
 
@@ -260,9 +260,10 @@ makePolicyByName(const std::string &name)
     if (base == "rbp")
         return std::make_unique<ReverseReconstructionWarmup>(false, true,
                                                              1.0, mode);
-    rsr_fatal("unknown warm-up policy '", name,
-              "'; known: none, smarts, scache, sbp, fp<pct>, rsr<pct>, "
-              "rcache<pct>, rbp (+stale suffix for RSR variants)");
+    rsr_throw_user("unknown warm-up policy '", name,
+                   "'; known: none, smarts, scache, sbp, fp<pct>, "
+                   "rsr<pct>, rcache<pct>, rbp (+stale suffix for RSR "
+                   "variants)");
 }
 
 std::vector<std::unique_ptr<WarmupPolicy>>

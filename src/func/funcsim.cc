@@ -201,7 +201,7 @@ FuncSim::step(DynInst *out)
         break;
 
       default:
-        rsr_panic("unhandled opcode in executor");
+        rsr_throw_internal("unhandled opcode in executor");
     }
 
     state_.pc = next_pc;

@@ -1,0 +1,253 @@
+#include "campaign.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "core/warmup.hh"
+#include "harness/json.hh"
+#include "util/checksum.hh"
+#include "util/deadline.hh"
+#include "util/error.hh"
+#include "util/fileio.hh"
+#include "util/logging.hh"
+#include "workload/synthetic.hh"
+
+namespace rsr::harness
+{
+
+namespace
+{
+
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const auto &n : names) {
+        out += n;
+        out += ',';
+    }
+    return out;
+}
+
+} // namespace
+
+CampaignRunner::CampaignRunner(CampaignConfig config)
+    : config(std::move(config))
+{
+    if (this->config.outDir.empty())
+        rsr_throw_user("campaign needs an output directory");
+    if (this->config.workloads.empty() || this->config.policies.empty())
+        rsr_throw_user("campaign needs at least one workload and one "
+                       "policy");
+    if (this->config.threads == 0)
+        this->config.threads = 1;
+}
+
+std::vector<JobSpec>
+CampaignRunner::expandJobs(const CampaignConfig &config)
+{
+    std::vector<JobSpec> jobs;
+    std::uint64_t id = 0;
+    for (const auto &w : config.workloads)
+        for (const auto &p : config.policies)
+            jobs.push_back({id++, w, p});
+    return jobs;
+}
+
+std::string
+CampaignRunner::fingerprint(const CampaignConfig &config)
+{
+    Fnv64 h;
+    h.update(joinNames(config.workloads));
+    h.update("|");
+    h.update(joinNames(config.policies));
+    for (std::uint64_t v : {config.insts, config.clusters,
+                            config.clusterSize, config.seed})
+        h.update(&v, sizeof(v));
+    return checksumHex(h.value());
+}
+
+std::string
+CampaignRunner::manifestPath(const std::string &out_dir)
+{
+    return out_dir + "/manifest.jsonl";
+}
+
+CampaignRunner::JobOutcome
+CampaignRunner::executeJob(const JobSpec &spec)
+{
+    const auto program = workload::buildSynthetic(
+        workload::standardWorkloadParams(spec.workload));
+    const auto policy = core::makePolicyByName(spec.policy);
+
+    core::SampledConfig sim;
+    sim.totalInsts = config.insts;
+    sim.regimen = {config.clusters, config.clusterSize};
+    sim.scheduleSeed = config.seed;
+    sim.machine = config.machine;
+
+    const Deadline deadline(config.jobTimeoutSec);
+    if (config.jobTimeoutSec > 0.0)
+        sim.deadline = &deadline;
+
+    const auto r = core::runSampled(program, *policy, sim);
+
+    JsonWriter w;
+    w.put("id", spec.id)
+        .put("workload", spec.workload)
+        .put("policy", spec.policy)
+        .put("ipc", r.estimate.mean)
+        .put("ci_low", r.estimate.ciLow)
+        .put("ci_high", r.estimate.ciHigh)
+        .put("aggregate_ipc", r.aggregateIpc())
+        .put("clusters", static_cast<std::uint64_t>(r.clusterIpc.size()))
+        .put("skipped_insts", r.skippedInsts)
+        .put("seconds", r.seconds);
+    const std::string text = w.str() + "\n";
+
+    JobOutcome out;
+    out.status = JobStatus::Complete;
+    out.resultFile = "job-" + std::to_string(spec.id) + ".json";
+    out.checksum = checksumHex(fnv64(text.data(), text.size()));
+    out.ipc = r.estimate.mean;
+    out.seconds = r.seconds;
+    atomicWriteFile(config.outDir + "/" + out.resultFile, text);
+    return out;
+}
+
+CampaignResult
+CampaignRunner::run(bool resume)
+{
+    makeDirs(config.outDir);
+    const std::string fp = fingerprint(config);
+    const std::string manifest_path = manifestPath(config.outDir);
+    const auto jobs = expandJobs(config);
+
+    CampaignResult result;
+    result.total = jobs.size();
+
+    // On resume, trust only manifest entries whose artifact is intact.
+    std::vector<bool> done(jobs.size(), false);
+    std::vector<std::uint64_t> prior_attempts(jobs.size(), 0);
+    if (resume) {
+        const ManifestState state = loadManifest(manifest_path);
+        if (state.fingerprint != fp)
+            rsr_throw_user("manifest in ", config.outDir, " belongs to a "
+                           "different campaign (fingerprint ",
+                           state.fingerprint, ", expected ", fp, ")");
+        for (const auto &[id, rec] : state.jobs) {
+            if (id >= jobs.size())
+                continue;
+            prior_attempts[id] = rec.attempts;
+            if (rec.status != JobStatus::Complete)
+                continue;
+            const std::string path =
+                config.outDir + "/" + rec.resultFile;
+            if (!fileExists(path))
+                continue;
+            const auto bytes = readFileBytes(path);
+            if (checksumHex(fnv64(bytes.data(), bytes.size())) ==
+                rec.checksum)
+                done[id] = true;
+        }
+    }
+
+    ManifestWriter manifest(manifest_path, fp, jobs.size(), resume);
+
+    // Arm fault injection for the run only; jobs see injected faults,
+    // the manifest journal itself does not (it bypasses the hooks).
+    std::unique_ptr<ScopedFaultInjection> faults;
+    if (config.faults.enabled())
+        faults = std::make_unique<ScopedFaultInjection>(config.faults);
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::uint64_t> completed{0}, failed{0}, skipped{0},
+        retries{0};
+
+    auto worker = [&]() {
+        while (true) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= jobs.size())
+                return;
+            const JobSpec &spec = jobs[i];
+            if (done[spec.id]) {
+                ++skipped;
+                continue;
+            }
+
+            JobRecord rec;
+            rec.id = spec.id;
+            rec.workload = spec.workload;
+            rec.policy = spec.policy;
+            rec.attempts = prior_attempts[spec.id];
+
+            for (unsigned attempt = 0;; ++attempt) {
+                ++rec.attempts;
+                rec.status = JobStatus::Running;
+                manifest.append(rec);
+                try {
+                    const JobOutcome out = executeJob(spec);
+                    rec.status = out.status;
+                    rec.errorKind.clear();
+                    rec.error.clear();
+                    rec.resultFile = out.resultFile;
+                    rec.checksum = out.checksum;
+                    rec.ipc = out.ipc;
+                    rec.seconds = out.seconds;
+                    manifest.append(rec);
+                    ++completed;
+                    break;
+                } catch (const SimError &e) {
+                    if (e.retryable() && attempt < config.maxRetries) {
+                        ++retries;
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(
+                                std::uint64_t{config.backoffMs}
+                                << attempt));
+                        continue;
+                    }
+                    rec.status = e.kind() == ErrorKind::Timeout
+                                     ? JobStatus::TimedOut
+                                     : JobStatus::Failed;
+                    rec.errorKind = errorKindName(e.kind());
+                    rec.error = e.what();
+                    manifest.append(rec);
+                    ++failed;
+                    break;
+                } catch (const std::exception &e) {
+                    // bad_alloc and anything else unexpected: treat as
+                    // an internal failure of this job only.
+                    rec.status = JobStatus::Failed;
+                    rec.errorKind =
+                        errorKindName(ErrorKind::InternalInvariant);
+                    rec.error = e.what();
+                    manifest.append(rec);
+                    ++failed;
+                    break;
+                }
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    const unsigned n_threads =
+        static_cast<unsigned>(std::min<std::size_t>(config.threads,
+                                                    jobs.size()));
+    for (unsigned t = 1; t < n_threads; ++t)
+        pool.emplace_back(worker);
+    worker();
+    for (auto &t : pool)
+        t.join();
+
+    result.completed = completed;
+    result.failed = failed;
+    result.skipped = skipped;
+    result.retries = retries;
+    return result;
+}
+
+} // namespace rsr::harness

@@ -1,0 +1,224 @@
+#include "manifest.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "json.hh"
+#include "util/error.hh"
+#include "util/fileio.hh"
+
+namespace rsr::harness
+{
+
+namespace
+{
+
+constexpr const char *manifestTag = "rsr-campaign";
+constexpr std::uint64_t manifestVersion = 1;
+
+std::uint64_t
+toU64(const std::map<std::string, std::string> &obj,
+      const std::string &key)
+{
+    const auto it = obj.find(key);
+    if (it == obj.end())
+        rsr_throw_corrupt("manifest record missing '", key, "'");
+    return std::strtoull(it->second.c_str(), nullptr, 0);
+}
+
+double
+toDouble(const std::map<std::string, std::string> &obj,
+         const std::string &key)
+{
+    const auto it = obj.find(key);
+    return it == obj.end() ? 0.0 : std::strtod(it->second.c_str(),
+                                               nullptr);
+}
+
+std::string
+toStr(const std::map<std::string, std::string> &obj,
+      const std::string &key)
+{
+    const auto it = obj.find(key);
+    return it == obj.end() ? "" : it->second;
+}
+
+} // namespace
+
+const char *
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::Pending:
+        return "pending";
+      case JobStatus::Running:
+        return "running";
+      case JobStatus::Complete:
+        return "complete";
+      case JobStatus::Failed:
+        return "failed";
+      case JobStatus::TimedOut:
+        return "timed-out";
+    }
+    return "unknown";
+}
+
+JobStatus
+parseJobStatus(const std::string &name)
+{
+    for (JobStatus s : {JobStatus::Pending, JobStatus::Running,
+                        JobStatus::Complete, JobStatus::Failed,
+                        JobStatus::TimedOut})
+        if (name == jobStatusName(s))
+            return s;
+    rsr_throw_corrupt("unknown job status '", name, "'");
+}
+
+std::string
+formatJobRecord(const JobRecord &r)
+{
+    JsonWriter w;
+    w.put("id", r.id)
+        .put("workload", r.workload)
+        .put("policy", r.policy)
+        .put("status", jobStatusName(r.status))
+        .put("attempts", r.attempts);
+    if (!r.errorKind.empty())
+        w.put("error_kind", r.errorKind).put("error", r.error);
+    if (!r.resultFile.empty())
+        w.put("result", r.resultFile).put("checksum", r.checksum);
+    if (r.status == JobStatus::Complete)
+        w.put("ipc", r.ipc).put("seconds", r.seconds);
+    return w.str();
+}
+
+JobRecord
+parseJobRecord(const std::string &line)
+{
+    const auto obj = parseJsonObject(line);
+    JobRecord r;
+    r.id = toU64(obj, "id");
+    r.workload = toStr(obj, "workload");
+    r.policy = toStr(obj, "policy");
+    r.status = parseJobStatus(toStr(obj, "status"));
+    r.attempts = toU64(obj, "attempts");
+    r.errorKind = toStr(obj, "error_kind");
+    r.error = toStr(obj, "error");
+    r.resultFile = toStr(obj, "result");
+    r.checksum = toStr(obj, "checksum");
+    r.ipc = toDouble(obj, "ipc");
+    r.seconds = toDouble(obj, "seconds");
+    return r;
+}
+
+ManifestWriter::ManifestWriter(const std::string &path,
+                               const std::string &fingerprint,
+                               std::uint64_t num_jobs, bool append)
+    : path(path)
+{
+    if (append) {
+        file = std::fopen(path.c_str(), "r+b");
+        if (!file)
+            rsr_throw_user("cannot open manifest for resume: ", path,
+                           ": ", std::strerror(errno));
+        // Repair a torn trailing line (SIGKILL mid-append) so the next
+        // append starts on a fresh line.
+        std::fseek(file, 0, SEEK_END);
+        const long size = std::ftell(file);
+        if (size > 0) {
+            std::fseek(file, size - 1, SEEK_SET);
+            if (std::fgetc(file) != '\n') {
+                std::fseek(file, 0, SEEK_END);
+                std::fputc('\n', file);
+            }
+        }
+        std::fseek(file, 0, SEEK_END);
+        return;
+    }
+
+    file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        rsr_throw_io("cannot create manifest ", path, ": ",
+                     std::strerror(errno));
+    JsonWriter header;
+    header.put("manifest", manifestTag)
+        .put("version", manifestVersion)
+        .put("fingerprint", fingerprint)
+        .put("jobs", num_jobs);
+    appendLine(header.str());
+}
+
+ManifestWriter::~ManifestWriter()
+{
+    if (file)
+        std::fclose(file);
+}
+
+void
+ManifestWriter::appendLine(const std::string &line)
+{
+    const std::string out = line + "\n";
+    if (std::fwrite(out.data(), 1, out.size(), file) != out.size() ||
+        std::fflush(file) != 0)
+        rsr_throw_io("cannot append to manifest ", path);
+    ::fsync(::fileno(file));
+}
+
+void
+ManifestWriter::append(const JobRecord &r)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    appendLine(formatJobRecord(r));
+}
+
+ManifestState
+loadManifest(const std::string &path)
+{
+    const auto bytes = readFileBytes(path);
+    const std::string text(bytes.begin(), bytes.end());
+
+    ManifestState state;
+    std::size_t pos = 0;
+    bool have_header = false;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        const std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty())
+            continue;
+
+        if (!have_header) {
+            // The header is written first and fsynced before any job
+            // record; it must parse.
+            const auto obj = parseJsonObject(line);
+            if (toStr(obj, "manifest") != manifestTag)
+                rsr_throw_corrupt(path, " is not a campaign manifest");
+            if (toU64(obj, "version") != manifestVersion)
+                rsr_throw_corrupt("unsupported manifest version in ",
+                                  path);
+            state.fingerprint = toStr(obj, "fingerprint");
+            state.numJobs = toU64(obj, "jobs");
+            have_header = true;
+            continue;
+        }
+
+        try {
+            const JobRecord r = parseJobRecord(line);
+            state.jobs[r.id] = r;
+        } catch (const CorruptInputError &) {
+            // A torn line from a crash mid-append: drop it; the job
+            // reruns. (At-least-once, never lost work marked done.)
+            ++state.droppedLines;
+        }
+    }
+    if (!have_header)
+        rsr_throw_corrupt(path, " has no manifest header");
+    return state;
+}
+
+} // namespace rsr::harness

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The campaign manifest: an append-only JSON-lines journal of per-job
+ * state transitions. Appends are single write()+fsync lines, so a crash
+ * or SIGKILL can tear at most the final line; the loader drops torn
+ * lines (the affected job simply reruns — at-least-once semantics) and
+ * the writer repairs a missing trailing newline before appending more.
+ * The first line is a header carrying a fingerprint of the job matrix so
+ * --resume refuses to continue a different campaign.
+ */
+
+#ifndef RSR_HARNESS_MANIFEST_HH
+#define RSR_HARNESS_MANIFEST_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace rsr::harness
+{
+
+/** Lifecycle of one campaign job. */
+enum class JobStatus
+{
+    Pending,
+    Running,
+    Complete,
+    Failed,
+    TimedOut,
+};
+
+const char *jobStatusName(JobStatus status);
+
+/** Inverse of jobStatusName(); throws CorruptInputError. */
+JobStatus parseJobStatus(const std::string &name);
+
+/** One manifest line: the latest known state of one job. */
+struct JobRecord
+{
+    std::uint64_t id = 0;
+    std::string workload;
+    std::string policy;
+    JobStatus status = JobStatus::Pending;
+    std::uint64_t attempts = 0;
+    /** Error taxonomy name + message of the last failure ("" if none). */
+    std::string errorKind;
+    std::string error;
+    /** Result artifact (relative to the campaign directory) + checksum. */
+    std::string resultFile;
+    std::string checksum;
+    double ipc = 0.0;
+    double seconds = 0.0;
+};
+
+/** Serialize one record as a single JSON line (no trailing newline). */
+std::string formatJobRecord(const JobRecord &r);
+
+/** Parse a line written by formatJobRecord(); throws CorruptInputError. */
+JobRecord parseJobRecord(const std::string &line);
+
+/** Append-only, fsync-per-line manifest journal. Thread-safe. */
+class ManifestWriter
+{
+  public:
+    /**
+     * Open @p path. Fresh campaigns truncate and write a header line;
+     * resumed campaigns append (repairing a torn trailing line first)
+     * without writing a new header.
+     */
+    ManifestWriter(const std::string &path, const std::string &fingerprint,
+                   std::uint64_t num_jobs, bool append);
+    ~ManifestWriter();
+
+    ManifestWriter(const ManifestWriter &) = delete;
+    ManifestWriter &operator=(const ManifestWriter &) = delete;
+
+    /** Durably append one record (one line, flushed and fsynced). */
+    void append(const JobRecord &r);
+
+  private:
+    void appendLine(const std::string &line);
+
+    std::mutex mutex_;
+    std::FILE *file = nullptr;
+    std::string path;
+};
+
+/** Everything recovered from a manifest on resume. */
+struct ManifestState
+{
+    std::string fingerprint;
+    std::uint64_t numJobs = 0;
+    /** Latest record per job id. */
+    std::map<std::uint64_t, JobRecord> jobs;
+    /** Unparsable (torn) lines that were dropped. */
+    std::uint64_t droppedLines = 0;
+};
+
+/**
+ * Load a manifest journal. The header must parse (CorruptInputError
+ * otherwise); torn job lines are dropped and counted.
+ */
+ManifestState loadManifest(const std::string &path);
+
+} // namespace rsr::harness
+
+#endif // RSR_HARNESS_MANIFEST_HH

@@ -54,7 +54,7 @@ opcodeName(Opcode op)
       case Opcode::J: return "j";
       case Opcode::Jal: return "jal";
       case Opcode::Jalr: return "jalr";
-      default: rsr_panic("opcodeName: bad opcode ", int(op));
+      default: rsr_throw_internal("opcodeName: bad opcode ", int(op));
     }
 }
 
@@ -115,7 +115,7 @@ opcodeFormat(Opcode op)
         return Format::J21;
       case Opcode::Jalr:
         return Format::JR;
-      default: rsr_panic("opcodeFormat: bad opcode ", int(op));
+      default: rsr_throw_internal("opcodeFormat: bad opcode ", int(op));
     }
 }
 

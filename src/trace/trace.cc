@@ -1,7 +1,16 @@
 #include "trace.hh"
 
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
 #include "func/funcsim.hh"
 #include "isa/inst.hh"
+#include "util/checksum.hh"
+#include "util/error.hh"
+#include "util/fault.hh"
+#include "util/fileio.hh"
 #include "util/logging.hh"
 #include "util/serial.hh"
 
@@ -12,7 +21,9 @@ namespace
 {
 
 constexpr std::uint64_t traceMagic = 0x52535254524143ull; // "RSRTRAC"
-constexpr std::size_t headerBytes = 16; // magic (8) + record count (8)
+constexpr std::uint32_t traceVersion = 2;
+// magic (8) + version (4) + record count (8) + payload checksum (8)
+constexpr std::size_t headerBytes = 28;
 constexpr std::size_t flushThreshold = 1 << 20;
 
 constexpr std::uint8_t kindSequential = 1;
@@ -21,11 +32,15 @@ constexpr std::uint8_t kindTaken = 4;
 
 } // namespace
 
-TraceWriter::TraceWriter(const std::string &path) : path(path)
+TraceWriter::TraceWriter(const std::string &path)
+    : path(path), tmpPath(path + ".partial." + std::to_string(::getpid()))
 {
-    file = std::fopen(path.c_str(), "wb");
+    if (FaultInjector::global().shouldFailIo("write:" + path))
+        rsr_throw_io("injected I/O fault opening trace ", path);
+    file = std::fopen(tmpPath.c_str(), "wb");
     if (!file)
-        rsr_fatal("cannot open trace file for writing: ", path);
+        rsr_throw_user("cannot open trace file for writing: ", path,
+                       ": ", std::strerror(errno));
     // Placeholder header; patched in close().
     const std::uint8_t zeros[headerBytes] = {};
     std::fwrite(zeros, 1, headerBytes, file);
@@ -33,7 +48,13 @@ TraceWriter::TraceWriter(const std::string &path) : path(path)
 
 TraceWriter::~TraceWriter()
 {
-    close();
+    // Abandoned writer (exception unwind): drop the partial file rather
+    // than publish a torn trace.
+    if (file) {
+        std::fclose(file);
+        file = nullptr;
+        std::remove(tmpPath.c_str());
+    }
 }
 
 void
@@ -63,6 +84,7 @@ TraceWriter::append(const func::DynInst &d)
 
     const auto &bytes = sink.bytes();
     buffer.insert(buffer.end(), bytes.begin(), bytes.end());
+    checksum.update(bytes.data(), bytes.size());
     payloadBytes_ += bytes.size();
     ++records_;
     prevPc = d.pc;
@@ -77,7 +99,9 @@ void
 TraceWriter::flushBuffer()
 {
     if (!buffer.empty()) {
-        std::fwrite(buffer.data(), 1, buffer.size(), file);
+        if (std::fwrite(buffer.data(), 1, buffer.size(), file) !=
+            buffer.size())
+            rsr_throw_io("write error on trace ", path);
         buffer.clear();
     }
 }
@@ -88,47 +112,53 @@ TraceWriter::close()
     if (!file)
         return;
     flushBuffer();
-    // Patch the header with the magic and final record count.
+    // Patch the header with the magic, version, count, and checksum,
+    // then atomically publish the finished trace.
     std::fseek(file, 0, SEEK_SET);
     ByteSink header;
     header.putU64(traceMagic);
+    header.putU32(traceVersion);
     header.putU64(records_);
-    std::fwrite(header.bytes().data(), 1, header.size(), file);
-    std::fclose(file);
+    header.putU64(checksum.value());
+    bool ok = std::fwrite(header.bytes().data(), 1, header.size(),
+                          file) == header.size();
+    ok = std::fflush(file) == 0 && ok;
+    ok = ::fsync(::fileno(file)) == 0 && ok;
+    ok = std::fclose(file) == 0 && ok;
     file = nullptr;
+    if (!ok || std::rename(tmpPath.c_str(), path.c_str()) != 0) {
+        std::remove(tmpPath.c_str());
+        rsr_throw_io("cannot finalize trace ", path, ": ",
+                     std::strerror(errno));
+    }
 }
 
 TraceReader::TraceReader(const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        rsr_fatal("cannot open trace file: ", path);
-    std::fseek(f, 0, SEEK_END);
-    const long size = std::ftell(f);
-    std::fseek(f, 0, SEEK_SET);
-    if (size < static_cast<long>(headerBytes)) {
-        std::fclose(f);
-        rsr_fatal("trace file too small: ", path);
+    std::vector<std::uint8_t> bytes;
+    try {
+        bytes = readFileBytes(path);
+    } catch (const UserError &) {
+        rsr_throw_user("cannot open trace file: ", path);
     }
-    std::vector<std::uint8_t> header(headerBytes);
-    if (std::fread(header.data(), 1, headerBytes, f) != headerBytes) {
-        std::fclose(f);
-        rsr_fatal("cannot read trace header: ", path);
-    }
-    ByteSource hs(header);
-    if (hs.getU64() != traceMagic) {
-        std::fclose(f);
-        rsr_fatal("not a trace file: ", path);
-    }
+    if (bytes.size() < headerBytes)
+        rsr_throw_corrupt("trace file too small: ", path, " (",
+                          bytes.size(), " bytes)");
+    ByteSource hs(bytes.data(), headerBytes);
+    if (hs.getU64() != traceMagic)
+        rsr_throw_corrupt("not a trace file: ", path);
+    const std::uint32_t version = hs.getU32();
+    if (version != traceVersion)
+        rsr_throw_corrupt("unsupported trace version ", version, " in ",
+                          path, " (expected ", traceVersion, ")");
     records_ = hs.getU64();
-    payload.resize(static_cast<std::size_t>(size) - headerBytes);
-    if (!payload.empty() &&
-        std::fread(payload.data(), 1, payload.size(), f) !=
-            payload.size()) {
-        std::fclose(f);
-        rsr_fatal("truncated trace file: ", path);
-    }
-    std::fclose(f);
+    const std::uint64_t want_checksum = hs.getU64();
+    FaultInjector::global().checkAlloc("trace:" + path,
+                                       bytes.size() - headerBytes);
+    payload.assign(bytes.begin() + headerBytes, bytes.end());
+    if (fnv64(payload.data(), payload.size()) != want_checksum)
+        rsr_throw_corrupt("trace payload checksum mismatch in ", path,
+                          " (truncated or corrupted file)");
 }
 
 bool

@@ -7,7 +7,13 @@
  * provides the latter mode, and makes workloads portable across hosts
  * without re-executing the functional simulator).
  *
- * Record layout (after a 16-byte header):
+ * The 28-byte header carries a magic, a format version, the record
+ * count, and an FNV-1a checksum of the payload; the reader validates all
+ * four and throws CorruptInputError on truncation or bit flips. Files are
+ * written to a temporary sibling and atomically renamed into place on
+ * close, so a crash mid-record never publishes a torn trace.
+ *
+ * Record layout (after the header):
  *   kind byte  — bit0: pc == previous nextPc (sequential fetch)
  *                bit1: instruction is a memory operation
  *                bit2: control transfer redirected (taken)
@@ -28,6 +34,7 @@
 #include "func/dyninst.hh"
 #include "func/program.hh"
 #include "uarch/core.hh"
+#include "util/checksum.hh"
 
 namespace rsr::trace
 {
@@ -58,6 +65,8 @@ class TraceWriter
 
     std::FILE *file = nullptr;
     std::string path;
+    std::string tmpPath;
+    Fnv64 checksum;
     std::vector<std::uint8_t> buffer;
     std::uint64_t records_ = 0;
     std::uint64_t payloadBytes_ = 0;

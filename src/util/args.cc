@@ -1,11 +1,36 @@
 #include "args.hh"
 
+#include <algorithm>
 #include <cstdlib>
 
-#include "logging.hh"
+#include "error.hh"
 
 namespace rsr
 {
+
+namespace
+{
+
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t subst =
+                diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+            diag = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+        }
+    }
+    return row[b.size()];
+}
+
+} // namespace
 
 ArgParser::ArgParser(int argc, const char *const *argv)
 {
@@ -14,10 +39,11 @@ ArgParser::ArgParser(int argc, const char *const *argv)
         command_ = argv[i++];
     while (i < argc) {
         std::string tok = argv[i++];
-        rsr_assert(tok.rfind("--", 0) == 0,
-                   "expected a --flag, got '", tok, "'");
+        if (tok.rfind("--", 0) != 0)
+            rsr_throw_user("expected a --flag, got '", tok, "'");
         const std::string name = tok.substr(2);
-        rsr_assert(!name.empty(), "empty flag name");
+        if (name.empty())
+            rsr_throw_user("empty flag name");
         std::string value;
         if (i < argc && std::string(argv[i]).rfind("--", 0) != 0)
             value = argv[i++];
@@ -46,8 +72,9 @@ ArgParser::getU64(const std::string &flag, std::uint64_t fallback) const
         return fallback;
     char *end = nullptr;
     const auto v = std::strtoull(it->second.c_str(), &end, 0);
-    rsr_assert(end && *end == '\0', "--", flag,
-               " expects an integer, got '", it->second, "'");
+    if (!end || *end != '\0' || it->second.empty())
+        rsr_throw_user("--", flag, " expects an integer, got '",
+                       it->second, "'");
     return v;
 }
 
@@ -59,8 +86,9 @@ ArgParser::getDouble(const std::string &flag, double fallback) const
         return fallback;
     char *end = nullptr;
     const double v = std::strtod(it->second.c_str(), &end);
-    rsr_assert(end && *end == '\0', "--", flag,
-               " expects a number, got '", it->second, "'");
+    if (!end || *end != '\0' || it->second.empty())
+        rsr_throw_user("--", flag, " expects a number, got '",
+                       it->second, "'");
     return v;
 }
 
@@ -72,6 +100,37 @@ ArgParser::unknownFlags(const std::set<std::string> &allowed) const
         if (!allowed.count(flag))
             out.push_back(flag);
     return out;
+}
+
+void
+ArgParser::requireKnown(const std::set<std::string> &allowed) const
+{
+    for (const auto &flag : unknownFlags(allowed)) {
+        const std::string near = nearestName(flag, allowed);
+        if (!near.empty())
+            rsr_throw_user("unknown flag --", flag, " (did you mean --",
+                           near, "?)");
+        rsr_throw_user("unknown flag --", flag,
+                       " (run without arguments for usage)");
+    }
+}
+
+std::string
+nearestName(const std::string &name,
+            const std::set<std::string> &candidates)
+{
+    const std::size_t cutoff =
+        std::min<std::size_t>(3, std::max<std::size_t>(1, name.size() / 2));
+    std::string best;
+    std::size_t best_dist = cutoff + 1;
+    for (const auto &c : candidates) {
+        const std::size_t d = editDistance(name, c);
+        if (d < best_dist) {
+            best_dist = d;
+            best = c;
+        }
+    }
+    return best;
 }
 
 } // namespace rsr

@@ -2,7 +2,8 @@
  * @file
  * Small command-line argument parser for the tools: one positional
  * command followed by `--flag value` and `--switch` options, with typed
- * accessors and unknown-flag detection.
+ * accessors and strict unknown-flag rejection (with nearest-valid-flag
+ * suggestions for typos). All parse errors throw UserError.
  */
 
 #ifndef RSR_UTIL_ARGS_HH
@@ -51,10 +52,24 @@ class ArgParser
     std::vector<std::string>
     unknownFlags(const std::set<std::string> &allowed) const;
 
+    /**
+     * Throw UserError if any flag is not in @p allowed, naming the
+     * offending flag and — when one is close enough — the nearest valid
+     * flag ("did you mean --cluster-size?").
+     */
+    void requireKnown(const std::set<std::string> &allowed) const;
+
   private:
     std::string command_;
     std::map<std::string, std::string> flags; // flag -> value ("" if none)
 };
+
+/**
+ * The element of @p candidates closest to @p name by edit distance, or ""
+ * if none is within a useful distance (≤ 1/2 of the name's length, max 3).
+ */
+std::string nearestName(const std::string &name,
+                        const std::set<std::string> &candidates);
 
 } // namespace rsr
 

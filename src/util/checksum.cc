@@ -1,0 +1,29 @@
+#include "checksum.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "error.hh"
+
+namespace rsr
+{
+
+std::string
+checksumHex(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::uint64_t
+parseChecksumHex(const std::string &s)
+{
+    if (s.size() != 16 ||
+        s.find_first_not_of("0123456789abcdef") != std::string::npos)
+        rsr_throw_corrupt("malformed checksum '", s, "'");
+    return std::strtoull(s.c_str(), nullptr, 16);
+}
+
+} // namespace rsr

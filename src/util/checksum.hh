@@ -1,0 +1,60 @@
+/**
+ * @file
+ * FNV-1a 64-bit checksums for on-disk artifacts: trace payloads,
+ * live-point libraries, campaign result files. Not cryptographic — the
+ * goal is detecting truncation and bit flips, cheaply and incrementally.
+ */
+
+#ifndef RSR_UTIL_CHECKSUM_HH
+#define RSR_UTIL_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rsr
+{
+
+/** Incremental FNV-1a 64-bit hasher. */
+class Fnv64
+{
+  public:
+    static constexpr std::uint64_t offsetBasis = 0xcbf29ce484222325ull;
+    static constexpr std::uint64_t prime = 0x100000001b3ull;
+
+    void
+    update(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            hash_ ^= p[i];
+            hash_ *= prime;
+        }
+    }
+
+    void update(const std::string &s) { update(s.data(), s.size()); }
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = offsetBasis;
+};
+
+/** One-shot FNV-1a 64 of a buffer. */
+inline std::uint64_t
+fnv64(const void *data, std::size_t n)
+{
+    Fnv64 h;
+    h.update(data, n);
+    return h.value();
+}
+
+/** Render a checksum as fixed-width lowercase hex (for manifests). */
+std::string checksumHex(std::uint64_t v);
+
+/** Parse the output of checksumHex(); throws CorruptInputError. */
+std::uint64_t parseChecksumHex(const std::string &s);
+
+} // namespace rsr
+
+#endif // RSR_UTIL_CHECKSUM_HH

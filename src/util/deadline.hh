@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Cooperative per-job watchdog deadline. The campaign runner arms one
+ * Deadline per job; the sampled-simulation loop polls it at cluster
+ * boundaries (and periodically inside long skips) and throws TimeoutError
+ * when it expires, so a wedged or oversized job fails cleanly instead of
+ * stalling the whole campaign.
+ */
+
+#ifndef RSR_UTIL_DEADLINE_HH
+#define RSR_UTIL_DEADLINE_HH
+
+#include <chrono>
+
+namespace rsr
+{
+
+/** A wall-clock deadline, armed at construction. */
+class Deadline
+{
+  public:
+    /** A deadline @p seconds from now; <= 0 means "never expires". */
+    explicit Deadline(double seconds) : limited_(seconds > 0.0)
+    {
+        if (limited_)
+            expiry_ = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(seconds));
+    }
+
+    bool
+    expired() const
+    {
+        return limited_ && std::chrono::steady_clock::now() >= expiry_;
+    }
+
+  private:
+    bool limited_;
+    std::chrono::steady_clock::time_point expiry_;
+};
+
+} // namespace rsr
+
+#endif // RSR_UTIL_DEADLINE_HH

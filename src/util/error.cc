@@ -1,0 +1,24 @@
+#include "error.hh"
+
+namespace rsr
+{
+
+const char *
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::UserError:
+        return "user-error";
+      case ErrorKind::CorruptInput:
+        return "corrupt-input";
+      case ErrorKind::InternalInvariant:
+        return "internal-invariant";
+      case ErrorKind::Io:
+        return "io";
+      case ErrorKind::Timeout:
+        return "timeout";
+    }
+    return "unknown";
+}
+
+} // namespace rsr

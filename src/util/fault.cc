@@ -1,0 +1,124 @@
+#include "fault.hh"
+
+#include <new>
+
+namespace rsr
+{
+
+namespace
+{
+
+/** SplitMix64 finalizer: avalanche a counter into 64 random-ish bits. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+hashSite(const std::string &site)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : site) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+FaultInjector &
+FaultInjector::global()
+{
+    static FaultInjector instance;
+    return instance;
+}
+
+void
+FaultInjector::configure(const FaultConfig &config)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    config_ = config;
+    armed_ = config.enabled();
+    stats_ = {};
+    siteDraws_.clear();
+}
+
+void
+FaultInjector::disarm()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    armed_ = false;
+}
+
+bool
+FaultInjector::armed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return armed_;
+}
+
+FaultStats
+FaultInjector::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+double
+FaultInjector::draw(const std::string &site, std::uint64_t &salt_out)
+{
+    const std::uint64_t n = siteDraws_[site]++;
+    const std::uint64_t bits =
+        mix64(config_.seed ^ mix64(hashSite(site) + n));
+    salt_out = mix64(bits);
+    // 53 high bits -> [0,1).
+    return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+bool
+FaultInjector::shouldFailIo(const std::string &site)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!armed_ || config_.ioFailProb <= 0.0)
+        return false;
+    std::uint64_t salt;
+    if (draw(site, salt) >= config_.ioFailProb)
+        return false;
+    ++stats_.ioFaults;
+    return true;
+}
+
+bool
+FaultInjector::maybeCorrupt(const std::string &site,
+                            std::vector<std::uint8_t> &bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!armed_ || config_.corruptProb <= 0.0 || bytes.empty())
+        return false;
+    std::uint64_t salt;
+    if (draw(site, salt) >= config_.corruptProb)
+        return false;
+    bytes[salt % bytes.size()] ^= 1u << (salt % 8);
+    ++stats_.corruptions;
+    return true;
+}
+
+void
+FaultInjector::checkAlloc(const std::string &site, std::size_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!armed_ || config_.allocFailProb <= 0.0 || bytes == 0)
+        return;
+    std::uint64_t salt;
+    if (draw(site, salt) >= config_.allocFailProb)
+        return;
+    ++stats_.allocFaults;
+    throw std::bad_alloc();
+}
+
+} // namespace rsr

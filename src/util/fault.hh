@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for robustness testing. A single
+ * process-wide injector can be armed with per-class probabilities; the
+ * I/O helpers (util/fileio), the trace reader, and the live-point loader
+ * consult it at well-defined sites. Each site draws from a counter-based
+ * hash of (seed, site-name, per-site draw index), so a given seed always
+ * fires the same faults at the same draws regardless of wall-clock time —
+ * tests can force every recovery path and replay it exactly.
+ *
+ * Disabled (the default) every hook is a cheap early-out, so production
+ * runs pay one predicted branch per site.
+ */
+
+#ifndef RSR_UTIL_FAULT_HH
+#define RSR_UTIL_FAULT_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rsr
+{
+
+/** Probabilities for each injectable fault class (0 disables a class). */
+struct FaultConfig
+{
+    std::uint64_t seed = 0;
+    /** Probability that a file open/read/write/rename fails (IoError). */
+    double ioFailProb = 0.0;
+    /** Probability that a read payload gets one byte bit-flipped. */
+    double corruptProb = 0.0;
+    /** Probability that a guarded large allocation throws bad_alloc. */
+    double allocFailProb = 0.0;
+
+    bool
+    enabled() const
+    {
+        return ioFailProb > 0.0 || corruptProb > 0.0 ||
+               allocFailProb > 0.0;
+    }
+};
+
+/** Counters of faults actually fired, for assertions and reports. */
+struct FaultStats
+{
+    std::uint64_t ioFaults = 0;
+    std::uint64_t corruptions = 0;
+    std::uint64_t allocFaults = 0;
+};
+
+/**
+ * Process-wide fault injector. Thread-safe: draws serialize on a mutex
+ * (they sit on I/O paths, never in the simulation hot loop).
+ */
+class FaultInjector
+{
+  public:
+    static FaultInjector &global();
+
+    /** Arm with @p config and reset all draw counters and stats. */
+    void configure(const FaultConfig &config);
+
+    /** Disarm: every subsequent hook is a no-op. */
+    void disarm();
+
+    bool armed() const;
+    FaultStats stats() const;
+
+    /**
+     * Should the I/O operation @p site (e.g. "write:results.json") fail?
+     * Counts a draw; records a fired fault in the stats.
+     */
+    bool shouldFailIo(const std::string &site);
+
+    /**
+     * Possibly flip one byte of @p bytes in place (deterministic
+     * position). Returns true if a corruption was injected.
+     */
+    bool maybeCorrupt(const std::string &site,
+                      std::vector<std::uint8_t> &bytes);
+
+    /** Throws std::bad_alloc if an allocation fault fires for @p site. */
+    void checkAlloc(const std::string &site, std::size_t bytes);
+
+  private:
+    FaultInjector() = default;
+
+    /** Deterministic [0,1) draw for (seed, site, per-site counter). */
+    double draw(const std::string &site, std::uint64_t &salt_out);
+
+    mutable std::mutex mutex_;
+    FaultConfig config_;
+    bool armed_ = false;
+    FaultStats stats_;
+    std::map<std::string, std::uint64_t> siteDraws_;
+};
+
+/**
+ * RAII guard that arms the global injector for a scope and disarms it on
+ * exit — keeps tests from leaking armed injectors into later tests.
+ */
+class ScopedFaultInjection
+{
+  public:
+    explicit ScopedFaultInjection(const FaultConfig &config)
+    {
+        FaultInjector::global().configure(config);
+    }
+
+    ~ScopedFaultInjection() { FaultInjector::global().disarm(); }
+
+    ScopedFaultInjection(const ScopedFaultInjection &) = delete;
+    ScopedFaultInjection &operator=(const ScopedFaultInjection &) = delete;
+};
+
+} // namespace rsr
+
+#endif // RSR_UTIL_FAULT_HH

@@ -1,0 +1,88 @@
+#include "fileio.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "error.hh"
+#include "fault.hh"
+
+namespace rsr
+{
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+std::vector<std::uint8_t>
+readFileBytes(const std::string &path)
+{
+    if (FaultInjector::global().shouldFailIo("read:" + path))
+        rsr_throw_io("injected I/O fault reading ", path);
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        rsr_throw_user("cannot open ", path, ": ", std::strerror(errno));
+
+    std::vector<std::uint8_t> bytes;
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    const bool read_error = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_error)
+        rsr_throw_io("read error on ", path);
+
+    FaultInjector::global().maybeCorrupt("corrupt:" + path, bytes);
+    return bytes;
+}
+
+void
+atomicWriteFile(const std::string &path, const void *data, std::size_t n)
+{
+    if (FaultInjector::global().shouldFailIo("write:" + path))
+        rsr_throw_io("injected I/O fault writing ", path);
+
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        rsr_throw_io("cannot open ", tmp, " for writing: ",
+                     std::strerror(errno));
+
+    bool ok = n == 0 || std::fwrite(data, 1, n, f) == n;
+    ok = std::fflush(f) == 0 && ok;
+    ok = ::fsync(::fileno(f)) == 0 && ok;
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        rsr_throw_io("cannot write ", path, ": ", std::strerror(errno));
+    }
+}
+
+void
+makeDirs(const std::string &path)
+{
+    std::string partial;
+    for (std::size_t i = 0; i <= path.size(); ++i) {
+        if (i < path.size() && path[i] != '/') {
+            partial.push_back(path[i]);
+            continue;
+        }
+        if (!partial.empty() &&
+            ::mkdir(partial.c_str(), 0777) != 0 && errno != EEXIST)
+            rsr_throw_io("cannot create directory ", partial, ": ",
+                         std::strerror(errno));
+        if (i < path.size())
+            partial.push_back('/');
+    }
+}
+
+} // namespace rsr

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Crash-safe file I/O used by every artifact writer: whole-file reads
+ * with fault-injection hooks, and atomic write-then-rename so a crash or
+ * SIGKILL mid-write never leaves a torn artifact — readers either see the
+ * complete old file or the complete new one. All failures throw the
+ * SimError hierarchy (IoError for environmental failures, UserError for
+ * missing paths).
+ */
+
+#ifndef RSR_UTIL_FILEIO_HH
+#define RSR_UTIL_FILEIO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rsr
+{
+
+/** Does @p path exist (as any kind of file)? */
+bool fileExists(const std::string &path);
+
+/**
+ * Read the whole of @p path. Throws UserError if it cannot be opened,
+ * IoError on a (possibly injected) read failure. An armed fault injector
+ * may also bit-flip the returned bytes to emulate media corruption.
+ */
+std::vector<std::uint8_t> readFileBytes(const std::string &path);
+
+/**
+ * Atomically replace @p path with @p n bytes of @p data: write a
+ * temporary sibling, flush+fsync it, then rename() over the target.
+ * Throws IoError on any failure (the temporary is removed).
+ */
+void atomicWriteFile(const std::string &path, const void *data,
+                     std::size_t n);
+
+inline void
+atomicWriteFile(const std::string &path,
+                const std::vector<std::uint8_t> &bytes)
+{
+    atomicWriteFile(path, bytes.data(), bytes.size());
+}
+
+inline void
+atomicWriteFile(const std::string &path, const std::string &text)
+{
+    atomicWriteFile(path, text.data(), text.size());
+}
+
+/** Create directory @p path (and parents). Throws IoError on failure. */
+void makeDirs(const std::string &path);
+
+} // namespace rsr
+
+#endif // RSR_UTIL_FILEIO_HH

@@ -8,17 +8,6 @@ namespace detail
 {
 
 void
-exitMessage(const char *kind, const char *file, int line,
-            const std::string &msg, bool abort_process)
-{
-    std::fprintf(stderr, "%s: %s (%s:%d)\n", kind, msg.c_str(), file, line);
-    std::fflush(stderr);
-    if (abort_process)
-        std::abort();
-    std::exit(1);
-}
-
-void
 printMessage(const char *kind, const std::string &msg)
 {
     std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());

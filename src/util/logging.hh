@@ -1,18 +1,20 @@
 /**
  * @file
- * Status and error reporting helpers, following the gem5 convention:
- * panic() for internal invariant violations (simulator bugs), fatal() for
- * user errors that make continuing impossible, warn()/inform() for
- * non-fatal status messages.
+ * Status reporting and invariant checking. Historically this header
+ * provided process-exiting rsr_fatal()/rsr_panic() macros; those are gone
+ * — library code now throws the SimError hierarchy from util/error.hh
+ * (rsr_throw_user / rsr_throw_corrupt / rsr_throw_internal / rsr_throw_io)
+ * so a failing job can be recorded and skipped instead of killing the
+ * process. Only warn()/inform() printing and the throwing rsr_assert()
+ * remain here.
  */
 
 #ifndef RSR_UTIL_LOGGING_HH
 #define RSR_UTIL_LOGGING_HH
 
-#include <cstdio>
-#include <cstdlib>
-#include <sstream>
 #include <string>
+
+#include "error.hh"
 
 namespace rsr
 {
@@ -20,42 +22,11 @@ namespace rsr
 namespace detail
 {
 
-/** Stream-compose a message from variadic arguments. */
-template <typename... Args>
-std::string
-composeMessage(Args &&...args)
-{
-    std::ostringstream os;
-    (os << ... << std::forward<Args>(args));
-    return os.str();
-}
-
-[[noreturn]] void exitMessage(const char *kind, const char *file, int line,
-                              const std::string &msg, bool abort_process);
-
 void printMessage(const char *kind, const std::string &msg);
 
 } // namespace detail
 
 } // namespace rsr
-
-/**
- * Report an internal invariant violation (a simulator bug) and abort.
- * Use for conditions that should never happen regardless of user input.
- */
-#define rsr_panic(...)                                                       \
-    ::rsr::detail::exitMessage("panic", __FILE__, __LINE__,                  \
-                               ::rsr::detail::composeMessage(__VA_ARGS__),  \
-                               true)
-
-/**
- * Report a user-caused unrecoverable condition (bad configuration,
- * invalid arguments) and exit with an error code.
- */
-#define rsr_fatal(...)                                                       \
-    ::rsr::detail::exitMessage("fatal", __FILE__, __LINE__,                  \
-                               ::rsr::detail::composeMessage(__VA_ARGS__),  \
-                               false)
 
 /** Warn about questionable but survivable behaviour. */
 #define rsr_warn(...)                                                        \
@@ -67,12 +38,12 @@ void printMessage(const char *kind, const std::string &msg);
     ::rsr::detail::printMessage(                                             \
         "info", ::rsr::detail::composeMessage(__VA_ARGS__))
 
-/** Panic if a condition does not hold. */
+/** Throw an InternalError if a condition does not hold. */
 #define rsr_assert(cond, ...)                                                \
     do {                                                                     \
         if (!(cond)) {                                                       \
-            rsr_panic("assertion '" #cond "' failed: ",                      \
-                      ::rsr::detail::composeMessage(__VA_ARGS__));           \
+            rsr_throw_internal("assertion '" #cond "' failed: ",             \
+                               ::rsr::detail::composeMessage(__VA_ARGS__));  \
         }                                                                    \
     } while (0)
 

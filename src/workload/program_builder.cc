@@ -239,7 +239,7 @@ ProgramBuilder::pokeData(std::uint64_t addr, std::uint64_t value,
             return;
         }
     }
-    rsr_panic("pokeData outside any allocated segment: addr=", addr);
+    rsr_throw_internal("pokeData outside any allocated segment: addr=", addr);
 }
 
 func::Program

@@ -517,7 +517,7 @@ makeProfile(const std::string &name)
         p.innerIters = 12;
         p.indirectDispatch = false;
     } else {
-        rsr_fatal("unknown standard workload: ", name);
+        rsr_throw_user("unknown standard workload: ", name);
     }
     return p;
 }

@@ -8,6 +8,7 @@
 
 #include "core/warmup.hh"
 #include "util/args.hh"
+#include "util/error.hh"
 
 namespace rsr
 {
@@ -70,10 +71,41 @@ TEST(ArgParser, UnknownFlagDetection)
     EXPECT_EQ(unknown[0], "bad");
 }
 
-TEST(ArgParser, NonIntegerIsFatal)
+TEST(ArgParser, NonIntegerThrowsUserError)
 {
     const auto a = parse({"cmd", "--insts", "lots"});
-    EXPECT_DEATH(a.getU64("insts", 0), "expects an integer");
+    EXPECT_THROW(a.getU64("insts", 0), UserError);
+}
+
+TEST(ArgParser, UnknownFlagRejectedWithSuggestion)
+{
+    // The classic typo: --cluster-sizes used to be silently ignored.
+    const auto a = parse({"sample", "--cluster-sizes", "3000"});
+    try {
+        a.requireKnown({"clusters", "cluster-size", "workload"});
+        FAIL() << "requireKnown did not throw";
+    } catch (const UserError &e) {
+        EXPECT_NE(std::string(e.what()).find("--cluster-sizes"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find(
+                      "did you mean --cluster-size?"),
+                  std::string::npos);
+    }
+}
+
+TEST(ArgParser, RequireKnownAcceptsValidFlags)
+{
+    const auto a = parse({"sample", "--workload", "gcc"});
+    EXPECT_NO_THROW(a.requireKnown({"workload", "insts"}));
+}
+
+TEST(NearestName, PicksClosestWithinCutoff)
+{
+    const std::set<std::string> names{"cluster-size", "clusters", "seed"};
+    EXPECT_EQ(nearestName("cluster-sizes", names), "cluster-size");
+    EXPECT_EQ(nearestName("sede", names), "seed");
+    // Nothing remotely close: no suggestion.
+    EXPECT_EQ(nearestName("zzzzzzzzzz", names), "");
 }
 
 TEST(PolicyByName, AllStandardNames)
@@ -92,16 +124,21 @@ TEST(PolicyByName, AllStandardNames)
               "R$BP (20%)+stale");
 }
 
-TEST(PolicyByName, UnknownIsFatal)
+TEST(PolicyByName, UnknownThrowsUserError)
 {
-    EXPECT_EXIT(core::makePolicyByName("warmify"),
-                ::testing::ExitedWithCode(1), "unknown warm-up policy");
+    try {
+        core::makePolicyByName("warmify");
+        FAIL() << "makePolicyByName did not throw";
+    } catch (const UserError &e) {
+        EXPECT_NE(std::string(e.what()).find("unknown warm-up policy"),
+                  std::string::npos);
+    }
 }
 
-TEST(PolicyByName, BadPercentIsFatal)
+TEST(PolicyByName, BadPercentThrowsUserError)
 {
-    EXPECT_DEATH(core::makePolicyByName("rsr0"), "percentage");
-    EXPECT_DEATH(core::makePolicyByName("fpxx"), "percentage");
+    EXPECT_THROW(core::makePolicyByName("rsr0"), UserError);
+    EXPECT_THROW(core::makePolicyByName("fpxx"), UserError);
 }
 
 } // namespace

@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "cachestudy/miss_ratio.hh"
+#include "util/error.hh"
 #include "util/random.hh"
 #include "workload/synthetic.hh"
 
@@ -153,13 +154,13 @@ TEST(MissRatio, DataRefTraceExtractsLineAddresses)
         EXPECT_EQ(trace[i] % 64, 0u);
 }
 
-TEST(MissRatio, ScheduleBeyondTracePanics)
+TEST(MissRatio, ScheduleBeyondTraceThrows)
 {
     const auto trace = randomTrace(10, 100, 1);
     const std::vector<core::Cluster> schedule{{50, 100}};
-    EXPECT_DEATH(estimateMissRatio(smallCache(), trace, schedule,
+    EXPECT_THROW(estimateMissRatio(smallCache(), trace, schedule,
                                    ColdStart::CountAll),
-                 "past the reference trace");
+                 InternalError);
 }
 
 } // namespace

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/config_file.hh"
+#include "util/error.hh"
 
 namespace rsr::core
 {
@@ -82,39 +83,49 @@ TEST(ConfigFile, HexValues)
     EXPECT_EQ(mc.hier.memLatency, 256u);
 }
 
-TEST(ConfigFile, UnknownSectionIsFatal)
+TEST(ConfigFile, UnknownSectionThrows)
 {
-    EXPECT_EXIT(parseMachineConfig("nic.latency = 5\n",
-                                   MachineConfig::paperDefault()),
-                ::testing::ExitedWithCode(1), "unknown config section");
+    try {
+        parseMachineConfig("nic.latency = 5\n",
+                           MachineConfig::paperDefault());
+        FAIL() << "parseMachineConfig did not throw";
+    } catch (const UserError &e) {
+        EXPECT_NE(std::string(e.what()).find("unknown config section"),
+                  std::string::npos);
+    }
 }
 
-TEST(ConfigFile, UnknownFieldIsFatal)
+TEST(ConfigFile, UnknownFieldThrows)
 {
-    EXPECT_EXIT(parseMachineConfig("dl1.banks = 4\n",
-                                   MachineConfig::paperDefault()),
-                ::testing::ExitedWithCode(1), "unknown cache config");
+    try {
+        parseMachineConfig("dl1.banks = 4\n",
+                           MachineConfig::paperDefault());
+        FAIL() << "parseMachineConfig did not throw";
+    } catch (const UserError &e) {
+        EXPECT_NE(std::string(e.what()).find("unknown cache config"),
+                  std::string::npos);
+    }
 }
 
-TEST(ConfigFile, MalformedLineIsFatal)
+TEST(ConfigFile, MalformedLineThrows)
 {
-    EXPECT_DEATH(parseMachineConfig("dl1.size_bytes 65536\n",
+    EXPECT_THROW(parseMachineConfig("dl1.size_bytes 65536\n",
                                     MachineConfig::paperDefault()),
-                 "key = value");
+                 UserError);
 }
 
-TEST(ConfigFile, NonIntegerValueIsFatal)
+TEST(ConfigFile, NonIntegerValueThrows)
 {
-    EXPECT_DEATH(parseMachineConfig("dl1.size_bytes = big\n",
+    EXPECT_THROW(parseMachineConfig("dl1.size_bytes = big\n",
                                     MachineConfig::paperDefault()),
-                 "expects an integer");
+                 UserError);
 }
 
-TEST(ConfigFile, MissingFileIsFatal)
+TEST(ConfigFile, MissingFileThrows)
 {
-    EXPECT_EXIT(loadMachineConfig("/nonexistent/nope.cfg",
-                                  MachineConfig::paperDefault()),
-                ::testing::ExitedWithCode(1), "cannot open config file");
+    EXPECT_THROW(loadMachineConfig("/nonexistent/nope.cfg",
+                                   MachineConfig::paperDefault()),
+                 UserError);
 }
 
 } // namespace

@@ -151,13 +151,13 @@ TEST(SerialHelpers, PrimitivesRoundTrip)
     EXPECT_TRUE(in.exhausted());
 }
 
-TEST(SerialHelpers, UnderrunPanics)
+TEST(SerialHelpers, UnderrunThrowsInternalError)
 {
     ByteSink out;
     out.putU8(1);
     ByteSource in(out.bytes());
     in.getU8();
-    EXPECT_DEATH(in.getU8(), "underrun");
+    EXPECT_THROW(in.getU8(), InternalError);
 }
 
 TEST(CacheCheckpoint, StateRoundTrip)

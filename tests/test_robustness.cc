@@ -2,24 +2,84 @@
  * @file
  * Robustness tests: multi-seed statistical stability of sampled
  * estimates, short-log GHR reconstruction, bimodal predictor mode
- * (zero history bits), SimPoint parameter boundaries, and degenerate
- * cache geometries.
+ * (zero history bits), SimPoint parameter boundaries, degenerate
+ * cache geometries, and the fault-tolerance layer — truncated and
+ * bit-flipped artifacts, fault-injected campaigns, watchdog timeouts,
+ * and the campaign kill-and-resume round trip.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <csignal>
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "core/branch_reconstructor.hh"
+#include "core/livepoints.hh"
 #include "core/sampled_sim.hh"
 #include "core/warmup.hh"
+#include "harness/campaign.hh"
+#include "harness/manifest.hh"
 #include "simpoint/simpoint.hh"
+#include "trace/trace.hh"
+#include "util/error.hh"
+#include "util/fault.hh"
 #include "workload/synthetic.hh"
 
 namespace rsr
 {
 namespace
 {
+
+std::vector<std::uint8_t>
+slurpFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << path;
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    std::fclose(f);
+    return bytes;
+}
+
+void
+spillFile(const std::string &path, const std::vector<std::uint8_t> &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << path;
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+}
+
+/** A small, fast campaign config rooted at a fresh temp directory. */
+harness::CampaignConfig
+smallCampaign(const char *tag)
+{
+    harness::CampaignConfig cfg;
+    cfg.outDir = std::string(::testing::TempDir()) + "/rsr_campaign_" + tag;
+    cfg.workloads = {"twolf", "vpr", "gcc"};
+    cfg.policies = {"none", "smarts"};
+    cfg.insts = 60'000;
+    cfg.clusters = 3;
+    cfg.clusterSize = 500;
+    cfg.machine = core::MachineConfig::scaledDefault();
+    cfg.threads = 1;
+    cfg.maxRetries = 0;
+    cfg.backoffMs = 1;
+    // Fresh manifest regardless of leftovers from a previous test run.
+    std::remove(harness::CampaignRunner::manifestPath(cfg.outDir).c_str());
+    return cfg;
+}
 
 TEST(Robustness, EstimatesStableAcrossScheduleSeeds)
 {
@@ -168,6 +228,186 @@ TEST(Robustness, DirectMappedWholeHierarchy)
     auto rsr = core::ReverseReconstructionWarmup::full(1.0);
     const auto r = core::runSampled(prog, *rsr, cfg);
     EXPECT_EQ(r.clusterIpc.size(), 8u);
+}
+
+TEST(Robustness, TruncatedTraceThrowsCorruptInput)
+{
+    const auto prog = workload::buildSynthetic(
+        workload::standardWorkloadParams("twolf"));
+    const std::string path =
+        std::string(::testing::TempDir()) + "/rsr_trunc.trc";
+    ASSERT_EQ(trace::recordTrace(prog, 5'000, path), 5'000u);
+
+    auto bytes = slurpFile(path);
+    ASSERT_GT(bytes.size(), 64u);
+    bytes.resize(bytes.size() - 16); // tear the tail off the payload
+    spillFile(path, bytes);
+
+    EXPECT_THROW(trace::TraceReader reader(path), CorruptInputError);
+    std::remove(path.c_str());
+}
+
+TEST(Robustness, BitFlippedLivePointLibraryThrowsCorruptInput)
+{
+    const auto prog = workload::buildSynthetic(
+        workload::standardWorkloadParams("twolf"));
+    core::SampledConfig cfg;
+    cfg.totalInsts = 60'000;
+    cfg.regimen = {3, 500};
+    cfg.machine = core::MachineConfig::scaledDefault();
+    auto smarts = core::FunctionalWarmup::smarts();
+    const auto lib = core::LivePointLibrary::capture(prog, *smarts, cfg);
+
+    const std::string path =
+        std::string(::testing::TempDir()) + "/rsr_flip.lpl";
+    lib.saveFile(path);
+
+    // Sanity: the pristine file loads.
+    EXPECT_NO_THROW(core::LivePointLibrary::loadFile(path));
+
+    auto bytes = slurpFile(path);
+    ASSERT_GT(bytes.size(), 64u);
+    bytes[bytes.size() / 2] ^= 0x10; // one bit, mid-payload
+    spillFile(path, bytes);
+
+    EXPECT_THROW(core::LivePointLibrary::loadFile(path),
+                 CorruptInputError);
+    std::remove(path.c_str());
+}
+
+TEST(Robustness, FaultInjectedCampaignRecordsFailuresThenResumes)
+{
+    auto cfg = smallCampaign("faulty");
+    cfg.faults.seed = 0xfa017;
+    cfg.faults.ioFailProb = 0.7; // most result writes fail, no retries
+
+    harness::CampaignRunner first(cfg);
+    const auto r1 = first.run();
+    EXPECT_EQ(r1.total, 6u);
+    EXPECT_GT(r1.failed, 0u);
+    EXPECT_FALSE(r1.allComplete());
+    EXPECT_EQ(r1.exitStatus(), 2);
+
+    // Every failure is in the manifest with the io taxonomy kind.
+    const auto state = harness::loadManifest(
+        harness::CampaignRunner::manifestPath(cfg.outDir));
+    std::uint64_t manifest_failed = 0;
+    for (const auto &[id, job] : state.jobs) {
+        if (job.status == harness::JobStatus::Failed) {
+            ++manifest_failed;
+            EXPECT_EQ(job.errorKind, "io") << id;
+            EXPECT_FALSE(job.error.empty()) << id;
+        }
+    }
+    EXPECT_EQ(manifest_failed, r1.failed);
+
+    // Resume with faults off: completed jobs are skipped, the rest run.
+    cfg.faults = FaultConfig{};
+    harness::CampaignRunner second(cfg);
+    const auto r2 = second.run(/*resume=*/true);
+    EXPECT_EQ(r2.skipped, r1.completed);
+    EXPECT_TRUE(r2.allComplete());
+    EXPECT_EQ(r2.exitStatus(), 0);
+}
+
+TEST(Robustness, WatchdogTimesOutSlowJobs)
+{
+    auto cfg = smallCampaign("timeout");
+    cfg.workloads = {"twolf"};
+    cfg.policies = {"none"};
+    cfg.jobTimeoutSec = 1e-6; // expires before the first cluster
+
+    harness::CampaignRunner runner(cfg);
+    const auto r = runner.run();
+    EXPECT_EQ(r.total, 1u);
+    EXPECT_EQ(r.failed, 1u);
+
+    const auto state = harness::loadManifest(
+        harness::CampaignRunner::manifestPath(cfg.outDir));
+    ASSERT_EQ(state.jobs.count(0), 1u);
+    EXPECT_EQ(state.jobs.at(0).status, harness::JobStatus::TimedOut);
+    EXPECT_EQ(state.jobs.at(0).errorKind, "timeout");
+}
+
+TEST(Robustness, CampaignKillAndResumeRoundTrip)
+{
+    const auto cfg = smallCampaign("killresume");
+    const auto manifest =
+        harness::CampaignRunner::manifestPath(cfg.outDir);
+
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        // Child: run the campaign to completion (it won't get to).
+        try {
+            harness::CampaignRunner runner(cfg);
+            runner.run();
+        } catch (...) {
+        }
+        _exit(0);
+    }
+
+    // Parent: wait until at least one job is durably complete, then
+    // SIGKILL the child mid-campaign.
+    bool saw_complete = false;
+    for (int i = 0; i < 3000 && !saw_complete; ++i) {
+        usleep(10'000);
+        try {
+            const auto state = harness::loadManifest(manifest);
+            for (const auto &[id, job] : state.jobs)
+                if (job.status == harness::JobStatus::Complete)
+                    saw_complete = true;
+        } catch (const SimError &) {
+            // Manifest not there yet or header still in flight.
+        }
+    }
+    kill(child, SIGKILL);
+    int wstatus = 0;
+    waitpid(child, &wstatus, 0);
+    ASSERT_TRUE(saw_complete) << "child never completed a job";
+
+    // Resume: completed jobs must be skipped, the rest must finish.
+    harness::CampaignRunner resumed(cfg);
+    const auto r = resumed.run(/*resume=*/true);
+    EXPECT_GE(r.skipped, 1u);
+    EXPECT_TRUE(r.allComplete());
+    EXPECT_EQ(r.completed + r.skipped, r.total);
+    EXPECT_EQ(r.exitStatus(), 0);
+}
+
+TEST(Robustness, ResumeRejectsMismatchedCampaign)
+{
+    auto cfg = smallCampaign("fingerprint");
+    cfg.workloads = {"twolf"};
+    cfg.policies = {"none"};
+    harness::CampaignRunner first(cfg);
+    EXPECT_TRUE(first.run().allComplete());
+
+    auto other = cfg;
+    other.policies = {"smarts"}; // different matrix, same directory
+    harness::CampaignRunner second(other);
+    EXPECT_THROW(second.run(/*resume=*/true), UserError);
+}
+
+TEST(Robustness, FaultInjectorIsDeterministicPerSeed)
+{
+    FaultConfig fc;
+    fc.seed = 42;
+    fc.ioFailProb = 0.5;
+    std::vector<bool> a, b;
+    {
+        ScopedFaultInjection guard(fc);
+        for (int i = 0; i < 64; ++i)
+            a.push_back(FaultInjector::global().shouldFailIo("site:x"));
+    }
+    {
+        ScopedFaultInjection guard(fc);
+        for (int i = 0; i < 64; ++i)
+            b.push_back(FaultInjector::global().shouldFailIo("site:x"));
+    }
+    EXPECT_EQ(a, b);
+    EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+    EXPECT_NE(std::count(a.begin(), a.end(), false), 0);
 }
 
 } // namespace

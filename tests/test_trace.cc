@@ -15,6 +15,7 @@
 #include "core/machine.hh"
 #include "func/funcsim.hh"
 #include "trace/trace.hh"
+#include "util/error.hh"
 #include "workload/program_builder.hh"
 #include "workload/synthetic.hh"
 
@@ -144,13 +145,12 @@ TEST(Trace, EarlyHaltTruncates)
     std::remove(path.c_str());
 }
 
-TEST(TraceDeath, MissingFileIsFatal)
+TEST(TraceErrors, MissingFileThrowsUserError)
 {
-    EXPECT_EXIT({ TraceReader r("/nonexistent/path/nope.trc"); },
-                ::testing::ExitedWithCode(1), "cannot open trace file");
+    EXPECT_THROW(TraceReader("/nonexistent/path/nope.trc"), UserError);
 }
 
-TEST(TraceDeath, GarbageFileIsFatal)
+TEST(TraceErrors, GarbageFileThrowsCorruptInput)
 {
     const auto path = tempPath("garbage");
     std::FILE *f = std::fopen(path.c_str(), "wb");
@@ -158,8 +158,13 @@ TEST(TraceDeath, GarbageFileIsFatal)
     const char junk[64] = "this is not a trace file at all, sorry......";
     std::fwrite(junk, 1, sizeof(junk), f);
     std::fclose(f);
-    EXPECT_EXIT({ TraceReader r(path); }, ::testing::ExitedWithCode(1),
-                "not a trace file");
+    try {
+        TraceReader r(path);
+        FAIL() << "TraceReader did not throw";
+    } catch (const CorruptInputError &e) {
+        EXPECT_NE(std::string(e.what()).find("not a trace file"),
+                  std::string::npos);
+    }
     std::remove(path.c_str());
 }
 

@@ -12,6 +12,7 @@
 #include <set>
 
 #include "func/funcsim.hh"
+#include "util/error.hh"
 #include "workload/program_builder.hh"
 #include "workload/synthetic.hh"
 
@@ -184,10 +185,15 @@ TEST(Synthetic, NineStandardProfiles)
         EXPECT_TRUE(names.count(n)) << n;
 }
 
-TEST(Synthetic, UnknownNameIsFatal)
+TEST(Synthetic, UnknownNameThrowsUserError)
 {
-    EXPECT_EXIT(standardWorkloadParams("nonesuch"),
-                ::testing::ExitedWithCode(1), "unknown standard workload");
+    try {
+        standardWorkloadParams("nonesuch");
+        FAIL() << "standardWorkloadParams did not throw";
+    } catch (const UserError &e) {
+        EXPECT_NE(std::string(e.what()).find("unknown standard workload"),
+                  std::string::npos);
+    }
 }
 
 class StandardWorkload : public ::testing::TestWithParam<const char *>

@@ -12,9 +12,15 @@
  *   rsr_sim sim-trace    --trace file.trc [--insts N] [--machine ...]
  *   rsr_sim simpoint     --workload gcc [--insts N] [--interval I]
  *                        [--max-k K] [--warm]
+ *   rsr_sim campaign     --workloads gcc,vpr,twolf --policies none,smarts
+ *                        --out DIR [--resume] [--threads T] [--retries R]
+ *                        [--timeout SECS] [--fault-io P] [...]
  *
  * Policies: none, smarts, scache, sbp, fp<pct>, rsr<pct>, rcache<pct>,
  * rbp (RSR variants accept a +stale suffix), mrrl, blrl.
+ *
+ * Exit status: 0 success, 1 fatal error, 2 campaign partially complete
+ * (some jobs failed; see the manifest).
  */
 
 #include <cstdio>
@@ -28,9 +34,12 @@
 #include "core/reuse_latency.hh"
 #include "core/sampled_sim.hh"
 #include "core/warmup.hh"
+#include "harness/campaign.hh"
 #include "simpoint/simpoint.hh"
 #include "trace/trace.hh"
 #include "util/args.hh"
+#include "util/error.hh"
+#include "util/fileio.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 #include "workload/synthetic.hh"
@@ -50,15 +59,15 @@ machineFor(const ArgParser &args)
     else if (kind == "paper")
         mc = core::MachineConfig::paperDefault();
     else
-        rsr_fatal("--machine must be 'scaled' or 'paper', got '", kind,
-                  "'");
+        rsr_throw_user("--machine must be 'scaled' or 'paper', got '",
+                       kind, "'");
     if (args.has("config"))
         mc = core::loadMachineConfig(args.get("config"), mc);
     if (args.has("set")) {
         const std::string kv = args.get("set");
         const auto eq = kv.find('=');
         if (eq == std::string::npos)
-            rsr_fatal("--set expects key=value, got '", kv, "'");
+            rsr_throw_user("--set expects key=value, got '", kv, "'");
         core::applyMachineOption(mc, kv.substr(0, eq), kv.substr(eq + 1));
     }
     return mc;
@@ -69,7 +78,8 @@ workloadFor(const ArgParser &args)
 {
     const std::string name = args.get("workload");
     if (name.empty())
-        rsr_fatal("--workload is required (try: rsr_sim list-workloads)");
+        rsr_throw_user("--workload is required (try: rsr_sim "
+                       "list-workloads)");
     return workload::buildSynthetic(
         workload::standardWorkloadParams(name));
 }
@@ -192,7 +202,7 @@ cmdCapture(const ArgParser &args)
     const auto program = workloadFor(args);
     const std::string out = args.get("out");
     if (out.empty())
-        rsr_fatal("--out is required");
+        rsr_throw_user("--out is required");
     core::SampledConfig cfg;
     cfg.totalInsts = args.getU64("insts", 4'000'000);
     cfg.regimen.numClusters = args.getU64("clusters", 60);
@@ -202,15 +212,10 @@ cmdCapture(const ArgParser &args)
     auto policy = core::makePolicyByName(args.get("policy", "smarts"));
     const auto lib =
         core::LivePointLibrary::capture(program, *policy, cfg);
-    const auto bytes = lib.serialize();
-    std::FILE *f = std::fopen(out.c_str(), "wb");
-    if (!f)
-        rsr_fatal("cannot open ", out, " for writing");
-    std::fwrite(bytes.data(), 1, bytes.size(), f);
-    std::fclose(f);
+    lib.saveFile(out);
     std::printf("captured %zu live-points (%.1f MB) to %s\n",
-                lib.points().size(), bytes.size() / 1048576.0,
-                out.c_str());
+                lib.points().size(),
+                lib.serialize().size() / 1048576.0, out.c_str());
     return 0;
 }
 
@@ -219,17 +224,8 @@ cmdReplay(const ArgParser &args)
 {
     const std::string path = args.get("lib");
     if (path.empty())
-        rsr_fatal("--lib is required");
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        rsr_fatal("cannot open live-point library: ", path);
-    std::vector<std::uint8_t> bytes;
-    char buf[1 << 16];
-    std::size_t n;
-    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
-        bytes.insert(bytes.end(), buf, buf + n);
-    std::fclose(f);
-    const auto lib = core::LivePointLibrary::deserialize(bytes);
+        rsr_throw_user("--lib is required");
+    const auto lib = core::LivePointLibrary::loadFile(path);
 
     auto core_params = lib.machineConfig().core;
     if (args.has("set")) {
@@ -238,7 +234,7 @@ cmdReplay(const ArgParser &args)
         const std::string kv = args.get("set");
         const auto eq = kv.find('=');
         if (eq == std::string::npos)
-            rsr_fatal("--set expects key=value");
+            rsr_throw_user("--set expects key=value");
         core::applyMachineOption(mc, kv.substr(0, eq),
                                  kv.substr(eq + 1));
         core_params = mc.core;
@@ -257,7 +253,7 @@ cmdRecordTrace(const ArgParser &args)
     const auto program = workloadFor(args);
     const std::string out = args.get("out");
     if (out.empty())
-        rsr_fatal("--out is required");
+        rsr_throw_user("--out is required");
     const auto insts = args.getU64("insts", 1'000'000);
     const auto n = trace::recordTrace(program, insts, out);
     std::printf("recorded %llu instructions to %s\n",
@@ -270,7 +266,7 @@ cmdSimTrace(const ArgParser &args)
 {
     const std::string path = args.get("trace");
     if (path.empty())
-        rsr_fatal("--trace is required");
+        rsr_throw_user("--trace is required");
     trace::TraceReader reader(path);
     const auto mc = machineFor(args);
     core::Machine machine(mc);
@@ -303,6 +299,67 @@ cmdSimPoint(const ArgParser &args)
     return 0;
 }
 
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        if (comma > pos)
+            out.push_back(csv.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+int
+cmdCampaign(const ArgParser &args)
+{
+    harness::CampaignConfig cfg;
+    cfg.outDir = args.get("out");
+    if (cfg.outDir.empty())
+        rsr_throw_user("--out DIR is required");
+    cfg.workloads = splitList(args.get("workloads"));
+    cfg.policies = splitList(args.get("policies"));
+    const bool resume = args.has("resume");
+    if (resume && cfg.workloads.empty() && cfg.policies.empty())
+        rsr_throw_user("--resume still needs the original --workloads "
+                       "and --policies (the manifest fingerprint is "
+                       "checked against them)");
+    cfg.insts = args.getU64("insts", 300'000);
+    cfg.clusters = args.getU64("clusters", 10);
+    cfg.clusterSize = args.getU64("cluster-size", 2000);
+    cfg.seed = args.getU64("seed", cfg.seed);
+    cfg.machine = machineFor(args);
+    cfg.threads = static_cast<unsigned>(args.getU64("threads", 1));
+    cfg.maxRetries = static_cast<unsigned>(args.getU64("retries", 2));
+    cfg.backoffMs = static_cast<unsigned>(args.getU64("backoff-ms", 10));
+    cfg.jobTimeoutSec = args.getDouble("timeout", 0.0);
+    cfg.faults.seed = args.getU64("fault-seed", 0);
+    cfg.faults.ioFailProb = args.getDouble("fault-io", 0.0);
+    cfg.faults.corruptProb = args.getDouble("fault-corrupt", 0.0);
+    cfg.faults.allocFailProb = args.getDouble("fault-alloc", 0.0);
+
+    harness::CampaignRunner runner(cfg);
+    const auto r = runner.run(resume);
+    std::printf("campaign %s: %llu jobs, %llu completed, %llu skipped "
+                "(already done), %llu failed, %llu transient retries\n",
+                cfg.outDir.c_str(),
+                static_cast<unsigned long long>(r.total),
+                static_cast<unsigned long long>(r.completed),
+                static_cast<unsigned long long>(r.skipped),
+                static_cast<unsigned long long>(r.failed),
+                static_cast<unsigned long long>(r.retries));
+    if (r.failed > 0)
+        std::printf("  failed jobs are recorded in %s\n",
+                    harness::CampaignRunner::manifestPath(cfg.outDir)
+                        .c_str());
+    return r.exitStatus();
+}
+
 void
 usage()
 {
@@ -318,24 +375,31 @@ usage()
         " [--warm]\n"
         "  capture      --workload W --out FILE [--policy P] [--insts N]\n"
         "  replay       --lib FILE [--set core.<field>=V]\n"
+        "  campaign     --workloads W1,W2,... --policies P1,P2,... "
+        "--out DIR\n"
+        "               [--insts N] [--clusters C] [--cluster-size S] "
+        "[--seed X]\n"
+        "               [--threads T] [--retries R] [--backoff-ms MS] "
+        "[--timeout SECS]\n"
+        "               [--resume] [--fault-seed X] [--fault-io P] "
+        "[--fault-corrupt P]\n"
+        "               [--fault-alloc P]\n"
         "policies: none smarts scache sbp fp<pct> rsr<pct>[+stale] "
-        "rcache<pct> rbp mrrl blrl\n");
+        "rcache<pct> rbp mrrl blrl\n"
+        "exit status: 0 ok, 1 fatal, 2 campaign partially complete\n");
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+dispatch(const ArgParser &args)
 {
-    const ArgParser args(argc, argv);
     const std::set<std::string> allowed{
-        "workload", "insts", "machine", "policy", "clusters",
-        "cluster-size", "seed",  "true-ipc", "csv",   "out",
-        "trace",    "interval", "max-k",  "warm", "stats", "config",
-        "set",      "lib"};
-    for (const auto &f : args.unknownFlags(allowed))
-        rsr_fatal("unknown flag --", f, " (run without arguments for "
-                  "usage)");
+        "workload",  "insts",    "machine",  "policy",    "clusters",
+        "cluster-size", "seed",  "true-ipc", "csv",       "out",
+        "trace",     "interval", "max-k",    "warm",      "stats",
+        "config",    "set",      "lib",      "workloads", "policies",
+        "threads",   "retries",  "backoff-ms", "timeout", "resume",
+        "fault-seed", "fault-io", "fault-corrupt", "fault-alloc"};
+    args.requireKnown(allowed);
 
     const std::string cmd = args.command();
     if (cmd == "list-workloads")
@@ -354,6 +418,28 @@ main(int argc, char **argv)
         return cmdSimTrace(args);
     if (cmd == "simpoint")
         return cmdSimPoint(args);
+    if (cmd == "campaign")
+        return cmdCampaign(args);
     usage();
     return cmd.empty() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Library code throws the SimError taxonomy; the CLI is the one
+    // place where errors become an exit code.
+    try {
+        const ArgParser args(argc, argv);
+        return dispatch(args);
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "fatal [%s]: %s\n",
+                     errorKindName(e.kind()), e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    }
 }
