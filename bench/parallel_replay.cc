@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Parallel cluster-replay benchmark: runs the full Table-2 policy matrix
+ * through the deferred phase-driver pipeline twice — once with all
+ * timing replays serial (--jobs 1) and once spread over a worker pool —
+ * verifies the two produce bit-identical per-cluster IPC and estimates,
+ * and records the wall-clock comparison in BENCH_parallel_replay.json.
+ *
+ * The parallel grain is one pool task per policy (each replaying its
+ * own clusters serially): a sweep is embarrassingly parallel, so the
+ * speedup approaches the core count, while within a single run the
+ * serial functional front half bounds the gain (Amdahl). The JSON
+ * records the machine's core count next to the measured speedup — on a
+ * single-core container the two sweeps cost the same and `speedup`
+ * honestly reports ~1.0.
+ */
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.hh"
+#include "harness/json.hh"
+#include "harness/parallel_run.hh"
+#include "util/fileio.hh"
+#include "util/table.hh"
+#include "util/timer.hh"
+
+int
+main()
+{
+    using namespace rsr;
+    bench::banner("Parallel cluster replay: serial vs pooled timing",
+                  "phase-driver deferred mode determinism + speedup");
+
+    auto setups = bench::prepareWorkloads(false, 1'000'000);
+    setups.erase(setups.begin() + 1, setups.end());
+    setups[0].cfg.regimen = {20, 2000};
+    const auto &setup = setups[0];
+
+    const std::vector<std::string> policies{
+        "none",     "fp20",     "fp40",      "fp80", "scache", "sbp",
+        "smarts",   "rcache20", "rcache40",  "rcache80", "rcache100",
+        "rbp",      "rsr20",    "rsr40",     "rsr80", "rsr100"};
+    const unsigned jobs = 4;
+    const unsigned cores = std::thread::hardware_concurrency();
+
+    WallTimer serial_timer;
+    const auto serial =
+        harness::runPolicySweep(setup.program, policies, setup.cfg, 1);
+    const double serial_seconds = serial_timer.seconds();
+
+    WallTimer parallel_timer;
+    const auto parallel =
+        harness::runPolicySweep(setup.program, policies, setup.cfg,
+                                jobs);
+    const double parallel_seconds = parallel_timer.seconds();
+
+    bool identical = true;
+    TextTable t({"policy", "serial ipc", "pooled ipc", "identical"});
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+        const bool same =
+            serial[i].result.clusterIpc == parallel[i].result.clusterIpc &&
+            serial[i].result.estimate.mean ==
+                parallel[i].result.estimate.mean &&
+            serial[i].result.estimate.ciLow ==
+                parallel[i].result.estimate.ciLow &&
+            serial[i].result.estimate.ciHigh ==
+                parallel[i].result.estimate.ciHigh;
+        identical = identical && same;
+        t.addRow({serial[i].displayName,
+                  TextTable::num(serial[i].result.estimate.mean),
+                  TextTable::num(parallel[i].result.estimate.mean),
+                  same ? "yes" : "NO"});
+    }
+    t.print();
+
+    const double speedup =
+        parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
+    std::printf("\nserial sweep  %.3fs\npooled sweep  %.3fs  "
+                "(%u jobs on %u cores)\nspeedup       %.2fx\n",
+                serial_seconds, parallel_seconds, jobs, cores, speedup);
+    if (cores < jobs)
+        std::printf("note: only %u hardware core(s) visible; the pooled "
+                    "sweep cannot run faster than serial here\n", cores);
+    if (!identical)
+        std::printf("ERROR: pooled results diverged from serial\n");
+
+    harness::JsonWriter j;
+    j.put("bench", "parallel_replay")
+        .put("workload", setup.params.name)
+        .put("policies", static_cast<std::uint64_t>(policies.size()))
+        .put("clusters",
+             static_cast<std::uint64_t>(setup.cfg.regimen.numClusters))
+        .put("total_insts", setup.cfg.totalInsts)
+        .put("jobs", std::uint64_t{jobs})
+        .put("cores", std::uint64_t{cores})
+        .put("serial_seconds", serial_seconds)
+        .put("parallel_seconds", parallel_seconds)
+        .put("speedup", speedup)
+        .putBool("identical", identical);
+    const std::string out = "BENCH_parallel_replay.json";
+    atomicWriteFile(out, j.str() + "\n");
+    std::printf("wrote %s\n", out.c_str());
+    return identical ? 0 : 1;
+}

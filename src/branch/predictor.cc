@@ -1,12 +1,19 @@
 #include "predictor.hh"
 
 #include "util/bitutil.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace rsr::branch
 {
 
 using isa::BranchKind;
+
+namespace
+{
+constexpr std::uint32_t bpSnapshotTag = fourcc('G', 'S', 'B', 'P');
+constexpr std::uint32_t bpSnapshotVersion = 1;
+} // namespace
 
 GsharePredictor::GsharePredictor(const PredictorParams &params)
     : params_(params)
@@ -160,8 +167,9 @@ GsharePredictor::update(std::uint64_t pc, BranchKind kind, bool taken,
 }
 
 void
-GsharePredictor::serializeState(ByteSink &out) const
+GsharePredictor::snapshot(Serializer &out) const
 {
+    out.begin(bpSnapshotTag, bpSnapshotVersion);
     out.putU32(params_.phtEntries);
     out.putU32(params_.btbEntries);
     out.putU32(params_.rasEntries);
@@ -176,15 +184,25 @@ GsharePredictor::serializeState(ByteSink &out) const
         out.putU64(v);
     out.putU32(rasTop);
     out.putU32(rasCount);
+    out.end();
 }
 
 void
-GsharePredictor::unserializeState(ByteSource &in)
+GsharePredictor::restore(Deserializer &in)
 {
-    rsr_assert(in.getU32() == params_.phtEntries &&
-                   in.getU32() == params_.btbEntries &&
-                   in.getU32() == params_.rasEntries,
-               "predictor checkpoint geometry mismatch");
+    const std::uint32_t version = in.begin(bpSnapshotTag);
+    if (version != bpSnapshotVersion)
+        rsr_throw_corrupt("unsupported predictor snapshot version ",
+                          version, " (expected ", bpSnapshotVersion, ")");
+    const std::uint32_t pht_in = in.getU32();
+    const std::uint32_t btb_in = in.getU32();
+    const std::uint32_t ras_in = in.getU32();
+    if (pht_in != params_.phtEntries || btb_in != params_.btbEntries ||
+        ras_in != params_.rasEntries)
+        rsr_throw_corrupt("predictor snapshot geometry ", pht_in, "/",
+                          btb_in, "/", ras_in, " (pht/btb/ras) does not "
+                          "match configured ", params_.phtEntries, "/",
+                          params_.btbEntries, "/", params_.rasEntries);
     in.getBytes(pht.data(), pht.size());
     ghr_ = in.getU32();
     for (auto &e : btb) {
@@ -196,6 +214,7 @@ GsharePredictor::unserializeState(ByteSource &in)
         v = in.getU64();
     rasTop = in.getU32();
     rasCount = in.getU32();
+    in.end();
 }
 
 void

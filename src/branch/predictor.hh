@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "isa/opcode.hh"
-#include "util/serial.hh"
+#include "util/snapshot.hh"
 
 namespace rsr::branch
 {
@@ -86,7 +86,7 @@ class ReconstructionClient
 };
 
 /** Gshare + BTB + RAS branch unit. */
-class GsharePredictor
+class GsharePredictor : public Snapshotable
 {
   public:
     explicit GsharePredictor(const PredictorParams &params = {});
@@ -190,11 +190,17 @@ class GsharePredictor
     void rasPush(std::uint64_t return_addr);
     std::uint64_t rasPop();
 
-    /** Serialize PHT/GHR/BTB/RAS state (not statistics) for live-points. */
-    void serializeState(ByteSink &out) const;
+    /**
+     * Serialize PHT/GHR/BTB/RAS state (not statistics) as one framed
+     * 'GSBP' component for live-points and deferred cluster replay.
+     */
+    void snapshot(Serializer &out) const override;
 
-    /** Restore state captured by serializeState(); geometry must match. */
-    void unserializeState(ByteSource &in);
+    /**
+     * Restore state captured by snapshot(). Throws CorruptInputError when
+     * the frame is damaged or its geometry does not match this predictor.
+     */
+    void restore(Deserializer &in) override;
 
   private:
     struct BtbEntry

@@ -2,10 +2,17 @@
 
 #include <algorithm>
 
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace rsr::cache
 {
+
+namespace
+{
+constexpr std::uint32_t cacheSnapshotTag = fourcc('C', 'A', 'C', 'H');
+constexpr std::uint32_t cacheSnapshotVersion = 1;
+} // namespace
 
 Cache::Cache(const CacheParams &params) : params_(params)
 {
@@ -204,8 +211,9 @@ Cache::isReconstructed(std::uint64_t addr) const
 }
 
 void
-Cache::serializeState(ByteSink &out) const
+Cache::snapshot(Serializer &out) const
 {
+    out.begin(cacheSnapshotTag, cacheSnapshotVersion);
     out.putU32(numSets_);
     out.putU32(params_.assoc);
     for (const auto &set : sets) {
@@ -219,13 +227,24 @@ Cache::serializeState(ByteSink &out) const
             out.putU8(set.order[w]);
         out.putU32(set.reconCount);
     }
+    out.end();
 }
 
 void
-Cache::unserializeState(ByteSource &in)
+Cache::restore(Deserializer &in)
 {
-    rsr_assert(in.getU32() == numSets_ && in.getU32() == params_.assoc,
-               params_.name, ": checkpoint geometry mismatch");
+    const std::uint32_t version = in.begin(cacheSnapshotTag);
+    if (version != cacheSnapshotVersion)
+        rsr_throw_corrupt(params_.name, ": unsupported cache snapshot "
+                          "version ", version, " (expected ",
+                          cacheSnapshotVersion, ")");
+    const std::uint32_t sets_in = in.getU32();
+    const std::uint32_t assoc_in = in.getU32();
+    if (sets_in != numSets_ || assoc_in != params_.assoc)
+        rsr_throw_corrupt(params_.name, ": snapshot geometry ", sets_in,
+                          " sets x ", assoc_in, " ways does not match "
+                          "configured ", numSets_, " sets x ",
+                          params_.assoc, " ways");
     for (auto &set : sets) {
         for (auto &blk : set.ways) {
             blk.tag = in.getU64();
@@ -238,6 +257,7 @@ Cache::unserializeState(ByteSource &in)
             set.order[w] = in.getU8();
         set.reconCount = in.getU32();
     }
+    in.end();
 }
 
 } // namespace rsr::cache

@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "util/bitutil.hh"
-#include "util/serial.hh"
+#include "util/snapshot.hh"
 
 namespace rsr::cache
 {
@@ -67,7 +67,7 @@ struct CacheStats
 };
 
 /** One cache level. */
-class Cache
+class Cache : public Snapshotable
 {
   public:
     explicit Cache(const CacheParams &params);
@@ -138,14 +138,17 @@ class Cache
 
     // --- checkpointing ----------------------------------------------------
 
-    /** Serialize tag/LRU/dirty state (not statistics) for live-points. */
-    void serializeState(ByteSink &out) const;
+    /**
+     * Serialize tag/LRU/dirty state (not statistics) as one framed
+     * 'CACH' component for live-points and deferred cluster replay.
+     */
+    void snapshot(Serializer &out) const override;
 
     /**
-     * Restore state captured by serializeState(). The cache must have
-     * the same geometry as when captured.
+     * Restore state captured by snapshot(). Throws CorruptInputError when
+     * the frame is damaged or its geometry does not match this cache.
      */
-    void unserializeState(ByteSource &in);
+    void restore(Deserializer &in) override;
 
   private:
     struct Block

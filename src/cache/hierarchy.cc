@@ -1,5 +1,7 @@
 #include "hierarchy.hh"
 
+#include "util/error.hh"
+
 namespace rsr::cache
 {
 
@@ -104,6 +106,36 @@ MemoryHierarchy::reset()
     l1Bus_.reset();
     l2Bus_.reset();
     warmUpdates_ = 0;
+}
+
+namespace
+{
+constexpr std::uint32_t hierSnapshotTag = fourcc('H', 'I', 'E', 'R');
+constexpr std::uint32_t hierSnapshotVersion = 1;
+} // namespace
+
+void
+MemoryHierarchy::snapshot(Serializer &out) const
+{
+    out.begin(hierSnapshotTag, hierSnapshotVersion);
+    il1_.snapshot(out);
+    dl1_.snapshot(out);
+    l2_.snapshot(out);
+    out.end();
+}
+
+void
+MemoryHierarchy::restore(Deserializer &in)
+{
+    const std::uint32_t version = in.begin(hierSnapshotTag);
+    if (version != hierSnapshotVersion)
+        rsr_throw_corrupt("unsupported hierarchy snapshot version ",
+                          version, " (expected ", hierSnapshotVersion,
+                          ")");
+    il1_.restore(in);
+    dl1_.restore(in);
+    l2_.restore(in);
+    in.end();
 }
 
 } // namespace rsr::cache

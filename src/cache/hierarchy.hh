@@ -39,7 +39,7 @@ struct HierarchyParams
 };
 
 /** Two-level hierarchy. */
-class MemoryHierarchy
+class MemoryHierarchy : public Snapshotable
 {
   public:
     explicit MemoryHierarchy(const HierarchyParams &params);
@@ -81,6 +81,16 @@ class MemoryHierarchy
 
     /** Invalidate all caches and release all buses. */
     void reset();
+
+    /**
+     * Snapshot all three caches as one framed 'HIER' component. Bus
+     * occupancy and the warm-update counter are transient (buses are
+     * reset at every cluster boundary) and are not captured.
+     */
+    void snapshot(Serializer &out) const override;
+
+    /** Restore a snapshot; throws CorruptInputError on any mismatch. */
+    void restore(Deserializer &in) override;
 
   private:
     /** Handle an L1 load/fetch miss: fetch the line through L2. */

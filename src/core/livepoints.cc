@@ -1,5 +1,6 @@
 #include "livepoints.hh"
 
+#include "core/phase_driver.hh"
 #include "func/funcsim.hh"
 #include "util/checksum.hh"
 #include "util/error.hh"
@@ -7,6 +8,7 @@
 #include "util/fileio.hh"
 #include "util/logging.hh"
 #include "util/serial.hh"
+#include "util/snapshot.hh"
 #include "util/timer.hh"
 
 namespace rsr::core
@@ -16,72 +18,46 @@ namespace
 {
 
 constexpr std::uint32_t libraryMagic = 0x52535250; // "RSRP"
-// v2 added the payload checksum after the version word.
-constexpr std::uint32_t libraryVersion = 2;
+// v2 added the payload checksum after the version word; v3 switched the
+// embedded machine state to framed Snapshotable components.
+constexpr std::uint32_t libraryVersion = 3;
 // magic (4) + version (4) + payload checksum (8)
 constexpr std::size_t libraryHeaderBytes = 16;
 
-/** Streams committed instructions and records them into a trace. */
-class RecordingSource : public uarch::InstSource
+/** Captures one LivePoint per measured cluster from the inline driver. */
+class CaptureHooks : public ClusterScheduleDriver::MeasureHooks
 {
   public:
-    RecordingSource(func::FuncSim &fs, std::vector<func::DynInst> &trace)
-        : fs(fs), trace(trace)
+    explicit CaptureHooks(std::vector<LivePoint> &points) : points(points)
     {}
 
-    bool
-    next(func::DynInst &out) override
+    std::uint64_t
+    beforeMeasure(std::size_t, const Cluster &cluster,
+                  Machine &machine) override
     {
-        if (!fs.step(&out))
-            return false;
-        trace.push_back(out);
-        return true;
+        current = LivePoint{};
+        current.clusterStart = cluster.start;
+        current.machineState = snapshotToBytes(machine);
+        current.trace.reserve(cluster.size);
+        return current.machineState.size();
+    }
+
+    void
+    onMeasuredInst(const func::DynInst &d) override
+    {
+        current.trace.push_back(d);
+    }
+
+    void
+    afterMeasure(std::size_t, const Cluster &, Machine &) override
+    {
+        points.push_back(std::move(current));
     }
 
   private:
-    func::FuncSim &fs;
-    std::vector<func::DynInst> &trace;
+    std::vector<LivePoint> &points;
+    LivePoint current;
 };
-
-/** Streams a stored trace. */
-class TraceSource : public uarch::InstSource
-{
-  public:
-    explicit TraceSource(const std::vector<func::DynInst> &trace)
-        : trace(trace)
-    {}
-
-    bool
-    next(func::DynInst &out) override
-    {
-        if (pos >= trace.size())
-            return false;
-        out = trace[pos++];
-        return true;
-    }
-
-  private:
-    const std::vector<func::DynInst> &trace;
-    std::size_t pos = 0;
-};
-
-void
-snapshotMachine(const Machine &m, ByteSink &out)
-{
-    m.hier.il1().serializeState(out);
-    m.hier.dl1().serializeState(out);
-    m.hier.l2().serializeState(out);
-    m.bp.serializeState(out);
-}
-
-void
-restoreMachine(Machine &m, ByteSource &in)
-{
-    m.hier.il1().unserializeState(in);
-    m.hier.dl1().unserializeState(in);
-    m.hier.l2().unserializeState(in);
-    m.bp.unserializeState(in);
-}
 
 void
 putCacheParams(ByteSink &out, const cache::CacheParams &p)
@@ -168,52 +144,9 @@ LivePointLibrary::capture(const func::Program &program,
     LivePointLibrary lib;
     lib.machine = config.machine;
 
-    func::FuncSim fs(program);
-    Machine machine(config.machine);
-    policy.clearWork();
-    policy.attach(machine);
-
-    Rng rng(config.scheduleSeed);
-    const auto schedule =
-        makeSchedule(config.regimen, config.totalInsts, rng);
-
-    const std::uint64_t iline_mask =
-        ~std::uint64_t{machine.hier.il1().params().lineBytes - 1};
-
-    std::uint64_t pos = 0;
-    func::DynInst d;
-    for (const Cluster &cluster : schedule) {
-        const std::uint64_t skip_len = cluster.start - pos;
-        policy.beginSkip(skip_len);
-        std::uint64_t last_iblock = ~std::uint64_t{0};
-        for (std::uint64_t i = 0; i < skip_len; ++i) {
-            const bool ok = fs.step(&d);
-            rsr_assert(ok, "workload halted inside a skip region");
-            const std::uint64_t blk = d.pc & iline_mask;
-            policy.onSkipInst(d, blk != last_iblock);
-            last_iblock = blk;
-        }
-        policy.beforeCluster();
-
-        LivePoint lp;
-        lp.clusterStart = cluster.start;
-        ByteSink sink;
-        snapshotMachine(machine, sink);
-        lp.machineState = sink.take();
-        lp.trace.reserve(cluster.size);
-
-        machine.hier.l1Bus().reset();
-        machine.hier.l2Bus().reset();
-        uarch::OoOCore core(config.machine.core, machine.hier, machine.bp);
-        RecordingSource src(fs, lp.trace);
-        const auto rr = core.run(src, cluster.size);
-        rsr_assert(rr.insts == cluster.size,
-                   "workload halted inside a cluster");
-        policy.afterCluster();
-
-        lib.points_.push_back(std::move(lp));
-        pos = cluster.start + cluster.size;
-    }
+    ClusterScheduleDriver driver(program, policy, config);
+    CaptureHooks hooks(lib.points_);
+    driver.runInline(&hooks);
     return lib;
 }
 
@@ -225,8 +158,7 @@ LivePointLibrary::replay(const uarch::CoreParams &core_params) const
 
     Machine m(machine);
     for (const LivePoint &lp : points_) {
-        ByteSource state(lp.machineState);
-        restoreMachine(m, state);
+        restoreFromBytes(m, lp.machineState);
         m.hier.l1Bus().reset();
         m.hier.l2Bus().reset();
         uarch::OoOCore core(core_params, m.hier, m.bp);

@@ -11,6 +11,8 @@
 #include "branch/predictor.hh"
 #include "cache/hierarchy.hh"
 #include "uarch/core.hh"
+#include "util/error.hh"
+#include "util/snapshot.hh"
 
 namespace rsr::core
 {
@@ -59,8 +61,12 @@ struct MachineConfig
 };
 
 /** Stateful machine components shared across a whole sampled run. */
-struct Machine
+struct Machine : Snapshotable
 {
+    static constexpr std::uint32_t snapshotTag =
+        fourcc('M', 'A', 'C', 'H');
+    static constexpr std::uint32_t snapshotVersion = 1;
+
     explicit Machine(const MachineConfig &config)
         : config(config), hier(config.hier), bp(config.bp)
     {}
@@ -71,6 +77,34 @@ struct Machine
     {
         hier.reset();
         bp.reset();
+    }
+
+    /**
+     * Snapshot all microarchitectural-input state (caches + branch unit)
+     * as one framed 'MACH' component. Core pipeline state is not part of
+     * the machine: clusters always start from an empty pipeline.
+     */
+    void
+    snapshot(Serializer &out) const override
+    {
+        out.begin(snapshotTag, snapshotVersion);
+        hier.snapshot(out);
+        bp.snapshot(out);
+        out.end();
+    }
+
+    /** Restore a snapshot; throws CorruptInputError on any mismatch. */
+    void
+    restore(Deserializer &in) override
+    {
+        const std::uint32_t version = in.begin(snapshotTag);
+        if (version != snapshotVersion)
+            rsr_throw_corrupt("unsupported machine snapshot version ",
+                              version, " (expected ", snapshotVersion,
+                              ")");
+        hier.restore(in);
+        bp.restore(in);
+        in.end();
     }
 
     MachineConfig config;

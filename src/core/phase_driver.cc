@@ -1,0 +1,261 @@
+#include "phase_driver.hh"
+
+#include "util/logging.hh"
+#include "util/timer.hh"
+
+namespace rsr::core
+{
+
+namespace
+{
+
+/** FuncSource that also reports each streamed instruction to hooks. */
+class HookedFuncSource : public uarch::InstSource
+{
+  public:
+    HookedFuncSource(func::FuncSim &fs,
+                     ClusterScheduleDriver::MeasureHooks *hooks)
+        : fs(fs), hooks(hooks)
+    {}
+
+    bool
+    next(func::DynInst &out) override
+    {
+        if (!fs.step(&out))
+            return false;
+        if (hooks)
+            hooks->onMeasuredInst(out);
+        return true;
+    }
+
+  private:
+    func::FuncSim &fs;
+    ClusterScheduleDriver::MeasureHooks *hooks;
+};
+
+} // namespace
+
+void
+SkipPhase::run(std::uint64_t skip_len)
+{
+    // Watchdog poll mask: cheap enough to check inside long skips.
+    constexpr std::uint64_t deadlineCheckMask = (1u << 16) - 1;
+
+    WallTimer timer;
+    policy.beginSkip(skip_len);
+    std::uint64_t last_iblock = ~std::uint64_t{0};
+    func::DynInst d;
+    for (std::uint64_t i = 0; i < skip_len; ++i) {
+        if (deadline && (i & deadlineCheckMask) == 0 &&
+            deadline->expired())
+            throw TimeoutError("sampled run exceeded its deadline "
+                               "inside a skip region");
+        const bool ok = fs.step(&d);
+        rsr_assert(ok, "workload halted inside a skip region");
+        const std::uint64_t blk = d.pc & ilineMask;
+        const bool new_block = blk != last_iblock;
+        last_iblock = blk;
+        policy.onSkipInst(d, new_block);
+    }
+    counters.skipInsts += skip_len;
+    counters.skipSeconds += timer.seconds();
+}
+
+void
+ReconstructPhase::run()
+{
+    WallTimer timer;
+    policy.beforeCluster();
+    counters.reconstructSeconds += timer.seconds();
+}
+
+uarch::RunResult
+MeasurePhase::run(uarch::InstSource &src, std::uint64_t n_insts)
+{
+    WallTimer timer;
+    machine.hier.l1Bus().reset();
+    machine.hier.l2Bus().reset();
+    uarch::OoOCore core(coreParams, machine.hier, machine.bp);
+    const uarch::RunResult rr = core.run(src, n_insts);
+    rsr_assert(rr.insts == n_insts, "workload halted inside a cluster");
+    counters.measureInsts += rr.insts;
+    counters.measureSeconds += timer.seconds();
+    return rr;
+}
+
+ClusterScheduleDriver::ClusterScheduleDriver(const func::Program &program,
+                                             WarmupPolicy &policy,
+                                             const SampledConfig &config)
+    : program(program), policy(policy), config(config)
+{
+    Rng rng(config.scheduleSeed);
+    schedule_ = makeSchedule(config.regimen, config.totalInsts, rng);
+}
+
+SampledResult
+ClusterScheduleDriver::runInline(MeasureHooks *hooks)
+{
+    SampledResult res;
+    WallTimer timer;
+
+    func::FuncSim fs(program);
+    Machine machine(config.machine);
+    policy.clearWork();
+    policy.attach(machine);
+
+    const std::uint64_t iline_mask =
+        ~std::uint64_t{machine.hier.il1().params().lineBytes - 1};
+
+    SkipPhase skip(fs, policy, config.deadline, iline_mask, res.phases);
+    ReconstructPhase reconstruct(policy, res.phases);
+    MeasurePhase measure(machine, config.machine.core, res.phases);
+
+    std::uint64_t pos = 0;
+    std::size_t index = 0;
+    for (const Cluster &cluster : schedule_) {
+        if (config.deadline && config.deadline->expired())
+            throw TimeoutError("sampled run exceeded its deadline at "
+                               "cluster boundary");
+        // ---- cold/warm phases: functionally skip to the cluster.
+        skip.run(cluster.start - pos);
+        res.skippedInsts += cluster.start - pos;
+
+        // ---- cluster boundary: eager warm-up, then measurement state.
+        reconstruct.run();
+        std::unique_ptr<MeasureContext> ctx = policy.makeMeasureContext();
+        if (ctx)
+            ctx->attach(machine);
+        if (hooks) {
+            WallTimer capture;
+            const std::uint64_t snapshot_bytes =
+                hooks->beforeMeasure(index, cluster, machine);
+            res.phases.peakSnapshotBytes =
+                std::max(res.phases.peakSnapshotBytes, snapshot_bytes);
+            res.phases.captureSeconds += capture.seconds();
+        }
+
+        // ---- hot phase: cycle-accurate measurement of the cluster.
+        HookedFuncSource src(fs, hooks);
+        const uarch::RunResult rr = measure.run(src, cluster.size);
+        if (ctx)
+            policy.addReconstructionWork(ctx->detach(machine));
+        if (hooks)
+            hooks->afterMeasure(index, cluster, machine);
+        policy.afterCluster();
+
+        res.clusterIpc.push_back(rr.ipc());
+        res.hotInsts += rr.insts;
+        res.hotCycles += rr.cycles;
+        res.branchMispredicts += rr.branchMispredicts;
+        pos = cluster.start + cluster.size;
+        ++index;
+    }
+
+    res.estimate = summarizeClusters(res.clusterIpc);
+    res.warmWork = policy.work();
+    res.seconds = timer.seconds();
+    return res;
+}
+
+SampledResult
+ClusterScheduleDriver::runDeferred(ReplaySink &sink)
+{
+    SampledResult res;
+    WallTimer timer;
+
+    func::FuncSim fs(program);
+    Machine machine(config.machine);
+    policy.clearWork();
+    policy.attach(machine);
+
+    const std::uint64_t iline_mask =
+        ~std::uint64_t{machine.hier.il1().params().lineBytes - 1};
+
+    SkipPhase skip(fs, policy, config.deadline, iline_mask, res.phases);
+    ReconstructPhase reconstruct(policy, res.phases);
+
+    std::uint64_t pos = 0;
+    std::size_t index = 0;
+    func::DynInst d;
+    for (const Cluster &cluster : schedule_) {
+        if (config.deadline && config.deadline->expired())
+            throw TimeoutError("sampled run exceeded its deadline at "
+                               "cluster boundary");
+        skip.run(cluster.start - pos);
+        res.skippedInsts += cluster.start - pos;
+        reconstruct.run();
+
+        WallTimer capture;
+        ClusterReplayTask task;
+        task.index = index;
+        task.cluster = cluster;
+        task.machineState = snapshotToBytes(machine);
+        res.phases.peakSnapshotBytes =
+            std::max<std::uint64_t>(res.phases.peakSnapshotBytes,
+                                    task.machineState.size());
+        task.context = policy.makeMeasureContext();
+
+        // Record the cluster's committed trace. The shared machine
+        // receives the cluster's state effects functionally, in commit
+        // order, so the next skip region begins from hot state no matter
+        // where (or when) the timing replay runs. This is what makes the
+        // front half — and therefore the whole result — independent of
+        // the replay thread count.
+        task.trace.reserve(cluster.size);
+        std::uint64_t last_iblock = ~std::uint64_t{0};
+        for (std::uint64_t i = 0; i < cluster.size; ++i) {
+            const bool ok = fs.step(&d);
+            rsr_assert(ok, "workload halted inside a cluster");
+            task.trace.push_back(d);
+            const std::uint64_t blk = d.pc & iline_mask;
+            if (blk != last_iblock)
+                machine.hier.warmAccess(d.pc, false, true);
+            last_iblock = blk;
+            if (d.inst.isMem())
+                machine.hier.warmAccess(d.effAddr, d.inst.isStore(),
+                                        false);
+            if (d.isBranch())
+                machine.bp.warmApply(d.pc, d.inst.branchKind(), d.taken,
+                                     d.nextPc);
+        }
+        policy.afterCluster();
+        res.phases.captureSeconds += capture.seconds();
+
+        sink.onCluster(std::move(task));
+        pos = cluster.start + cluster.size;
+        ++index;
+    }
+
+    res.warmWork = policy.work();
+    res.seconds = timer.seconds();
+    return res;
+}
+
+uarch::RunResult
+replayCluster(ClusterReplayTask &task,
+              const MachineConfig &machine_config,
+              std::uint64_t *recon_updates, double *seconds)
+{
+    WallTimer timer;
+    Machine m(machine_config);
+    restoreFromBytes(m, task.machineState);
+    if (task.context)
+        task.context->attach(m);
+    m.hier.l1Bus().reset();
+    m.hier.l2Bus().reset();
+    uarch::OoOCore core(machine_config.core, m.hier, m.bp);
+    TraceSource src(task.trace);
+    const uarch::RunResult rr = core.run(src, task.trace.size());
+    rsr_assert(rr.insts == task.trace.size(),
+               "stored trace ended inside a cluster");
+    std::uint64_t updates = 0;
+    if (task.context)
+        updates = task.context->detach(m);
+    if (recon_updates)
+        *recon_updates = updates;
+    if (seconds)
+        *seconds = timer.seconds();
+    return rr;
+}
+
+} // namespace rsr::core

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * The phase driver: one controller for the hot/cold/warm loop of the
+ * paper's Figure 1, decomposed into explicit phase objects —
+ *
+ *   SkipPhase        functional fast-forward between clusters, feeding
+ *                    the warm-up policy and polling the watchdog;
+ *   ReconstructPhase the policy's cluster-boundary warm-up work (cache
+ *                    reconstruction, log finalization);
+ *   MeasurePhase     the cycle-accurate out-of-order run of one cluster.
+ *
+ * ClusterScheduleDriver composes the phases in two modes:
+ *
+ *   runInline()   — the classic serial loop: every cluster is measured
+ *                   on the shared machine the moment it is reached.
+ *                   Sampled runs, live-points capture (via MeasureHooks),
+ *                   and the campaign harness all use this mode.
+ *   runDeferred() — the parallel front half: at each cluster boundary
+ *                   the warm machine state is snapshotted and the
+ *                   cluster's committed trace recorded, and the pair is
+ *                   emitted as a ClusterReplayTask. The timing replays
+ *                   can then run on any thread in any order (see
+ *                   harness/parallel_run.hh); replayCluster() executes
+ *                   one task against a private machine. While the trace
+ *                   is recorded, the shared machine receives the
+ *                   cluster's state effects *functionally* (commit-order
+ *                   warm accesses), so deferred results are deterministic
+ *                   and independent of the number of replay workers —
+ *                   but a slightly different estimator than runInline(),
+ *                   whose timed clusters touch the caches in issue order.
+ */
+
+#ifndef RSR_CORE_PHASE_DRIVER_HH
+#define RSR_CORE_PHASE_DRIVER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/sampled_sim.hh"
+#include "func/funcsim.hh"
+
+namespace rsr::core
+{
+
+/** Streams committed instructions from the functional simulator. */
+class FuncSource : public uarch::InstSource
+{
+  public:
+    explicit FuncSource(func::FuncSim &fs) : fs(fs) {}
+
+    bool
+    next(func::DynInst &out) override
+    {
+        return fs.step(&out);
+    }
+
+  private:
+    func::FuncSim &fs;
+};
+
+/** Streams a stored committed-instruction trace. */
+class TraceSource : public uarch::InstSource
+{
+  public:
+    explicit TraceSource(const std::vector<func::DynInst> &trace)
+        : trace(trace)
+    {}
+
+    bool
+    next(func::DynInst &out) override
+    {
+        if (pos >= trace.size())
+            return false;
+        out = trace[pos++];
+        return true;
+    }
+
+  private:
+    const std::vector<func::DynInst> &trace;
+    std::size_t pos = 0;
+};
+
+/**
+ * Everything needed to measure one cluster away from the shared machine:
+ * the warm state snapshot, the committed trace, and the policy's
+ * measurement-time context (on-demand reconstruction state). Produced by
+ * ClusterScheduleDriver::runDeferred(), consumed by replayCluster().
+ */
+struct ClusterReplayTask
+{
+    std::size_t index = 0;
+    Cluster cluster;
+    std::vector<std::uint8_t> machineState;
+    std::vector<func::DynInst> trace;
+    std::unique_ptr<MeasureContext> context;
+};
+
+/** Receives replay tasks as the deferred front half produces them. */
+class ReplaySink
+{
+  public:
+    virtual ~ReplaySink() = default;
+    virtual void onCluster(ClusterReplayTask task) = 0;
+};
+
+/**
+ * Functional fast-forward over one skip region: steps the functional
+ * simulator, detects new fetch blocks for the policy, polls the
+ * cooperative deadline, and accounts skip work into PhaseCounters.
+ */
+class SkipPhase
+{
+  public:
+    SkipPhase(func::FuncSim &fs, WarmupPolicy &policy,
+              const Deadline *deadline, std::uint64_t iline_mask,
+              PhaseCounters &counters)
+        : fs(fs), policy(policy), deadline(deadline),
+          ilineMask(iline_mask), counters(counters)
+    {}
+
+    /** Skip @p skip_len instructions; throws TimeoutError on expiry. */
+    void run(std::uint64_t skip_len);
+
+  private:
+    func::FuncSim &fs;
+    WarmupPolicy &policy;
+    const Deadline *deadline;
+    std::uint64_t ilineMask;
+    PhaseCounters &counters;
+};
+
+/** Cluster-boundary warm-up: times the policy's beforeCluster() work. */
+class ReconstructPhase
+{
+  public:
+    ReconstructPhase(WarmupPolicy &policy, PhaseCounters &counters)
+        : policy(policy), counters(counters)
+    {}
+
+    void run();
+
+  private:
+    WarmupPolicy &policy;
+    PhaseCounters &counters;
+};
+
+/**
+ * Cycle-accurate measurement of one cluster on a given machine: resets
+ * the buses, runs the out-of-order core over @p src, and accounts the
+ * time and instructions into PhaseCounters.
+ */
+class MeasurePhase
+{
+  public:
+    MeasurePhase(Machine &machine, const uarch::CoreParams &core_params,
+                 PhaseCounters &counters)
+        : machine(machine), coreParams(core_params), counters(counters)
+    {}
+
+    uarch::RunResult run(uarch::InstSource &src, std::uint64_t n_insts);
+
+  private:
+    Machine &machine;
+    const uarch::CoreParams &coreParams;
+    PhaseCounters &counters;
+};
+
+/** Drives the phases over a whole cluster schedule (single-use). */
+class ClusterScheduleDriver
+{
+  public:
+    /**
+     * Optional inline-mode hooks, used by live-points capture to observe
+     * each measured cluster without owning a copy of the loop.
+     */
+    class MeasureHooks
+    {
+      public:
+        virtual ~MeasureHooks() = default;
+
+        /**
+         * The cluster is about to be measured (warm-up already applied,
+         * measurement context attached). @return the size of any machine
+         * snapshot the hook took, for peak-footprint accounting (0 if
+         * none).
+         */
+        virtual std::uint64_t
+        beforeMeasure(std::size_t index, const Cluster &cluster,
+                      Machine &machine)
+        {
+            (void)index;
+            (void)cluster;
+            (void)machine;
+            return 0;
+        }
+
+        /** One committed instruction streamed into the timing model. */
+        virtual void onMeasuredInst(const func::DynInst &d) { (void)d; }
+
+        /** The cluster finished measuring. */
+        virtual void
+        afterMeasure(std::size_t index, const Cluster &cluster,
+                     Machine &machine)
+        {
+            (void)index;
+            (void)cluster;
+            (void)machine;
+        }
+    };
+
+    ClusterScheduleDriver(const func::Program &program,
+                          WarmupPolicy &policy,
+                          const SampledConfig &config);
+
+    const std::vector<Cluster> &schedule() const { return schedule_; }
+
+    /**
+     * Serial loop, measuring each cluster on the shared machine as it is
+     * reached. Bit-identical to the pre-driver controller.
+     */
+    SampledResult runInline(MeasureHooks *hooks = nullptr);
+
+    /**
+     * Deferred front half: skip + reconstruct + snapshot + record each
+     * cluster, emitting ClusterReplayTasks to @p sink in schedule order.
+     * The returned result carries the front-half accounting (skipped
+     * instructions, warm work, phase counters); the sink's replays
+     * supply the per-cluster timing that harness/parallel_run.hh merges.
+     */
+    SampledResult runDeferred(ReplaySink &sink);
+
+  private:
+    const func::Program &program;
+    WarmupPolicy &policy;
+    const SampledConfig &config;
+    std::vector<Cluster> schedule_;
+};
+
+/**
+ * Measure one deferred cluster on a private machine built from
+ * @p machine_config: restore the snapshot, attach the measurement
+ * context, run the timing model over the stored trace. Thread-safe with
+ * respect to other replays (shares nothing mutable).
+ *
+ * @param recon_updates receives the context's on-demand reconstruction
+ *        work (0 when the task has no context); may be null.
+ * @param seconds receives the wall time of this replay; may be null.
+ */
+uarch::RunResult replayCluster(ClusterReplayTask &task,
+                               const MachineConfig &machine_config,
+                               std::uint64_t *recon_updates = nullptr,
+                               double *seconds = nullptr);
+
+} // namespace rsr::core
+
+#endif // RSR_CORE_PHASE_DRIVER_HH

@@ -1,101 +1,18 @@
 #include "sampled_sim.hh"
 
+#include "core/phase_driver.hh"
 #include "func/funcsim.hh"
-#include "util/logging.hh"
 #include "util/timer.hh"
 
 namespace rsr::core
 {
 
-namespace
-{
-
-/** Streams committed instructions from the functional simulator. */
-class FuncSource : public uarch::InstSource
-{
-  public:
-    explicit FuncSource(func::FuncSim &fs) : fs(fs) {}
-
-    bool
-    next(func::DynInst &out) override
-    {
-        return fs.step(&out);
-    }
-
-  private:
-    func::FuncSim &fs;
-};
-
-} // namespace
-
 SampledResult
 runSampled(const func::Program &program, WarmupPolicy &policy,
            const SampledConfig &config)
 {
-    SampledResult res;
-    WallTimer timer;
-
-    func::FuncSim fs(program);
-    Machine machine(config.machine);
-    policy.clearWork();
-    policy.attach(machine);
-
-    Rng rng(config.scheduleSeed);
-    const std::vector<Cluster> schedule =
-        makeSchedule(config.regimen, config.totalInsts, rng);
-
-    const std::uint64_t iline_mask =
-        ~std::uint64_t{machine.hier.il1().params().lineBytes - 1};
-
-    // Watchdog poll mask: cheap enough to check inside long skips.
-    constexpr std::uint64_t deadlineCheckMask = (1u << 16) - 1;
-
-    std::uint64_t pos = 0;
-    func::DynInst d;
-    for (const Cluster &cluster : schedule) {
-        if (config.deadline && config.deadline->expired())
-            throw TimeoutError("sampled run exceeded its deadline at "
-                               "cluster boundary");
-        // ---- cold/warm phases: functionally skip to the cluster.
-        const std::uint64_t skip_len = cluster.start - pos;
-        policy.beginSkip(skip_len);
-        std::uint64_t last_iblock = ~std::uint64_t{0};
-        for (std::uint64_t i = 0; i < skip_len; ++i) {
-            if (config.deadline && (i & deadlineCheckMask) == 0 &&
-                config.deadline->expired())
-                throw TimeoutError("sampled run exceeded its deadline "
-                                   "inside a skip region");
-            const bool ok = fs.step(&d);
-            rsr_assert(ok, "workload halted inside a skip region");
-            const std::uint64_t blk = d.pc & iline_mask;
-            const bool new_block = blk != last_iblock;
-            last_iblock = blk;
-            policy.onSkipInst(d, new_block);
-        }
-        res.skippedInsts += skip_len;
-
-        // ---- hot phase: cycle-accurate measurement of the cluster.
-        policy.beforeCluster();
-        machine.hier.l1Bus().reset();
-        machine.hier.l2Bus().reset();
-        uarch::OoOCore core(config.machine.core, machine.hier, machine.bp);
-        FuncSource src(fs);
-        const uarch::RunResult rr = core.run(src, cluster.size);
-        rsr_assert(rr.insts == cluster.size,
-                   "workload halted inside a cluster");
-        policy.afterCluster();
-
-        res.clusterIpc.push_back(rr.ipc());
-        res.hotInsts += rr.insts;
-        res.hotCycles += rr.cycles;
-        res.branchMispredicts += rr.branchMispredicts;
-        pos = cluster.start + cluster.size;
-    }
-
-    res.estimate = summarizeClusters(res.clusterIpc);
-    res.warmWork = policy.work();
-    res.seconds = timer.seconds();
-    return res;
+    ClusterScheduleDriver driver(program, policy, config);
+    return driver.runInline();
 }
 
 FullRunResult

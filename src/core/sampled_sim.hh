@@ -43,6 +43,31 @@ struct SampledConfig
     const Deadline *deadline = nullptr;
 };
 
+/**
+ * Per-phase observability counters: how much work and wall time the
+ * skip (functional fast-forward), reconstruct (warm-up at the cluster
+ * boundary), and measure (cycle-accurate cluster) phases consumed, plus
+ * the snapshot footprint when clusters are captured for deferred replay.
+ */
+struct PhaseCounters
+{
+    /** Instructions functionally executed across all skip regions. */
+    std::uint64_t skipInsts = 0;
+    /** Wall time in the skip phase (includes policy logging/warming). */
+    double skipSeconds = 0.0;
+    /** Wall time in the reconstruct phase (policy beforeCluster work). */
+    double reconstructSeconds = 0.0;
+    /** Wall time snapshotting state + recording cluster traces
+     *  (deferred/capture modes only). */
+    double captureSeconds = 0.0;
+    /** Instructions measured by the timing model. */
+    std::uint64_t measureInsts = 0;
+    /** Wall time in the measure phase (sums worker time when parallel). */
+    double measureSeconds = 0.0;
+    /** Largest machine snapshot taken, in bytes (0 when none taken). */
+    std::uint64_t peakSnapshotBytes = 0;
+};
+
 /** Everything measured from one sampled run. */
 struct SampledResult
 {
@@ -63,6 +88,7 @@ struct SampledResult
     std::uint64_t hotInsts = 0;
     std::uint64_t skippedInsts = 0;
     std::uint64_t branchMispredicts = 0;
+    PhaseCounters phases;
 };
 
 /** Run one sampled simulation of @p program under @p policy. */

@@ -96,4 +96,23 @@ formatStats(const Machine &machine, const uarch::RunResult &run)
     return out;
 }
 
+std::string
+formatPhaseCounters(const PhaseCounters &phases)
+{
+    std::string out;
+    line(out, "phase.skip.insts", phases.skipInsts,
+         "functionally fast-forwarded");
+    line(out, "phase.skip.seconds", phases.skipSeconds);
+    line(out, "phase.reconstruct.seconds", phases.reconstructSeconds,
+         "cluster-boundary warm-up");
+    line(out, "phase.capture.seconds", phases.captureSeconds,
+         "snapshot + trace recording");
+    line(out, "phase.measure.insts", phases.measureInsts,
+         "cycle-accurate");
+    line(out, "phase.measure.seconds", phases.measureSeconds,
+         "summed across replay workers");
+    line(out, "phase.peak_snapshot_bytes", phases.peakSnapshotBytes);
+    return out;
+}
+
 } // namespace rsr::core

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/machine.hh"
+#include "core/sampled_sim.hh"
 #include "uarch/core.hh"
 
 namespace rsr::core
@@ -20,6 +21,13 @@ namespace rsr::core
 /** Format all machine + run statistics as `name value [note]` lines. */
 std::string formatStats(const Machine &machine,
                         const uarch::RunResult &run);
+
+/**
+ * Format the phase driver's per-phase accounting (skip / reconstruct /
+ * measure instructions and wall time, snapshot footprint) in the same
+ * `name value [note]` style.
+ */
+std::string formatPhaseCounters(const PhaseCounters &phases);
 
 } // namespace rsr::core
 

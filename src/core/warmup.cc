@@ -126,14 +126,6 @@ ReverseReconstructionWarmup::name() const
 }
 
 void
-ReverseReconstructionWarmup::attach(Machine &m)
-{
-    WarmupPolicy::attach(m);
-    if (warmBp)
-        branchRecon = std::make_unique<BranchReconstructor>(m.bp, phtMode);
-}
-
-void
 ReverseReconstructionWarmup::beginSkip(std::uint64_t skip_len)
 {
     // Storage is kept only for the current skip region.
@@ -177,22 +169,70 @@ ReverseReconstructionWarmup::beforeCluster()
             reconstructCaches(machine->hier, skipLog.mem, fraction);
         work_.reconstructionUpdates += res.updatesApplied;
     }
-    if (warmBp)
-        branchRecon->begin(skipLog);
+}
+
+namespace
+{
+
+/**
+ * Measurement-time half of RBP/R$BP: owns the branch half of the skip
+ * log (moved out of the policy, so it survives deferred replay on a
+ * worker thread) and runs the on-demand reconstructor against whichever
+ * machine measures the cluster.
+ */
+class BranchReconstructionContext : public MeasureContext
+{
+  public:
+    BranchReconstructionContext(SkipLog &&branch_log, PhtResolveMode mode)
+        : log(std::move(branch_log)), mode(mode)
+    {}
+
+    void
+    attach(Machine &m) override
+    {
+        recon = std::make_unique<BranchReconstructor>(m.bp, mode);
+        recon->begin(log);
+    }
+
+    std::uint64_t
+    detach(Machine &) override
+    {
+        const auto &st = recon->stats();
+        const std::uint64_t updates = st.phtReconstructed +
+                                      st.btbReconstructed +
+                                      st.rasReconstructed;
+        recon->end();
+        recon.reset();
+        return updates;
+    }
+
+  private:
+    SkipLog log;
+    PhtResolveMode mode;
+    std::unique_ptr<BranchReconstructor> recon;
+};
+
+} // namespace
+
+std::unique_ptr<MeasureContext>
+ReverseReconstructionWarmup::makeMeasureContext()
+{
+    if (!warmBp)
+        return nullptr;
+    // Hand the branch records to the context; the memory half stays here
+    // (it was consumed eagerly by beforeCluster) and afterCluster drops
+    // it as usual.
+    SkipLog branch_log;
+    branch_log.branches = std::move(skipLog.branches);
+    branch_log.ghrAtStart = skipLog.ghrAtStart;
+    skipLog.branches.clear();
+    return std::make_unique<BranchReconstructionContext>(
+        std::move(branch_log), phtMode);
 }
 
 void
 ReverseReconstructionWarmup::afterCluster()
 {
-    if (warmBp) {
-        // Fold this cluster's on-demand work into the policy counters.
-        const auto &st = branchRecon->stats();
-        work_.reconstructionUpdates += st.phtReconstructed +
-                                       st.btbReconstructed +
-                                       st.rasReconstructed;
-        branchRecon->clearStats();
-        branchRecon->end();
-    }
     skipLog.clear();
 }
 

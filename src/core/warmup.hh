@@ -55,6 +55,30 @@ struct WarmupWork
     }
 };
 
+/**
+ * Per-cluster measurement-time state a policy wants active *during* the
+ * hot phase — RSR's on-demand branch reconstruction is the canonical
+ * example. A context is created by the policy at the cluster boundary
+ * (after beforeCluster()), owns everything it needs (it may outlive the
+ * policy's per-skip log), and is attached to whichever machine actually
+ * executes the cluster: the shared machine in inline mode, or a private
+ * replay machine on a worker thread in deferred/parallel mode.
+ */
+class MeasureContext
+{
+  public:
+    virtual ~MeasureContext() = default;
+
+    /** Arm the context on the machine about to measure the cluster. */
+    virtual void attach(Machine &machine) = 0;
+
+    /**
+     * Disarm after the cluster completes.
+     * @return reconstruction work units applied on demand.
+     */
+    virtual std::uint64_t detach(Machine &machine) = 0;
+};
+
 /** Interface every warm-up method implements. */
 class WarmupPolicy
 {
@@ -84,12 +108,29 @@ class WarmupPolicy
     /** The skip region ended; the next cluster is about to execute. */
     virtual void beforeCluster() {}
 
+    /**
+     * Hand over measurement-time state for the coming cluster (called
+     * once per cluster, after beforeCluster()). The default — and the
+     * right answer for eager policies — is no context.
+     */
+    virtual std::unique_ptr<MeasureContext> makeMeasureContext()
+    {
+        return nullptr;
+    }
+
     /** The cluster finished executing. */
     virtual void afterCluster() {}
 
     /** Accumulated warm-side work. */
     const WarmupWork &work() const { return work_; }
     void clearWork() { work_ = WarmupWork{}; }
+
+    /** Fold in reconstruction work done by a detached MeasureContext. */
+    void
+    addReconstructionWork(std::uint64_t updates)
+    {
+        work_.reconstructionUpdates += updates;
+    }
 
   protected:
     Machine *machine = nullptr;
@@ -163,10 +204,10 @@ class ReverseReconstructionWarmup : public WarmupPolicy
     ~ReverseReconstructionWarmup() override;
 
     std::string name() const override;
-    void attach(Machine &machine) override;
     void beginSkip(std::uint64_t skip_len) override;
     void onSkipInst(const func::DynInst &d, bool new_fetch_block) override;
     void beforeCluster() override;
+    std::unique_ptr<MeasureContext> makeMeasureContext() override;
     void afterCluster() override;
 
     const SkipLog &log() const { return skipLog; }
@@ -186,7 +227,6 @@ class ReverseReconstructionWarmup : public WarmupPolicy
     double fraction;
     PhtResolveMode phtMode;
     SkipLog skipLog;
-    std::unique_ptr<BranchReconstructor> branchRecon;
 };
 
 /**

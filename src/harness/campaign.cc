@@ -4,11 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "core/warmup.hh"
 #include "harness/json.hh"
+#include "harness/thread_pool.hh"
 #include "util/checksum.hh"
 #include "util/deadline.hh"
 #include "util/error.hh"
@@ -106,7 +106,13 @@ CampaignRunner::executeJob(const JobSpec &spec)
         .put("aggregate_ipc", r.aggregateIpc())
         .put("clusters", static_cast<std::uint64_t>(r.clusterIpc.size()))
         .put("skipped_insts", r.skippedInsts)
-        .put("seconds", r.seconds);
+        .put("seconds", r.seconds)
+        .put("skip_insts", r.phases.skipInsts)
+        .put("skip_seconds", r.phases.skipSeconds)
+        .put("reconstruct_seconds", r.phases.reconstructSeconds)
+        .put("measure_insts", r.phases.measureInsts)
+        .put("measure_seconds", r.phases.measureSeconds)
+        .put("peak_snapshot_bytes", r.phases.peakSnapshotBytes);
     const std::string text = w.str() + "\n";
 
     JobOutcome out;
@@ -164,19 +170,14 @@ CampaignRunner::run(bool resume)
     if (config.faults.enabled())
         faults = std::make_unique<ScopedFaultInjection>(config.faults);
 
-    std::atomic<std::size_t> next{0};
     std::atomic<std::uint64_t> completed{0}, failed{0}, skipped{0},
         retries{0};
 
-    auto worker = [&]() {
-        while (true) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= jobs.size())
-                return;
-            const JobSpec &spec = jobs[i];
+    auto runJob = [&](const JobSpec &spec) {
+        {
             if (done[spec.id]) {
                 ++skipped;
-                continue;
+                return;
             }
 
             JobRecord rec;
@@ -233,15 +234,13 @@ CampaignRunner::run(bool resume)
         }
     };
 
-    std::vector<std::thread> pool;
-    const unsigned n_threads =
-        static_cast<unsigned>(std::min<std::size_t>(config.threads,
-                                                    jobs.size()));
-    for (unsigned t = 1; t < n_threads; ++t)
-        pool.emplace_back(worker);
-    worker();
-    for (auto &t : pool)
-        t.join();
+    {
+        ThreadPool pool(static_cast<unsigned>(
+            std::min<std::size_t>(config.threads, jobs.size())));
+        for (const JobSpec &spec : jobs)
+            pool.submit([&runJob, &spec] { runJob(spec); });
+        pool.wait();
+    }
 
     result.completed = completed;
     result.failed = failed;

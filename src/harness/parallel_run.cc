@@ -1,0 +1,147 @@
+#include "parallel_run.hh"
+
+#include <memory>
+
+#include "core/phase_driver.hh"
+#include "harness/thread_pool.hh"
+#include "util/timer.hh"
+
+namespace rsr::harness
+{
+
+namespace
+{
+
+/** Runs every replay task inline on the producing thread. */
+class SerialSink : public core::ReplaySink
+{
+  public:
+    SerialSink(const core::MachineConfig &machine,
+               std::vector<uarch::RunResult> &rr,
+               std::vector<std::uint64_t> &recon,
+               std::vector<double> &seconds)
+        : machine(machine), rr(rr), recon(recon), seconds(seconds)
+    {}
+
+    void
+    onCluster(core::ClusterReplayTask task) override
+    {
+        rr[task.index] = core::replayCluster(task, machine,
+                                             &recon[task.index],
+                                             &seconds[task.index]);
+    }
+
+  private:
+    const core::MachineConfig &machine;
+    std::vector<uarch::RunResult> &rr;
+    std::vector<std::uint64_t> &recon;
+    std::vector<double> &seconds;
+};
+
+/** Hands each replay task to a pool worker. */
+class PoolSink : public core::ReplaySink
+{
+  public:
+    PoolSink(ThreadPool &pool, const core::MachineConfig &machine,
+             std::vector<uarch::RunResult> &rr,
+             std::vector<std::uint64_t> &recon,
+             std::vector<double> &seconds)
+        : pool(pool), machine(machine), rr(rr), recon(recon),
+          seconds(seconds)
+    {}
+
+    void
+    onCluster(core::ClusterReplayTask task) override
+    {
+        auto t = std::make_shared<core::ClusterReplayTask>(
+            std::move(task));
+        pool.submit([this, t] {
+            rr[t->index] = core::replayCluster(*t, machine,
+                                               &recon[t->index],
+                                               &seconds[t->index]);
+        });
+    }
+
+  private:
+    ThreadPool &pool;
+    const core::MachineConfig &machine;
+    std::vector<uarch::RunResult> &rr;
+    std::vector<std::uint64_t> &recon;
+    std::vector<double> &seconds;
+};
+
+} // namespace
+
+core::SampledResult
+runSampledParallel(const func::Program &program,
+                   core::WarmupPolicy &policy,
+                   const core::SampledConfig &config, unsigned jobs)
+{
+    WallTimer timer;
+    core::ClusterScheduleDriver driver(program, policy, config);
+    const std::size_t n = driver.schedule().size();
+
+    std::vector<uarch::RunResult> rr(n);
+    std::vector<std::uint64_t> recon(n, 0);
+    std::vector<double> seconds(n, 0.0);
+
+    core::SampledResult res;
+    if (jobs <= 1) {
+        SerialSink sink(config.machine, rr, recon, seconds);
+        res = driver.runDeferred(sink);
+    } else {
+        // Pool declared before the sink so in-flight replays finish (and
+        // abandoned ones are discarded) before the result arrays die if
+        // the front half throws.
+        ThreadPool pool(jobs);
+        PoolSink sink(pool, config.machine, rr, recon, seconds);
+        res = driver.runDeferred(sink);
+        pool.wait();
+    }
+
+    // Deterministic in-order merge, independent of replay completion
+    // order.
+    std::uint64_t recon_total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        res.clusterIpc.push_back(rr[i].ipc());
+        res.hotInsts += rr[i].insts;
+        res.hotCycles += rr[i].cycles;
+        res.branchMispredicts += rr[i].branchMispredicts;
+        recon_total += recon[i];
+        res.phases.measureInsts += rr[i].insts;
+        res.phases.measureSeconds += seconds[i];
+    }
+    policy.addReconstructionWork(recon_total);
+    res.warmWork = policy.work();
+    res.estimate = core::summarizeClusters(res.clusterIpc);
+    res.seconds = timer.seconds();
+    return res;
+}
+
+std::vector<PolicySweepEntry>
+runPolicySweep(const func::Program &program,
+               const std::vector<std::string> &policy_names,
+               const core::SampledConfig &config, unsigned jobs)
+{
+    // Validate every name up front so a typo late in the list cannot
+    // waste the whole sweep.
+    std::vector<PolicySweepEntry> out(policy_names.size());
+    for (std::size_t i = 0; i < policy_names.size(); ++i) {
+        out[i].cliName = policy_names[i];
+        out[i].displayName =
+            core::makePolicyByName(policy_names[i])->name();
+    }
+
+    ThreadPool pool(jobs == 0 ? 1 : jobs);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        pool.submit([&, i] {
+            const auto policy = core::makePolicyByName(out[i].cliName);
+            out[i].result =
+                runSampledParallel(program, *policy, config, 1);
+        });
+    }
+    pool.wait();
+    return out;
+}
+
+} // namespace rsr::harness

@@ -1,0 +1,84 @@
+#include "thread_pool.hh"
+
+#include "util/logging.hh"
+
+namespace rsr::harness
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        stopping = true;
+        // Tasks that never started are abandoned; running ones finish.
+        pending -= queue.size();
+        queue.clear();
+    }
+    cvWork.notify_all();
+    for (auto &t : workers)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        rsr_assert(!stopping, "submit on a stopping thread pool");
+        queue.push_back(std::move(task));
+        ++pending;
+    }
+    cvWork.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lk(mu);
+    cvDone.wait(lk, [this] { return pending == 0; });
+    if (firstError) {
+        std::exception_ptr e = firstError;
+        firstError = nullptr;
+        std::rethrow_exception(e);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lk(mu);
+            cvWork.wait(lk,
+                        [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping and drained
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        try {
+            task();
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(mu);
+            if (!firstError)
+                firstError = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            if (--pending == 0)
+                cvDone.notify_all();
+        }
+    }
+}
+
+} // namespace rsr::harness

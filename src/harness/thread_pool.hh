@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A small fixed-size worker pool shared by the harness: the campaign
+ * runner schedules whole jobs on it, and parallel_run.hh schedules
+ * per-cluster timing replays. Tasks are plain callables; the first
+ * exception a task throws is captured and rethrown from wait().
+ */
+
+#ifndef RSR_HARNESS_THREAD_POOL_HH
+#define RSR_HARNESS_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rsr::harness
+{
+
+/**
+ * Fixed worker pool. submit() enqueues a task; wait() blocks until every
+ * submitted task has finished and rethrows the first exception any task
+ * raised (later exceptions are dropped). The destructor discards tasks
+ * that have not started, finishes the ones that have, and joins.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; clamped to at least 1. */
+    explicit ThreadPool(unsigned threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned size() const { return static_cast<unsigned>(workers.size()); }
+
+    /** Enqueue @p task for execution on some worker. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until all submitted tasks completed. Rethrows the first
+     * task exception, after which the pool is reusable.
+     */
+    void wait();
+
+  private:
+    void workerLoop();
+
+    std::mutex mu;
+    std::condition_variable cvWork;
+    std::condition_variable cvDone;
+    std::deque<std::function<void()>> queue;
+    std::size_t pending = 0; // queued + running
+    bool stopping = false;
+    std::exception_ptr firstError;
+    std::vector<std::thread> workers;
+};
+
+} // namespace rsr::harness
+
+#endif // RSR_HARNESS_THREAD_POOL_HH

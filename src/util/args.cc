@@ -78,6 +78,25 @@ ArgParser::getU64(const std::string &flag, std::uint64_t fallback) const
     return v;
 }
 
+std::uint64_t
+ArgParser::getPositiveU64(const std::string &flag,
+                          std::uint64_t fallback) const
+{
+    const auto it = flags.find(flag);
+    if (it == flags.end())
+        return fallback;
+    const std::string &s = it->second;
+    // strtoull accepts a leading '-' and wraps, so insist on digits only.
+    if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
+        rsr_throw_user("--", flag, " expects a positive integer, got '",
+                       s, "'");
+    const auto v = std::strtoull(s.c_str(), nullptr, 10);
+    if (v == 0)
+        rsr_throw_user("--", flag, " expects a positive integer, got '",
+                       s, "'");
+    return v;
+}
+
 double
 ArgParser::getDouble(const std::string &flag, double fallback) const
 {

@@ -42,6 +42,14 @@ class ArgParser
     std::uint64_t getU64(const std::string &flag,
                          std::uint64_t fallback) const;
 
+    /**
+     * Strictly positive integer value of @p flag, or @p fallback.
+     * Rejects 0, negative numbers (which strtoull would silently wrap),
+     * and anything with non-digit characters.
+     */
+    std::uint64_t getPositiveU64(const std::string &flag,
+                                 std::uint64_t fallback) const;
+
     /** Floating-point value of @p flag, or @p fallback. */
     double getDouble(const std::string &flag, double fallback) const;
 

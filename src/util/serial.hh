@@ -107,6 +107,10 @@ class ByteSource
     /** All bytes consumed? */
     bool exhausted() const { return pos == size_; }
     std::size_t remaining() const { return size_ - pos; }
+    /** Current read offset from the start of the buffer. */
+    std::size_t tell() const { return pos; }
+    /** Pointer to the next unread byte (for checksumming ahead). */
+    const std::uint8_t *cursor() const { return data + pos; }
 
   private:
     void

@@ -1,0 +1,101 @@
+#include "snapshot.hh"
+
+#include "checksum.hh"
+#include "error.hh"
+#include "logging.hh"
+
+namespace rsr
+{
+
+std::string
+fourccName(std::uint32_t tag)
+{
+    std::string out;
+    for (int i = 0; i < 4; ++i) {
+        const char c = static_cast<char>(tag >> (8 * i));
+        out += (c >= 0x20 && c < 0x7f) ? c : '?';
+    }
+    return out;
+}
+
+void
+Serializer::begin(std::uint32_t tag, std::uint32_t version)
+{
+    frames.push_back(Frame{tag, version, {}});
+}
+
+void
+Serializer::end()
+{
+    rsr_assert(!frames.empty(), "Serializer::end() without begin()");
+    Frame f = std::move(frames.back());
+    frames.pop_back();
+    ByteSink &out = sink();
+    out.putU32(f.tag);
+    out.putU32(f.version);
+    out.putU64(f.payload.size());
+    out.putU64(fnv64(f.payload.bytes().data(), f.payload.size()));
+    out.putBytes(f.payload.bytes().data(), f.payload.size());
+}
+
+std::uint32_t
+Deserializer::begin(std::uint32_t tag)
+{
+    // tag + version + payload length + payload checksum
+    constexpr std::size_t headerBytes = 4 + 4 + 8 + 8;
+    if (in.remaining() < headerBytes)
+        rsr_throw_corrupt("snapshot truncated: component '",
+                          fourccName(tag), "' needs a ", headerBytes,
+                          "-byte header, have ", in.remaining(), " bytes");
+    const std::uint32_t found = in.getU32();
+    if (found != tag)
+        rsr_throw_corrupt("snapshot component mismatch: expected '",
+                          fourccName(tag), "', found '", fourccName(found),
+                          "'");
+    const std::uint32_t version = in.getU32();
+    const std::uint64_t len = in.getU64();
+    const std::uint64_t want_sum = in.getU64();
+    if (len > in.remaining())
+        rsr_throw_corrupt("snapshot component '", fourccName(tag),
+                          "' payload length ", len, " exceeds remaining ",
+                          in.remaining(), " bytes (truncated)");
+    if (fnv64(in.cursor(), static_cast<std::size_t>(len)) != want_sum)
+        rsr_throw_corrupt("snapshot component '", fourccName(tag),
+                          "' payload checksum mismatch (corrupted)");
+    frames.push_back(Frame{tag, in.tell() + static_cast<std::size_t>(len)});
+    return version;
+}
+
+void
+Deserializer::end()
+{
+    rsr_assert(!frames.empty(), "Deserializer::end() without begin()");
+    const Frame f = frames.back();
+    frames.pop_back();
+    if (in.tell() != f.endPos)
+        rsr_throw_corrupt("snapshot component '", fourccName(f.tag),
+                          "' payload not consumed exactly (cursor at ",
+                          in.tell(), ", frame ends at ", f.endPos, ")");
+}
+
+std::vector<std::uint8_t>
+snapshotToBytes(const Snapshotable &obj)
+{
+    ByteSink sink;
+    Serializer s(sink);
+    obj.snapshot(s);
+    return sink.take();
+}
+
+void
+restoreFromBytes(Snapshotable &obj, const std::vector<std::uint8_t> &bytes)
+{
+    ByteSource src(bytes);
+    Deserializer d(src);
+    obj.restore(d);
+    if (!src.exhausted())
+        rsr_throw_corrupt("trailing bytes after snapshot (",
+                          src.remaining(), " left)");
+}
+
+} // namespace rsr

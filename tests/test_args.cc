@@ -77,6 +77,23 @@ TEST(ArgParser, NonIntegerThrowsUserError)
     EXPECT_THROW(a.getU64("insts", 0), UserError);
 }
 
+TEST(ArgParser, PositiveU64AcceptsDigitsAndFallsBack)
+{
+    const auto a = parse({"run", "--jobs", "4"});
+    EXPECT_EQ(a.getPositiveU64("jobs", 1), 4u);
+    EXPECT_EQ(a.getPositiveU64("missing", 7), 7u);
+}
+
+TEST(ArgParser, PositiveU64RejectsZeroNegativeAndJunk)
+{
+    // strtoull would happily wrap "-3" to a huge value; the validator
+    // must reject it instead.
+    for (const char *bad : {"0", "-3", "four", "4x", "0x4", ""}) {
+        const auto a = parse({"run", "--jobs", bad});
+        EXPECT_THROW(a.getPositiveU64("jobs", 1), UserError) << bad;
+    }
+}
+
 TEST(ArgParser, UnknownFlagRejectedWithSuggestion)
 {
     // The classic typo: --cluster-sizes used to be silently ignored.

@@ -11,6 +11,7 @@
 #include "core/warmup.hh"
 #include "util/random.hh"
 #include "util/serial.hh"
+#include "util/snapshot.hh"
 #include "workload/synthetic.hh"
 
 namespace rsr::core
@@ -172,11 +173,7 @@ TEST(CacheCheckpoint, StateRoundTrip)
     for (int i = 0; i < 500; ++i)
         a.access(rng.below(200) * 64, rng.chance(0.4));
 
-    ByteSink out;
-    a.serializeState(out);
-    ByteSource in(out.bytes());
-    b.unserializeState(in);
-    EXPECT_TRUE(in.exhausted());
+    restoreFromBytes(b, snapshotToBytes(a));
     for (std::uint64_t line = 0; line < 200; ++line) {
         ASSERT_EQ(a.probe(line * 64), b.probe(line * 64)) << line;
         ASSERT_EQ(a.recencyOf(line * 64), b.recencyOf(line * 64)) << line;
@@ -200,11 +197,7 @@ TEST(PredictorCheckpoint, StateRoundTrip)
     a.rasPush(0x123);
     a.rasPush(0x456);
 
-    ByteSink out;
-    a.serializeState(out);
-    ByteSource in(out.bytes());
-    b.unserializeState(in);
-    EXPECT_TRUE(in.exhausted());
+    restoreFromBytes(b, snapshotToBytes(a));
     EXPECT_EQ(a.ghr(), b.ghr());
     EXPECT_EQ(a.rasContents(), b.rasContents());
     for (unsigned i = 0; i < pp.phtEntries; ++i)

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the phase driver's deferred/parallel mode and the harness
+ * thread pool: the headline property is that `runSampledParallel` is
+ * bit-identical for any worker count, across the paper's whole Table-2
+ * policy matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/phase_driver.hh"
+#include "core/warmup.hh"
+#include "harness/parallel_run.hh"
+#include "harness/thread_pool.hh"
+#include "util/error.hh"
+#include "workload/synthetic.hh"
+
+namespace rsr
+{
+namespace
+{
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    harness::ThreadPool pool(4);
+    std::atomic<int> sum{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&sum] { ++sum; });
+    pool.wait();
+    EXPECT_EQ(sum, 100);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstTaskError)
+{
+    harness::ThreadPool pool(2);
+    pool.submit([] { rsr_throw_internal("task failed"); });
+    EXPECT_THROW(pool.wait(), InternalError);
+    // The pool stays usable after the error is consumed.
+    std::atomic<int> sum{0};
+    pool.submit([&sum] { ++sum; });
+    pool.wait();
+    EXPECT_EQ(sum, 1);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne)
+{
+    harness::ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    std::atomic<int> sum{0};
+    pool.submit([&sum] { ++sum; });
+    pool.wait();
+    EXPECT_EQ(sum, 1);
+}
+
+class ParallelReplay : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        prog = new func::Program(workload::buildSynthetic(
+            workload::standardWorkloadParams("gcc")));
+        cfg = new core::SampledConfig();
+        cfg->totalInsts = 150'000;
+        cfg->regimen = {8, 1500};
+        cfg->machine = core::MachineConfig::scaledDefault();
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete prog;
+        delete cfg;
+    }
+
+    static func::Program *prog;
+    static core::SampledConfig *cfg;
+};
+
+func::Program *ParallelReplay::prog = nullptr;
+core::SampledConfig *ParallelReplay::cfg = nullptr;
+
+/** The full Table-2 matrix by CLI name. */
+const char *const table2Names[] = {
+    "none",     "fp20",     "fp40",      "fp80", "scache", "sbp",
+    "smarts",   "rcache20", "rcache40",  "rcache80", "rcache100",
+    "rbp",      "rsr20",    "rsr40",     "rsr80", "rsr100"};
+
+TEST_F(ParallelReplay, BitIdenticalAcrossJobCountsForAllPolicies)
+{
+    for (const char *name : table2Names) {
+        const auto p1 = core::makePolicyByName(name);
+        const auto serial =
+            harness::runSampledParallel(*prog, *p1, *cfg, 1);
+        const auto p4 = core::makePolicyByName(name);
+        const auto parallel =
+            harness::runSampledParallel(*prog, *p4, *cfg, 4);
+
+        ASSERT_EQ(serial.clusterIpc.size(), parallel.clusterIpc.size())
+            << name;
+        for (std::size_t i = 0; i < serial.clusterIpc.size(); ++i)
+            ASSERT_EQ(serial.clusterIpc[i], parallel.clusterIpc[i])
+                << name << " cluster " << i;
+        ASSERT_EQ(serial.estimate.mean, parallel.estimate.mean) << name;
+        ASSERT_EQ(serial.estimate.ciLow, parallel.estimate.ciLow)
+            << name;
+        ASSERT_EQ(serial.estimate.ciHigh, parallel.estimate.ciHigh)
+            << name;
+        ASSERT_EQ(serial.hotCycles, parallel.hotCycles) << name;
+        ASSERT_EQ(serial.branchMispredicts, parallel.branchMispredicts)
+            << name;
+        ASSERT_EQ(serial.warmWork.totalUpdates(),
+                  parallel.warmWork.totalUpdates())
+            << name;
+    }
+}
+
+TEST_F(ParallelReplay, PhaseCountersAreConsistent)
+{
+    auto policy = core::makePolicyByName("rsr40");
+    const auto r = harness::runSampledParallel(*prog, *policy, *cfg, 4);
+
+    EXPECT_EQ(r.phases.skipInsts, r.skippedInsts);
+    EXPECT_EQ(r.phases.measureInsts, r.hotInsts);
+    EXPECT_EQ(r.hotInsts, 8u * 1500u);
+    EXPECT_GT(r.phases.peakSnapshotBytes, 0u);
+    EXPECT_GT(r.phases.skipSeconds, 0.0);
+    EXPECT_GT(r.phases.measureSeconds, 0.0);
+    EXPECT_GT(r.phases.captureSeconds, 0.0);
+}
+
+TEST_F(ParallelReplay, InlineDriverCountersMatchLegacyResult)
+{
+    // The inline path must keep the legacy accounting intact and fill
+    // the new per-phase counters consistently.
+    auto policy = core::makePolicyByName("smarts");
+    const auto r = core::runSampled(*prog, *policy, *cfg);
+    EXPECT_EQ(r.phases.skipInsts, r.skippedInsts);
+    EXPECT_EQ(r.phases.measureInsts, r.hotInsts);
+    EXPECT_EQ(r.phases.peakSnapshotBytes, 0u); // no hooks, no snapshots
+}
+
+TEST_F(ParallelReplay, OnDemandReconstructionWorkIsJobIndependent)
+{
+    auto p1 = core::makePolicyByName("rbp");
+    const auto serial = harness::runSampledParallel(*prog, *p1, *cfg, 1);
+    auto p4 = core::makePolicyByName("rbp");
+    const auto parallel =
+        harness::runSampledParallel(*prog, *p4, *cfg, 4);
+
+    EXPECT_GT(serial.warmWork.reconstructionUpdates, 0u);
+    EXPECT_EQ(serial.warmWork.reconstructionUpdates,
+              parallel.warmWork.reconstructionUpdates);
+}
+
+TEST_F(ParallelReplay, PolicySweepMatchesIndividualRuns)
+{
+    const std::vector<std::string> names{"none", "smarts", "rsr20"};
+    const auto sweep =
+        harness::runPolicySweep(*prog, names, *cfg, 3);
+    ASSERT_EQ(sweep.size(), names.size());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        auto policy = core::makePolicyByName(names[i]);
+        const auto solo =
+            harness::runSampledParallel(*prog, *policy, *cfg, 1);
+        EXPECT_EQ(sweep[i].cliName, names[i]);
+        EXPECT_EQ(sweep[i].result.estimate.mean, solo.estimate.mean)
+            << names[i];
+        EXPECT_EQ(sweep[i].result.clusterIpc, solo.clusterIpc)
+            << names[i];
+    }
+}
+
+TEST_F(ParallelReplay, SweepRejectsUnknownPolicyUpFront)
+{
+    const std::vector<std::string> names{"none", "nonsense"};
+    EXPECT_THROW(harness::runPolicySweep(*prog, names, *cfg, 2),
+                 UserError);
+}
+
+} // namespace
+} // namespace rsr

@@ -8,6 +8,12 @@
  *   rsr_sim sample       --workload gcc --policy rsr20 [--insts N]
  *                        [--clusters C] [--cluster-size S] [--seed X]
  *                        [--machine scaled|paper] [--true-ipc] [--csv]
+ *   rsr_sim run          --workload gcc --policy rsr20 [--jobs N]
+ *                        [sample flags] — deferred-replay pipeline whose
+ *                        result is bit-identical for any --jobs value
+ *   rsr_sim compare      --workload gcc [--policies P1,P2,...] [--jobs N]
+ *                        [sample flags] — Table-2-style policy sweep,
+ *                        one pool task per policy
  *   rsr_sim record-trace --workload gcc --out file.trc [--insts N]
  *   rsr_sim sim-trace    --trace file.trc [--insts N] [--machine ...]
  *   rsr_sim simpoint     --workload gcc [--insts N] [--interval I]
@@ -35,6 +41,7 @@
 #include "core/sampled_sim.hh"
 #include "core/warmup.hh"
 #include "harness/campaign.hh"
+#include "harness/parallel_run.hh"
 #include "simpoint/simpoint.hh"
 #include "trace/trace.hh"
 #include "util/args.hh"
@@ -135,19 +142,23 @@ cmdTrueIpc(const ArgParser &args)
     return 0;
 }
 
-int
-cmdSample(const ArgParser &args)
+core::SampledConfig
+sampledConfigFor(const ArgParser &args)
 {
-    const auto program = workloadFor(args);
     core::SampledConfig cfg;
     cfg.totalInsts = args.getU64("insts", 4'000'000);
     cfg.regimen.numClusters = args.getU64("clusters", 60);
     cfg.regimen.clusterSize = args.getU64("cluster-size", 3000);
     cfg.scheduleSeed = args.getU64("seed", cfg.scheduleSeed);
     cfg.machine = machineFor(args);
+    return cfg;
+}
 
-    const std::string policy_name = args.get("policy", "rsr20");
-    std::unique_ptr<core::WarmupPolicy> policy;
+std::unique_ptr<core::WarmupPolicy>
+policyFor(const ArgParser &args, const func::Program &program,
+          const core::SampledConfig &cfg, const char *fallback)
+{
+    const std::string policy_name = args.get("policy", fallback);
     if (policy_name == "mrrl" || policy_name == "blrl") {
         Rng rng(cfg.scheduleSeed);
         const auto schedule =
@@ -155,11 +166,18 @@ cmdSample(const ArgParser &args)
         const auto kind = policy_name == "mrrl"
                               ? core::ReuseLatencyKind::Mrrl
                               : core::ReuseLatencyKind::Blrl;
-        policy = std::make_unique<core::ReuseLatencyWarmup>(
+        return std::make_unique<core::ReuseLatencyWarmup>(
             core::profileReuseLatency(program, schedule, kind));
-    } else {
-        policy = core::makePolicyByName(policy_name);
     }
+    return core::makePolicyByName(policy_name);
+}
+
+int
+cmdSample(const ArgParser &args)
+{
+    const auto program = workloadFor(args);
+    const auto cfg = sampledConfigFor(args);
+    const auto policy = policyFor(args, program, cfg, "rsr20");
 
     const auto r = core::runSampled(program, *policy, cfg);
 
@@ -185,6 +203,53 @@ cmdSample(const ArgParser &args)
                 static_cast<unsigned long long>(
                     r.warmWork.loggedRecords),
                 static_cast<unsigned long long>(r.warmWork.peakLogBytes));
+
+    if (args.has("true-ipc")) {
+        const auto full =
+            core::runFull(program, cfg.totalInsts, cfg.machine);
+        std::printf("  true IPC %.4f  relative error %.4f  CI %s\n",
+                    full.ipc(), r.estimate.relativeError(full.ipc()),
+                    r.estimate.passesCi(full.ipc()) ? "pass" : "FAIL");
+    }
+    return 0;
+}
+
+int
+cmdRun(const ArgParser &args)
+{
+    const auto program = workloadFor(args);
+    const auto cfg = sampledConfigFor(args);
+    const auto policy = policyFor(args, program, cfg, "rsr20");
+    const unsigned jobs =
+        static_cast<unsigned>(args.getPositiveU64("jobs", 1));
+
+    const auto r =
+        harness::runSampledParallel(program, *policy, cfg, jobs);
+
+    if (args.has("csv")) {
+        // Full precision so two runs can be diffed bit-for-bit.
+        std::printf("cluster,ipc\n");
+        for (std::size_t i = 0; i < r.clusterIpc.size(); ++i)
+            std::printf("%zu,%.17g\n", i, r.clusterIpc[i]);
+    }
+
+    std::printf("policy %s on %s (%u jobs): IPC estimate %.4f  "
+                "CI [%.4f, %.4f]  aggregate %.4f\n",
+                policy->name().c_str(), args.get("workload").c_str(),
+                jobs, r.estimate.mean, r.estimate.ciLow,
+                r.estimate.ciHigh, r.aggregateIpc());
+    std::printf("  %llu clusters x %llu insts, %llu skipped; %.3fs; "
+                "warm updates %llu; logged %llu (peak %llu bytes)\n",
+                static_cast<unsigned long long>(r.clusterIpc.size()),
+                static_cast<unsigned long long>(cfg.regimen.clusterSize),
+                static_cast<unsigned long long>(r.skippedInsts),
+                r.seconds,
+                static_cast<unsigned long long>(
+                    r.warmWork.totalUpdates()),
+                static_cast<unsigned long long>(
+                    r.warmWork.loggedRecords),
+                static_cast<unsigned long long>(r.warmWork.peakLogBytes));
+    std::printf("%s", core::formatPhaseCounters(r.phases).c_str());
 
     if (args.has("true-ipc")) {
         const auto full =
@@ -316,6 +381,71 @@ splitList(const std::string &csv)
 }
 
 int
+cmdCompare(const ArgParser &args)
+{
+    const auto program = workloadFor(args);
+    const auto cfg = sampledConfigFor(args);
+    const unsigned jobs =
+        static_cast<unsigned>(args.getPositiveU64("jobs", 1));
+
+    // Default to the paper's full Table-2 matrix.
+    std::vector<std::string> names =
+        args.has("policies")
+            ? splitList(args.get("policies"))
+            : std::vector<std::string>{
+                  "none",     "fp20",     "fp40",      "fp80",
+                  "scache",   "sbp",      "smarts",    "rcache20",
+                  "rcache40", "rcache80", "rcache100", "rbp",
+                  "rsr20",    "rsr40",    "rsr80",     "rsr100"};
+    if (names.empty())
+        rsr_throw_user("--policies got an empty list");
+
+    const auto entries =
+        harness::runPolicySweep(program, names, cfg, jobs);
+
+    double true_ipc = 0.0;
+    const bool have_true = args.has("true-ipc");
+    if (have_true)
+        true_ipc = core::runFull(program, cfg.totalInsts,
+                                 cfg.machine).ipc();
+
+    if (args.has("csv")) {
+        std::printf("policy,cluster,ipc\n");
+        for (const auto &e : entries)
+            for (std::size_t i = 0; i < e.result.clusterIpc.size(); ++i)
+                std::printf("%s,%zu,%.17g\n", e.cliName.c_str(), i,
+                            e.result.clusterIpc[i]);
+    }
+
+    std::vector<std::string> headers{"policy",  "ipc",     "ci low",
+                                     "ci high", "warm upd", "seconds"};
+    if (have_true) {
+        headers.push_back("err %");
+        headers.push_back("ci");
+    }
+    TextTable t(std::move(headers));
+    for (const auto &e : entries) {
+        const auto &est = e.result.estimate;
+        std::vector<std::string> row{
+            e.displayName, TextTable::num(est.mean),
+            TextTable::num(est.ciLow), TextTable::num(est.ciHigh),
+            std::to_string(e.result.warmWork.totalUpdates()),
+            TextTable::num(e.result.seconds, 3)};
+        if (have_true) {
+            row.push_back(
+                TextTable::num(est.relativeError(true_ipc) * 100, 2));
+            row.push_back(est.passesCi(true_ipc) ? "pass" : "FAIL");
+        }
+        t.addRow(std::move(row));
+    }
+    t.print();
+    if (have_true)
+        std::printf("true IPC %.4f over %llu instructions\n", true_ipc,
+                    static_cast<unsigned long long>(cfg.totalInsts));
+    return 0;
+}
+
+int
 cmdCampaign(const ArgParser &args)
 {
     harness::CampaignConfig cfg;
@@ -369,6 +499,12 @@ usage()
         "  true-ipc     --workload W [--insts N] [--machine scaled|paper]\n"
         "  sample       --workload W --policy P [--insts N] [--clusters C]\n"
         "               [--cluster-size S] [--seed X] [--true-ipc] [--csv]\n"
+        "  run          --workload W --policy P [--jobs N] [sample flags]\n"
+        "               (parallel per-cluster replay; bit-identical for\n"
+        "               any --jobs)\n"
+        "  compare      --workload W [--policies P1,P2,...] [--jobs N]\n"
+        "               [sample flags] (policy sweep; defaults to the\n"
+        "               full Table-2 matrix)\n"
         "  record-trace --workload W --out FILE [--insts N]\n"
         "  sim-trace    --trace FILE [--insts N]\n"
         "  simpoint     --workload W [--insts N] [--interval I] [--max-k K]"
@@ -398,7 +534,8 @@ dispatch(const ArgParser &args)
         "trace",     "interval", "max-k",    "warm",      "stats",
         "config",    "set",      "lib",      "workloads", "policies",
         "threads",   "retries",  "backoff-ms", "timeout", "resume",
-        "fault-seed", "fault-io", "fault-corrupt", "fault-alloc"};
+        "fault-seed", "fault-io", "fault-corrupt", "fault-alloc",
+        "jobs"};
     args.requireKnown(allowed);
 
     const std::string cmd = args.command();
@@ -408,6 +545,10 @@ dispatch(const ArgParser &args)
         return cmdTrueIpc(args);
     if (cmd == "sample")
         return cmdSample(args);
+    if (cmd == "run")
+        return cmdRun(args);
+    if (cmd == "compare")
+        return cmdCompare(args);
     if (cmd == "record-trace")
         return cmdRecordTrace(args);
     if (cmd == "capture")
