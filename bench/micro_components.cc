@@ -82,7 +82,7 @@ BM_SkipLogAppend(benchmark::State &state)
     log.mem.reserve(1 << 22);
     Rng rng(3);
     for (auto _ : state) {
-        log.mem.emplace_back(0x10000, rng.next(), false, false);
+        log.mem.append(0x10000, rng.next(), false, false);
         if (log.mem.size() >= (1u << 22))
             log.mem.clear();
     }
@@ -96,11 +96,10 @@ BM_ReverseReconstructionPerRef(benchmark::State &state)
     // Cost per logged reference of a full reverse pass (most references
     // are ignored once sets fill — that is the point of the algorithm).
     cache::MemoryHierarchy hier(cache::HierarchyParams::paperDefault());
-    std::vector<core::MemRecord> log;
+    core::MemLog log;
     Rng rng(4);
     for (int i = 0; i < 200'000; ++i)
-        log.emplace_back(0x10000, rng.below(1 << 22), false,
-                         rng.chance(0.25));
+        log.append(0x10000, rng.below(1 << 22), false, rng.chance(0.25));
     for (auto _ : state) {
         const auto res = core::reconstructCaches(hier, log, 1.0);
         benchmark::DoNotOptimize(res.updatesApplied);

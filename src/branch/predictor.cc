@@ -7,8 +7,6 @@
 namespace rsr::branch
 {
 
-using isa::BranchKind;
-
 namespace
 {
 constexpr std::uint32_t bpSnapshotTag = fourcc('G', 'S', 'B', 'P');
@@ -42,26 +40,6 @@ GsharePredictor::reset()
 }
 
 void
-GsharePredictor::rasPush(std::uint64_t return_addr)
-{
-    rasTop = (rasTop + 1) % params_.rasEntries;
-    ras[rasTop] = return_addr;
-    if (rasCount < params_.rasEntries)
-        ++rasCount;
-}
-
-std::uint64_t
-GsharePredictor::rasPop()
-{
-    if (rasCount == 0)
-        return 0;
-    const std::uint64_t v = ras[rasTop];
-    rasTop = (rasTop + params_.rasEntries - 1) % params_.rasEntries;
-    --rasCount;
-    return v;
-}
-
-void
 GsharePredictor::setRasContents(const std::vector<std::uint64_t> &entries)
 {
     ras.assign(params_.rasEntries, 0);
@@ -83,87 +61,6 @@ GsharePredictor::rasContents() const
         idx = (idx + params_.rasEntries - 1) % params_.rasEntries;
     }
     return out;
-}
-
-Prediction
-GsharePredictor::predict(std::uint64_t pc, BranchKind kind)
-{
-    ++stats_.lookups;
-    Prediction p;
-    switch (kind) {
-      case BranchKind::Conditional: {
-        const std::uint32_t idx = phtIndex(pc);
-        if (recon)
-            recon->ensurePht(idx);
-        ++stats_.condLookups;
-        p.taken = counter::taken(pht[idx]);
-        if (p.taken) {
-            const std::uint32_t bidx = btbIndex(pc);
-            if (recon)
-                recon->ensureBtb(bidx);
-            if (btb[bidx].valid && btb[bidx].tag == pc) {
-                p.target = btb[bidx].target;
-                p.targetValid = true;
-            }
-        }
-        break;
-      }
-      case BranchKind::DirectJump:
-        // Direct targets are available from decode; treat as predicted.
-        p.taken = true;
-        p.targetValid = false;
-        break;
-      case BranchKind::Call: {
-        p.taken = true;
-        const std::uint32_t bidx = btbIndex(pc);
-        if (recon)
-            recon->ensureBtb(bidx);
-        if (btb[bidx].valid && btb[bidx].tag == pc) {
-            p.target = btb[bidx].target;
-            p.targetValid = true;
-        }
-        rasPush(pc + 4);
-        break;
-      }
-      case BranchKind::Return:
-        p.taken = true;
-        p.target = rasPop();
-        p.targetValid = p.target != 0;
-        break;
-      case BranchKind::IndirectJump: {
-        p.taken = true;
-        const std::uint32_t bidx = btbIndex(pc);
-        if (recon)
-            recon->ensureBtb(bidx);
-        if (btb[bidx].valid && btb[bidx].tag == pc) {
-            p.target = btb[bidx].target;
-            p.targetValid = true;
-        }
-        break;
-      }
-      case BranchKind::NotBranch:
-        rsr_throw_internal("predict() called for a non-branch");
-    }
-    return p;
-}
-
-void
-GsharePredictor::update(std::uint64_t pc, BranchKind kind, bool taken,
-                        std::uint64_t target)
-{
-    if (kind == BranchKind::Conditional) {
-        const std::uint32_t idx = phtIndex(pc);
-        if (recon)
-            recon->ensurePht(idx);
-        pht[idx] = counter::update(pht[idx], taken);
-        ghr_ = ((ghr_ << 1) | (taken ? 1u : 0u)) & ghrMask;
-    }
-    if (taken && kind != BranchKind::Return) {
-        const std::uint32_t bidx = btbIndex(pc);
-        if (recon)
-            recon->ensureBtb(bidx);
-        btb[bidx] = {pc, target, true};
-    }
 }
 
 void
@@ -215,19 +112,6 @@ GsharePredictor::restore(Deserializer &in)
     rasTop = in.getU32();
     rasCount = in.getU32();
     in.end();
-}
-
-void
-GsharePredictor::warmApply(std::uint64_t pc, BranchKind kind, bool taken,
-                           std::uint64_t target)
-{
-    // Mirror predict()'s RAS side effects, then train as update() does.
-    if (kind == BranchKind::Call)
-        rasPush(pc + 4);
-    else if (kind == BranchKind::Return)
-        rasPop();
-    update(pc, kind, taken, target);
-    ++stats_.warmUpdates;
 }
 
 } // namespace rsr::branch

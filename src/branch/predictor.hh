@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "isa/opcode.hh"
+#include "util/error.hh"
 #include "util/snapshot.hh"
 
 namespace rsr::branch
@@ -126,7 +127,8 @@ class GsharePredictor : public Snapshotable
      * Fetch-time prediction for a control instruction of kind @p kind at
      * @p pc. Calls push the RAS and returns pop it here (the committed
      * instruction stream keeps speculative and architectural RAS state
-     * identical in this simulator).
+     * identical in this simulator). Defined inline below: both the
+     * functional-warming and timing loops hit this once per branch.
      */
     Prediction predict(std::uint64_t pc, isa::BranchKind kind);
 
@@ -187,8 +189,28 @@ class GsharePredictor : public Snapshotable
     /** Current RAS contents, top first. */
     std::vector<std::uint64_t> rasContents() const;
 
-    void rasPush(std::uint64_t return_addr);
-    std::uint64_t rasPop();
+    // The RAS index arithmetic uses conditional wrap instead of integer
+    // modulo: rasEntries is tiny (8 by default) and the division would
+    // otherwise sit on the per-call/per-return hot path.
+    void
+    rasPush(std::uint64_t return_addr)
+    {
+        rasTop = rasTop + 1 == params_.rasEntries ? 0 : rasTop + 1;
+        ras[rasTop] = return_addr;
+        if (rasCount < params_.rasEntries)
+            ++rasCount;
+    }
+
+    std::uint64_t
+    rasPop()
+    {
+        if (rasCount == 0)
+            return 0;
+        const std::uint64_t v = ras[rasTop];
+        rasTop = rasTop == 0 ? params_.rasEntries - 1 : rasTop - 1;
+        --rasCount;
+        return v;
+    }
 
     /**
      * Serialize PHT/GHR/BTB/RAS state (not statistics) as one framed
@@ -227,6 +249,104 @@ class GsharePredictor : public Snapshotable
     PredictorStats stats_;
     ReconstructionClient *recon = nullptr;
 };
+
+// Hot-path definitions, kept in the header so the per-branch work of the
+// warming and timing loops inlines into its callers. The reconstruction
+// hook is a single predictable null test in the common (no-client) case.
+
+inline Prediction
+GsharePredictor::predict(std::uint64_t pc, isa::BranchKind kind)
+{
+    ++stats_.lookups;
+    Prediction p;
+    switch (kind) {
+      case isa::BranchKind::Conditional: {
+        const std::uint32_t idx = phtIndex(pc);
+        if (recon)
+            recon->ensurePht(idx);
+        ++stats_.condLookups;
+        p.taken = counter::taken(pht[idx]);
+        if (p.taken) {
+            const std::uint32_t bidx = btbIndex(pc);
+            if (recon)
+                recon->ensureBtb(bidx);
+            if (btb[bidx].valid && btb[bidx].tag == pc) {
+                p.target = btb[bidx].target;
+                p.targetValid = true;
+            }
+        }
+        break;
+      }
+      case isa::BranchKind::DirectJump:
+        // Direct targets are available from decode; treat as predicted.
+        p.taken = true;
+        p.targetValid = false;
+        break;
+      case isa::BranchKind::Call: {
+        p.taken = true;
+        const std::uint32_t bidx = btbIndex(pc);
+        if (recon)
+            recon->ensureBtb(bidx);
+        if (btb[bidx].valid && btb[bidx].tag == pc) {
+            p.target = btb[bidx].target;
+            p.targetValid = true;
+        }
+        rasPush(pc + 4);
+        break;
+      }
+      case isa::BranchKind::Return:
+        p.taken = true;
+        p.target = rasPop();
+        p.targetValid = p.target != 0;
+        break;
+      case isa::BranchKind::IndirectJump: {
+        p.taken = true;
+        const std::uint32_t bidx = btbIndex(pc);
+        if (recon)
+            recon->ensureBtb(bidx);
+        if (btb[bidx].valid && btb[bidx].tag == pc) {
+            p.target = btb[bidx].target;
+            p.targetValid = true;
+        }
+        break;
+      }
+      case isa::BranchKind::NotBranch:
+        rsr_throw_internal("predict() called for a non-branch");
+    }
+    return p;
+}
+
+inline void
+GsharePredictor::update(std::uint64_t pc, isa::BranchKind kind, bool taken,
+                        std::uint64_t target)
+{
+    if (kind == isa::BranchKind::Conditional) {
+        const std::uint32_t idx = phtIndex(pc);
+        if (recon)
+            recon->ensurePht(idx);
+        pht[idx] = counter::update(pht[idx], taken);
+        ghr_ = ((ghr_ << 1) | (taken ? 1u : 0u)) & ghrMask;
+    }
+    if (taken && kind != isa::BranchKind::Return) {
+        const std::uint32_t bidx = btbIndex(pc);
+        if (recon)
+            recon->ensureBtb(bidx);
+        btb[bidx] = {pc, target, true};
+    }
+}
+
+inline void
+GsharePredictor::warmApply(std::uint64_t pc, isa::BranchKind kind,
+                           bool taken, std::uint64_t target)
+{
+    // Mirror predict()'s RAS side effects, then train as update() does.
+    if (kind == isa::BranchKind::Call)
+        rasPush(pc + 4);
+    else if (kind == isa::BranchKind::Return)
+        rasPop();
+    update(pc, kind, taken, target);
+    ++stats_.warmUpdates;
+}
 
 } // namespace rsr::branch
 

@@ -1,9 +1,6 @@
 #include "cache.hh"
 
-#include <algorithm>
-
 #include "util/error.hh"
-#include "util/logging.hh"
 
 namespace rsr::cache
 {
@@ -25,102 +22,58 @@ Cache::Cache(const CacheParams &params) : params_(params)
                                      (params_.lineBytes * params_.assoc));
     rsr_assert(isPowerOf2(numSets_), params_.name,
                ": set count must be a power of two");
+    assoc_ = params_.assoc;
     lineShift = floorLog2(params_.lineBytes);
     setShift = floorLog2(numSets_);
 
-    sets.resize(numSets_);
-    for (auto &set : sets) {
-        set.ways.resize(params_.assoc);
-        set.order.resize(params_.assoc);
-        for (unsigned w = 0; w < params_.assoc; ++w)
-            set.order[w] = static_cast<std::uint8_t>(w);
-    }
+    const std::size_t blocks = std::size_t{numSets_} * assoc_;
+    tags_.assign(blocks, 0);
+    flags_.assign(blocks, 0);
+    order_.resize(blocks);
+    reconCount_.assign(numSets_, 0);
+    for (std::uint64_t s = 0; s < numSets_; ++s)
+        for (unsigned w = 0; w < assoc_; ++w)
+            order_[s * assoc_ + w] = static_cast<std::uint8_t>(w);
 }
 
 int
-Cache::findWay(const Set &set, std::uint64_t tag) const
+Cache::findWay(std::uint64_t set, std::uint64_t tag) const
 {
-    for (unsigned w = 0; w < params_.assoc; ++w)
-        if (set.ways[w].valid && set.ways[w].tag == tag)
+    const std::uint64_t *tags = tags_.data() + set * assoc_;
+    const std::uint8_t *flags = flags_.data() + set * assoc_;
+    for (unsigned w = 0; w < assoc_; ++w)
+        if ((flags[w] & flagValid) && tags[w] == tag)
             return static_cast<int>(w);
     return -1;
 }
 
 void
-Cache::placeAt(Set &set, unsigned way, unsigned pos)
+Cache::placeAt(std::uint8_t *ord, unsigned assoc, std::uint8_t way,
+               unsigned pos)
 {
-    auto &ord = set.order;
-    auto it = std::find(ord.begin(), ord.end(),
-                        static_cast<std::uint8_t>(way));
-    rsr_assert(it != ord.end(), "way missing from recency order");
-    ord.erase(it);
-    ord.insert(ord.begin() + pos, static_cast<std::uint8_t>(way));
-}
-
-void
-Cache::touch(Set &set, unsigned way)
-{
-    placeAt(set, way, 0);
-}
-
-AccessOutcome
-Cache::access(std::uint64_t addr, bool is_store)
-{
-    AccessOutcome out;
-    Set &set = sets[setOf(addr)];
-    const std::uint64_t tag = tagOf(addr);
-
-    int way = findWay(set, tag);
-    if (way >= 0) {
-        ++stats_.hits;
-        out.hit = true;
-        touch(set, static_cast<unsigned>(way));
-        if (is_store &&
-            params_.writePolicy == WritePolicy::WriteBackAllocate)
-            set.ways[way].dirty = true;
-        return out;
-    }
-
-    ++stats_.misses;
-    if (is_store &&
-        params_.writePolicy == WritePolicy::WriteThroughNoAllocate) {
-        // No-write-allocate: the write is forwarded below; no fill.
-        return out;
-    }
-
-    // Allocate into the LRU way.
-    const unsigned victim = set.order.back();
-    Block &blk = set.ways[victim];
-    if (blk.valid && blk.dirty) {
-        out.victimDirty = true;
-        out.victimLineAddr = (blk.tag << (lineShift + setShift)) |
-                             (setOf(addr) << lineShift);
-        ++stats_.writebacks;
-    }
-    blk.valid = true;
-    blk.tag = tag;
-    blk.dirty = is_store &&
-                params_.writePolicy == WritePolicy::WriteBackAllocate;
-    blk.reconstructed = false;
-    touch(set, victim);
-    ++stats_.fills;
-    out.allocated = true;
-    return out;
+    unsigned cur = 0;
+    while (cur < assoc && ord[cur] != way)
+        ++cur;
+    rsr_assert(cur < assoc, "way missing from recency order");
+    for (; cur > pos; --cur)
+        ord[cur] = ord[cur - 1];
+    for (; cur < pos; ++cur)
+        ord[cur] = ord[cur + 1];
+    ord[pos] = way;
 }
 
 bool
 Cache::probe(std::uint64_t addr) const
 {
-    const Set &set = sets[setOf(addr)];
-    return findWay(set, tagOf(addr)) >= 0;
+    return findWay(setOf(addr), tagOf(addr)) >= 0;
 }
 
 bool
 Cache::setFull(std::uint64_t addr) const
 {
-    const Set &set = sets[setOf(addr)];
-    for (const auto &blk : set.ways)
-        if (!blk.valid)
+    const std::uint8_t *flags = flags_.data() + setOf(addr) * assoc_;
+    for (unsigned w = 0; w < assoc_; ++w)
+        if (!(flags[w] & flagValid))
             return false;
     return true;
 }
@@ -128,50 +81,52 @@ Cache::setFull(std::uint64_t addr) const
 int
 Cache::recencyOf(std::uint64_t addr) const
 {
-    const Set &set = sets[setOf(addr)];
+    const std::uint64_t set = setOf(addr);
     const int way = findWay(set, tagOf(addr));
     if (way < 0)
         return -1;
-    auto it = std::find(set.order.begin(), set.order.end(),
-                        static_cast<std::uint8_t>(way));
-    return static_cast<int>(it - set.order.begin());
+    const std::uint8_t *ord = order_.data() + set * assoc_;
+    unsigned pos = 0;
+    while (ord[pos] != static_cast<std::uint8_t>(way))
+        ++pos;
+    return static_cast<int>(pos);
 }
 
 void
 Cache::invalidateAll()
 {
-    for (auto &set : sets) {
-        for (auto &blk : set.ways)
-            blk = Block{};
-        for (unsigned w = 0; w < params_.assoc; ++w)
-            set.order[w] = static_cast<std::uint8_t>(w);
-        set.reconCount = 0;
-    }
+    std::fill(tags_.begin(), tags_.end(), 0);
+    std::fill(flags_.begin(), flags_.end(), 0);
+    std::fill(reconCount_.begin(), reconCount_.end(), 0);
+    for (std::uint64_t s = 0; s < numSets_; ++s)
+        for (unsigned w = 0; w < assoc_; ++w)
+            order_[s * assoc_ + w] = static_cast<std::uint8_t>(w);
 }
 
 void
 Cache::beginReconstruction()
 {
-    for (auto &set : sets) {
-        for (auto &blk : set.ways)
-            blk.reconstructed = false;
-        set.reconCount = 0;
-    }
+    for (auto &f : flags_)
+        f &= static_cast<std::uint8_t>(~flagRecon);
+    std::fill(reconCount_.begin(), reconCount_.end(), 0);
 }
 
 bool
 Cache::reconstructRef(std::uint64_t addr)
 {
-    Set &set = sets[setOf(addr)];
-    if (set.reconCount >= params_.assoc) {
+    const std::uint64_t set = setOf(addr);
+    if (reconCount_[set] >= assoc_) {
         // Fully reconstructed set: everything older is ineffectual.
         ++stats_.reconIgnored;
         return false;
     }
 
+    std::uint64_t *tags = tags_.data() + set * assoc_;
+    std::uint8_t *flags = flags_.data() + set * assoc_;
+    std::uint8_t *ord = order_.data() + set * assoc_;
     const std::uint64_t tag = tagOf(addr);
     int way = findWay(set, tag);
-    if (way >= 0 && set.ways[way].reconstructed) {
+    if (way >= 0 && (flags[way] & flagRecon)) {
         // This block's final state was already determined by a younger
         // reference; the older one cannot affect it.
         ++stats_.reconIgnored;
@@ -182,22 +137,19 @@ Cache::reconstructRef(std::uint64_t addr)
         // Absent: install into the least recently used *stale* block.
         // Stale blocks occupy order[reconCount..assoc-1] in stale-recency
         // order, so the overall LRU slot is the stale LRU.
-        way = set.order.back();
-        Block &blk = set.ways[way];
-        blk.valid = true;
-        blk.tag = tag;
+        way = ord[assoc_ - 1];
+        tags[way] = tag;
         // Reconstruction cannot know dirtiness; treat as clean. (The
         // write-through L1s are never dirty; for the write-back L2 this
         // only suppresses a warm-state writeback, not correctness of the
         // sampled estimate.)
-        blk.dirty = false;
+        flags[way] = flagValid;
         ++stats_.fills;
     }
 
-    Block &blk = set.ways[way];
-    blk.reconstructed = true;
-    placeAt(set, static_cast<unsigned>(way), set.reconCount);
-    ++set.reconCount;
+    flags[way] |= flagRecon;
+    placeAt(ord, assoc_, static_cast<std::uint8_t>(way), reconCount_[set]);
+    ++reconCount_[set];
     ++stats_.reconApplied;
     return true;
 }
@@ -205,9 +157,9 @@ Cache::reconstructRef(std::uint64_t addr)
 bool
 Cache::isReconstructed(std::uint64_t addr) const
 {
-    const Set &set = sets[setOf(addr)];
+    const std::uint64_t set = setOf(addr);
     const int way = findWay(set, tagOf(addr));
-    return way >= 0 && set.ways[way].reconstructed;
+    return way >= 0 && (flags_[set * assoc_ + way] & flagRecon);
 }
 
 void
@@ -215,17 +167,15 @@ Cache::snapshot(Serializer &out) const
 {
     out.begin(cacheSnapshotTag, cacheSnapshotVersion);
     out.putU32(numSets_);
-    out.putU32(params_.assoc);
-    for (const auto &set : sets) {
-        for (const auto &blk : set.ways) {
-            out.putU64(blk.tag);
-            out.putU8(static_cast<std::uint8_t>(
-                (blk.valid ? 1 : 0) | (blk.dirty ? 2 : 0) |
-                (blk.reconstructed ? 4 : 0)));
+    out.putU32(assoc_);
+    for (std::uint64_t s = 0; s < numSets_; ++s) {
+        for (unsigned w = 0; w < assoc_; ++w) {
+            out.putU64(tags_[s * assoc_ + w]);
+            out.putU8(flags_[s * assoc_ + w]);
         }
-        for (unsigned w = 0; w < params_.assoc; ++w)
-            out.putU8(set.order[w]);
-        out.putU32(set.reconCount);
+        for (unsigned w = 0; w < assoc_; ++w)
+            out.putU8(order_[s * assoc_ + w]);
+        out.putU32(reconCount_[s]);
     }
     out.end();
 }
@@ -240,22 +190,20 @@ Cache::restore(Deserializer &in)
                           cacheSnapshotVersion, ")");
     const std::uint32_t sets_in = in.getU32();
     const std::uint32_t assoc_in = in.getU32();
-    if (sets_in != numSets_ || assoc_in != params_.assoc)
+    if (sets_in != numSets_ || assoc_in != assoc_)
         rsr_throw_corrupt(params_.name, ": snapshot geometry ", sets_in,
                           " sets x ", assoc_in, " ways does not match "
                           "configured ", numSets_, " sets x ",
-                          params_.assoc, " ways");
-    for (auto &set : sets) {
-        for (auto &blk : set.ways) {
-            blk.tag = in.getU64();
-            const std::uint8_t flags = in.getU8();
-            blk.valid = flags & 1;
-            blk.dirty = flags & 2;
-            blk.reconstructed = flags & 4;
+                          assoc_, " ways");
+    for (std::uint64_t s = 0; s < numSets_; ++s) {
+        for (unsigned w = 0; w < assoc_; ++w) {
+            tags_[s * assoc_ + w] = in.getU64();
+            flags_[s * assoc_ + w] = static_cast<std::uint8_t>(
+                in.getU8() & (flagValid | flagDirty | flagRecon));
         }
-        for (unsigned w = 0; w < params_.assoc; ++w)
-            set.order[w] = in.getU8();
-        set.reconCount = in.getU32();
+        for (unsigned w = 0; w < assoc_; ++w)
+            order_[s * assoc_ + w] = in.getU8();
+        reconCount_[s] = in.getU32();
     }
     in.end();
 }

@@ -9,6 +9,13 @@
  * that reverse reconstruction can (a) find the least-recently-used *stale*
  * block and (b) assign ascending LRU values to reconstructed blocks in scan
  * order, exactly as Figure 2 of the paper describes.
+ *
+ * Storage is flat structure-of-arrays (one tag array, one packed flag-byte
+ * array, one recency-byte array, each numSets*assoc long) rather than
+ * per-set heap vectors: the tag probe for a 4-way set touches one 32-byte
+ * tag span and one 4-byte flag span, and set/tag extraction is pow2
+ * mask-and-shift. The access() hot path lives here in the header so both
+ * the functional-warming and timing loops inline it.
  */
 
 #ifndef RSR_CACHE_CACHE_HH
@@ -19,6 +26,7 @@
 #include <vector>
 
 #include "util/bitutil.hh"
+#include "util/logging.hh"
 #include "util/snapshot.hh"
 
 namespace rsr::cache
@@ -84,13 +92,64 @@ class Cache : public Snapshotable
         return addr & ~std::uint64_t{params_.lineBytes - 1};
     }
 
+    /** Set index of @p addr (for reconstruction-scan bookkeeping). */
+    std::uint64_t setIndexOf(std::uint64_t addr) const
+    {
+        return setOf(addr);
+    }
+
     /**
      * Perform one access, updating tags/LRU/dirty state per the write
      * policy. Used both for timed (hot) accesses and functional (warm)
      * accesses — the state transition is identical; only the caller's
      * timing treatment differs.
      */
-    AccessOutcome access(std::uint64_t addr, bool is_store);
+    AccessOutcome
+    access(std::uint64_t addr, bool is_store)
+    {
+        AccessOutcome out;
+        const std::uint64_t si = setOf(addr);
+        const std::uint64_t tag = tagOf(addr);
+        const unsigned a = assoc_;
+        std::uint64_t *tags = tags_.data() + si * a;
+        std::uint8_t *flags = flags_.data() + si * a;
+        std::uint8_t *ord = order_.data() + si * a;
+        const bool wb = params_.writePolicy == WritePolicy::WriteBackAllocate;
+
+        for (unsigned w = 0; w < a; ++w) {
+            if ((flags[w] & flagValid) && tags[w] == tag) {
+                ++stats_.hits;
+                out.hit = true;
+                moveToFront(ord, a, static_cast<std::uint8_t>(w));
+                if (is_store && wb)
+                    flags[w] |= flagDirty;
+                return out;
+            }
+        }
+
+        ++stats_.misses;
+        if (is_store && !wb) {
+            // No-write-allocate: the write is forwarded below; no fill.
+            return out;
+        }
+
+        // Allocate into the LRU way.
+        const std::uint8_t victim = ord[a - 1];
+        if ((flags[victim] & (flagValid | flagDirty)) ==
+            (flagValid | flagDirty)) {
+            out.victimDirty = true;
+            out.victimLineAddr =
+                (tags[victim] << (lineShift + setShift)) | (si << lineShift);
+            ++stats_.writebacks;
+        }
+        tags[victim] = tag;
+        flags[victim] = static_cast<std::uint8_t>(
+            flagValid | ((is_store && wb) ? flagDirty : 0));
+        moveToFront(ord, a, victim);
+        ++stats_.fills;
+        out.allocated = true;
+        return out;
+    }
 
     /** Tag-only presence check with no state change. */
     bool probe(std::uint64_t addr) const;
@@ -136,6 +195,22 @@ class Cache : public Snapshotable
     /** Whether the block holding @p addr has its reconstructed bit set. */
     bool isReconstructed(std::uint64_t addr) const;
 
+    /** All ways of set @p set reconstructed (older refs are ineffectual)? */
+    bool
+    setFullyReconstructed(std::uint64_t set) const
+    {
+        return reconCount_[set] >= assoc_;
+    }
+
+    /**
+     * Bulk-account @p n ineffectual logged references without scanning
+     * them. Used by the reverse scan's early exit: once every set touched
+     * by the remaining (older) log suffix is fully reconstructed, each
+     * remaining reference would take the reconIgnored path, so the counter
+     * is advanced in one step to stay bit-identical with a full scan.
+     */
+    void addReconIgnored(std::uint64_t n) { stats_.reconIgnored += n; }
+
     // --- checkpointing ----------------------------------------------------
 
     /**
@@ -151,22 +226,11 @@ class Cache : public Snapshotable
     void restore(Deserializer &in) override;
 
   private:
-    struct Block
-    {
-        std::uint64_t tag = 0;
-        bool valid = false;
-        bool dirty = false;
-        bool reconstructed = false;
-    };
-
-    struct Set
-    {
-        std::vector<Block> ways;
-        /** Way indices ordered MRU (front) to LRU (back). */
-        std::vector<std::uint8_t> order;
-        /** Number of reconstructed blocks (they occupy order[0..n-1]). */
-        unsigned reconCount = 0;
-    };
+    // Packed per-way flag bits; the layout doubles as the snapshot byte
+    // encoding ('CACH' v1), so snapshot/restore copy the byte verbatim.
+    static constexpr std::uint8_t flagValid = 1;
+    static constexpr std::uint8_t flagDirty = 2;
+    static constexpr std::uint8_t flagRecon = 4;
 
     std::uint64_t tagOf(std::uint64_t addr) const
     {
@@ -177,16 +241,39 @@ class Cache : public Snapshotable
         return (addr >> lineShift) & (numSets_ - 1);
     }
 
-    int findWay(const Set &set, std::uint64_t tag) const;
-    void touch(Set &set, unsigned way);
-    /** Move @p way to recency position @p pos. */
-    void placeAt(Set &set, unsigned way, unsigned pos);
+    /** First valid way in @p set matching @p tag, else -1. */
+    int findWay(std::uint64_t set, std::uint64_t tag) const;
+
+    /** Promote @p way to MRU within one set's recency slice. */
+    static void
+    moveToFront(std::uint8_t *ord, unsigned assoc, std::uint8_t way)
+    {
+        unsigned pos = 0;
+        while (pos < assoc && ord[pos] != way)
+            ++pos;
+        rsr_assert(pos < assoc, "way missing from recency order");
+        for (; pos > 0; --pos)
+            ord[pos] = ord[pos - 1];
+        ord[0] = way;
+    }
+
+    /** Move @p way to recency position @p pos within one set's slice. */
+    static void placeAt(std::uint8_t *ord, unsigned assoc, std::uint8_t way,
+                        unsigned pos);
 
     CacheParams params_;
     unsigned numSets_;
+    unsigned assoc_;
     unsigned lineShift;
     unsigned setShift;
-    std::vector<Set> sets;
+    /** Per-way tags; way w of set s is slot s*assoc + w. */
+    std::vector<std::uint64_t> tags_;
+    /** Per-way packed valid/dirty/reconstructed flags, same indexing. */
+    std::vector<std::uint8_t> flags_;
+    /** Way indices ordered MRU..LRU, one assoc-long slice per set. */
+    std::vector<std::uint8_t> order_;
+    /** Reconstructed blocks per set (they occupy order[0..n-1]). */
+    std::vector<std::uint32_t> reconCount_;
     CacheStats stats_;
 };
 

@@ -85,19 +85,6 @@ MemoryHierarchy::timedFetch(std::uint64_t now, std::uint64_t addr)
 }
 
 void
-MemoryHierarchy::warmAccess(std::uint64_t addr, bool is_store, bool is_instr)
-{
-    Cache &l1 = is_instr ? il1_ : dl1_;
-    const AccessOutcome o1 = l1.access(addr, is_store);
-    ++warmUpdates_;
-    if (is_store || !o1.hit) {
-        // Write-through stores and L1 misses reach the L2.
-        l2_.access(addr, is_store);
-        ++warmUpdates_;
-    }
-}
-
-void
 MemoryHierarchy::reset()
 {
     il1_.invalidateAll();

@@ -72,8 +72,21 @@ class MemoryHierarchy : public Snapshotable
     /**
      * Functional warm access (the SMARTS full-functional warm-up path):
      * apply the same state transitions as a timed access, with no timing.
+     * Inline: this runs once per skipped memory operation under
+     * functional warming, so it rides the Cache::access fast path.
      */
-    void warmAccess(std::uint64_t addr, bool is_store, bool is_instr);
+    void
+    warmAccess(std::uint64_t addr, bool is_store, bool is_instr)
+    {
+        Cache &l1 = is_instr ? il1_ : dl1_;
+        const AccessOutcome o1 = l1.access(addr, is_store);
+        ++warmUpdates_;
+        if (is_store || !o1.hit) {
+            // Write-through stores and L1 misses reach the L2.
+            l2_.access(addr, is_store);
+            ++warmUpdates_;
+        }
+    }
 
     /** Component state updates applied by warmAccess() so far. */
     std::uint64_t warmUpdates() const { return warmUpdates_; }

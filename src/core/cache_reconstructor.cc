@@ -1,41 +1,132 @@
 #include "cache_reconstructor.hh"
 
 #include <cmath>
+#include <vector>
 
 #include "util/logging.hh"
 
 namespace rsr::core
 {
 
+namespace
+{
+
+/**
+ * Early-exit bookkeeping for one cache: per-set count of scanned
+ * references not yet retired by the reverse scan, plus a first-touch
+ * bitmap recording which sets have closed. A set closes when it becomes
+ * fully reconstructed (older references to it are ineffectual) or when
+ * its pending count reaches zero (no older scanned reference maps to it).
+ */
+struct SetTracker
+{
+    explicit SetTracker(const cache::Cache &c)
+        : pending(c.numSets(), 0), closed(c.numSets(), 0)
+    {}
+
+    /** Pre-pass: one more scanned ref maps to @p set. Returns true on
+     *  the set's first touch (it becomes an open set). */
+    bool
+    admit(std::uint64_t set)
+    {
+        return pending[set]++ == 0;
+    }
+
+    /** Reverse scan: retire the ref just applied to @p set. Returns true
+     *  if this closes the set. */
+    bool
+    retire(const cache::Cache &c, std::uint64_t set)
+    {
+        if (closed[set])
+            return false;
+        if (--pending[set] == 0 || c.setFullyReconstructed(set)) {
+            closed[set] = 1;
+            return true;
+        }
+        return false;
+    }
+
+    std::vector<std::uint32_t> pending;
+    std::vector<std::uint8_t> closed;
+};
+
+} // namespace
+
 CacheReconstructionResult
-reconstructCaches(cache::MemoryHierarchy &hier,
-                  const std::vector<MemRecord> &mem_log, double fraction)
+reconstructCaches(cache::MemoryHierarchy &hier, const MemLog &mem_log,
+                  double fraction)
 {
     rsr_assert(fraction >= 0.0 && fraction <= 1.0,
                "reconstruction fraction out of range: ", fraction);
 
     CacheReconstructionResult res;
-    hier.il1().beginReconstruction();
-    hier.dl1().beginReconstruction();
-    hier.l2().beginReconstruction();
+    cache::Cache &il1 = hier.il1();
+    cache::Cache &dl1 = hier.dl1();
+    cache::Cache &l2 = hier.l2();
+    il1.beginReconstruction();
+    dl1.beginReconstruction();
+    l2.beginReconstruction();
 
     const std::size_t n = mem_log.size();
     const auto take = static_cast<std::size_t>(
         std::llround(static_cast<double>(n) * fraction));
     const std::size_t cutoff = n - take;
+    if (take == 0)
+        return res;
 
+    // Forward pre-pass: count, per set, the scanned references mapping to
+    // it, so the reverse scan can tell when every touched set is resolved.
+    SetTracker ti(il1), td(dl1), t2(l2);
+    std::size_t open = 0;
+    std::uint64_t instr_total = 0;
+    for (std::size_t i = cutoff; i < n; ++i) {
+        const std::uint64_t addr = mem_log.addr(i);
+        const bool is_instr = mem_log.isInstr(i);
+        instr_total += is_instr ? 1 : 0;
+        SetTracker &t1 = is_instr ? ti : td;
+        const cache::Cache &l1 = is_instr ? il1 : dl1;
+        open += t1.admit(l1.setIndexOf(addr)) ? 1 : 0;
+        open += t2.admit(l2.setIndexOf(addr)) ? 1 : 0;
+    }
+
+    std::uint64_t instr_seen = 0;
+    std::size_t left = 0; // unscanned suffix length on early exit
     for (std::size_t i = n; i-- > cutoff;) {
-        const MemRecord &r = mem_log[i];
-        cache::Cache &l1 = r.isInstr() ? hier.il1() : hier.dl1();
+        const std::uint64_t addr = mem_log.addr(i);
+        const bool is_instr = mem_log.isInstr(i);
+        instr_seen += is_instr ? 1 : 0;
+        cache::Cache &l1 = is_instr ? il1 : dl1;
         // Note: stores allocate here even though the L1s are
         // no-write-allocate — reconstruction would otherwise have to
         // search older history for a preceding read (paper Sec. 3.1).
-        const bool a1 = l1.reconstructRef(r.addr);
-        const bool a2 = hier.l2().reconstructRef(r.addr);
+        const bool a1 = l1.reconstructRef(addr);
+        const bool a2 = l2.reconstructRef(addr);
         ++res.refsScanned;
         res.updatesApplied += (a1 ? 1 : 0) + (a2 ? 1 : 0);
         if (!a1 && !a2)
             ++res.refsIgnored;
+
+        SetTracker &t1 = is_instr ? ti : td;
+        open -= t1.retire(l1, l1.setIndexOf(addr)) ? 1 : 0;
+        open -= t2.retire(l2, l2.setIndexOf(addr)) ? 1 : 0;
+        if (open == 0) {
+            left = i - cutoff;
+            break;
+        }
+    }
+
+    if (left > 0) {
+        // Every remaining set with outstanding references is closed, which
+        // for a set that still has references can only mean it is fully
+        // reconstructed. Each remaining reference would therefore be
+        // ignored by both its L1 and the L2; account them in bulk so every
+        // counter matches what the full scan would have produced.
+        const std::uint64_t instr_left = instr_total - instr_seen;
+        res.refsScanned += left;
+        res.refsIgnored += left;
+        il1.addReconIgnored(instr_left);
+        dl1.addReconIgnored(left - instr_left);
+        l2.addReconIgnored(left);
     }
     return res;
 }

@@ -10,13 +10,20 @@
  * least-recently-used stale way, with reconstructed blocks receiving
  * ascending LRU ranks in scan order. Updates are applied directly to both
  * the L1s and the L2.
+ *
+ * The scan early-exits: a forward pre-pass counts, per cache set, how many
+ * scanned references map to it, and the reverse scan retires those counts
+ * as it goes. A set *closes* once it is fully reconstructed or has no
+ * references left in the unscanned suffix; when every touched set of all
+ * three caches is closed, each remaining (older) reference can only hit a
+ * fully reconstructed set, so the scan stops and bulk-accounts the suffix
+ * as ignored. All counters stay bit-identical with a full scan.
  */
 
 #ifndef RSR_CORE_CACHE_RECONSTRUCTOR_HH
 #define RSR_CORE_CACHE_RECONSTRUCTOR_HH
 
 #include <cstdint>
-#include <vector>
 
 #include "cache/hierarchy.hh"
 #include "core/skip_log.hh"
@@ -41,8 +48,8 @@ struct CacheReconstructionResult
  *                 (the paper's R$ (20/40/80/100%) knob)
  */
 CacheReconstructionResult
-reconstructCaches(cache::MemoryHierarchy &hier,
-                  const std::vector<MemRecord> &mem_log, double fraction);
+reconstructCaches(cache::MemoryHierarchy &hier, const MemLog &mem_log,
+                  double fraction);
 
 } // namespace rsr::core
 

@@ -33,30 +33,77 @@ class HookedFuncSource : public uarch::InstSource
     ClusterScheduleDriver::MeasureHooks *hooks;
 };
 
-} // namespace
+/**
+ * The skip inner loop, templated on the concrete policy type. When @p P
+ * is one of the final policy classes the onSkipInst() call resolves
+ * statically and inlines; the WarmupPolicy instantiation is the generic
+ * virtual fallback for user-defined policies.
+ */
+/** Watchdog poll mask: cheap enough to check inside long skips. */
+constexpr std::uint64_t deadlineCheckMask = (1u << 16) - 1;
 
+template <typename P>
 void
-SkipPhase::run(std::uint64_t skip_len)
+skipLoop(P &policy, func::FuncSim &fs, const Deadline *deadline,
+         std::uint64_t iline_mask, std::uint64_t begin, std::uint64_t end,
+         std::uint64_t last_iblock)
 {
-    // Watchdog poll mask: cheap enough to check inside long skips.
-    constexpr std::uint64_t deadlineCheckMask = (1u << 16) - 1;
-
-    WallTimer timer;
-    policy.beginSkip(skip_len);
-    std::uint64_t last_iblock = ~std::uint64_t{0};
     func::DynInst d;
-    for (std::uint64_t i = 0; i < skip_len; ++i) {
+    for (std::uint64_t i = begin; i < end; ++i) {
         if (deadline && (i & deadlineCheckMask) == 0 &&
             deadline->expired())
             throw TimeoutError("sampled run exceeded its deadline "
                                "inside a skip region");
         const bool ok = fs.step(&d);
         rsr_assert(ok, "workload halted inside a skip region");
-        const std::uint64_t blk = d.pc & ilineMask;
+        const std::uint64_t blk = d.pc & iline_mask;
         const bool new_block = blk != last_iblock;
         last_iblock = blk;
         policy.onSkipInst(d, new_block);
     }
+}
+
+} // namespace
+
+void
+SkipPhase::run(std::uint64_t skip_len)
+{
+    WallTimer timer;
+    policy.beginSkip(skip_len);
+
+    // Fast-forward the unobserved prefix: no instruction record is
+    // captured and the policy is not called, only the last PC is tracked
+    // so the observed tail sees the same I-line boundary it would in a
+    // single pass.
+    const std::uint64_t observe_from =
+        std::min(policy.observeFrom(skip_len), skip_len);
+    std::uint64_t last_iblock = ~std::uint64_t{0};
+    if (observe_from > 0) {
+        std::uint64_t last_pc = 0;
+        for (std::uint64_t i = 0; i < observe_from; ++i) {
+            if (deadline && (i & deadlineCheckMask) == 0 &&
+                deadline->expired())
+                throw TimeoutError("sampled run exceeded its deadline "
+                                   "inside a skip region");
+            last_pc = fs.pc();
+            const bool ok = fs.step(nullptr);
+            rsr_assert(ok, "workload halted inside a skip region");
+        }
+        last_iblock = last_pc & ilineMask;
+    }
+
+    if (auto *p = dynamic_cast<NoWarmup *>(&policy))
+        skipLoop(*p, fs, deadline, ilineMask, observe_from, skip_len,
+                 last_iblock);
+    else if (auto *p = dynamic_cast<FunctionalWarmup *>(&policy))
+        skipLoop(*p, fs, deadline, ilineMask, observe_from, skip_len,
+                 last_iblock);
+    else if (auto *p = dynamic_cast<ReverseReconstructionWarmup *>(&policy))
+        skipLoop(*p, fs, deadline, ilineMask, observe_from, skip_len,
+                 last_iblock);
+    else
+        skipLoop(policy, fs, deadline, ilineMask, observe_from, skip_len,
+                 last_iblock);
     counters.skipInsts += skip_len;
     counters.skipSeconds += timer.seconds();
 }

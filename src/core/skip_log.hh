@@ -49,6 +49,75 @@ struct MemRecord
 
 static_assert(sizeof(MemRecord) == 16, "log record should stay compact");
 
+/**
+ * Flat structure-of-arrays ring of logged memory references.
+ *
+ * The append path (one call per skipped memory operation — the hottest
+ * write in the whole skip loop) pushes onto two parallel u64 vectors
+ * instead of constructing a record struct, and the reverse scan reads the
+ * address column sequentially without dragging the meta words through the
+ * cache when it only needs set indices. clear() keeps the vectors'
+ * capacity, so after the first skip region the ring appends without
+ * allocating. The 16-bytes-per-entry footprint of MemRecord is preserved
+ * exactly (addr word + packed meta word).
+ */
+class MemLog
+{
+  public:
+    void
+    append(std::uint64_t pc, std::uint64_t addr, bool is_instr,
+           bool is_store)
+    {
+        addr_.push_back(addr);
+        meta_.push_back((pc << 2) | (is_instr ? 1u : 0u) |
+                        (is_store ? 2u : 0u));
+    }
+
+    std::size_t size() const { return addr_.size(); }
+    bool empty() const { return addr_.empty(); }
+
+    void
+    reserve(std::size_t n)
+    {
+        addr_.reserve(n);
+        meta_.reserve(n);
+    }
+
+    /** Drop all entries but keep the ring's capacity for the next region. */
+    void
+    clear()
+    {
+        addr_.clear();
+        meta_.clear();
+    }
+
+    std::uint64_t addr(std::size_t i) const { return addr_[i]; }
+    std::uint64_t pc(std::size_t i) const { return meta_[i] >> 2; }
+    bool isInstr(std::size_t i) const { return meta_[i] & 1; }
+    bool isStore(std::size_t i) const { return meta_[i] & 2; }
+
+    /** Entry @p i in record form (for tests and tools). */
+    MemRecord
+    record(std::size_t i) const
+    {
+        MemRecord r;
+        r.addr = addr_[i];
+        r.meta = meta_[i];
+        return r;
+    }
+
+    /** Buffered bytes; matches the AoS MemRecord footprint. */
+    std::uint64_t
+    bytes() const
+    {
+        return size() * (sizeof(std::uint64_t) * 2);
+    }
+
+  private:
+    std::vector<std::uint64_t> addr_;
+    std::vector<std::uint64_t> meta_;
+};
+
 /** One logged control transfer. */
 struct BranchRecord
 {
@@ -63,7 +132,7 @@ struct BranchRecord
 class SkipLog
 {
   public:
-    std::vector<MemRecord> mem;
+    MemLog mem;
     std::vector<BranchRecord> branches;
     /** Predictor GHR value when the skip region began. */
     std::uint32_t ghrAtStart = 0;
@@ -80,8 +149,7 @@ class SkipLog
     std::uint64_t
     bytes() const
     {
-        return mem.size() * sizeof(MemRecord) +
-               branches.size() * sizeof(BranchRecord);
+        return mem.bytes() + branches.size() * sizeof(BranchRecord);
     }
 
     std::uint64_t records() const { return mem.size() + branches.size(); }

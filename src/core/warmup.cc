@@ -48,26 +48,6 @@ FunctionalWarmup::beginSkip(std::uint64_t skip_len)
                                static_cast<double>(skip_len) * fraction));
 }
 
-void
-FunctionalWarmup::onSkipInst(const func::DynInst &d, bool new_fetch_block)
-{
-    const bool in_warm = skipPos++ >= warmStart;
-    if (!in_warm)
-        return;
-    if (warmCache) {
-        const std::uint64_t before = machine->hier.warmUpdates();
-        if (new_fetch_block)
-            machine->hier.warmAccess(d.pc, false, true);
-        if (d.inst.isMem())
-            machine->hier.warmAccess(d.effAddr, d.inst.isStore(), false);
-        work_.functionalUpdates += machine->hier.warmUpdates() - before;
-    }
-    if (warmBp && d.isBranch()) {
-        machine->bp.warmApply(d.pc, d.inst.branchKind(), d.taken, d.nextPc);
-        ++work_.functionalUpdates;
-    }
-}
-
 std::unique_ptr<FunctionalWarmup>
 FunctionalWarmup::smarts()
 {
@@ -135,28 +115,6 @@ ReverseReconstructionWarmup::beginSkip(std::uint64_t skip_len)
     if (warmBp) {
         skipLog.branches.reserve(skip_len / 4);
         skipLog.ghrAtStart = machine->bp.ghr();
-    }
-}
-
-void
-ReverseReconstructionWarmup::onSkipInst(const func::DynInst &d,
-                                        bool new_fetch_block)
-{
-    if (warmCache) {
-        if (new_fetch_block) {
-            skipLog.mem.emplace_back(d.pc, d.pc, true, false);
-            ++work_.loggedRecords;
-        }
-        if (d.inst.isMem()) {
-            skipLog.mem.emplace_back(d.pc, d.effAddr, false,
-                                     d.inst.isStore());
-            ++work_.loggedRecords;
-        }
-    }
-    if (warmBp && d.isBranch()) {
-        skipLog.branches.push_back(
-            {d.pc, d.nextPc, d.inst.branchKind(), d.taken});
-        ++work_.loggedRecords;
     }
 }
 

@@ -95,6 +95,21 @@ class WarmupPolicy
     virtual void beginSkip(std::uint64_t skip_len) { (void)skip_len; }
 
     /**
+     * Index of the first skipped instruction this policy needs to
+     * observe (called once per region, after beginSkip()). The driver
+     * fast-forwards the functional simulator over the prefix without
+     * capturing instruction records and never calls onSkipInst() for it;
+     * a policy that overrides this must account for the unobserved
+     * prefix itself. The default observes the whole region.
+     */
+    virtual std::uint64_t
+    observeFrom(std::uint64_t skip_len)
+    {
+        (void)skip_len;
+        return 0;
+    }
+
+    /**
      * One skipped (functionally executed) instruction.
      * @param d the committed record
      * @param new_fetch_block first instruction in a new I-cache line
@@ -138,10 +153,17 @@ class WarmupPolicy
 };
 
 /** "None": state is left entirely stale between clusters. */
-class NoWarmup : public WarmupPolicy
+class NoWarmup final : public WarmupPolicy
 {
   public:
     std::string name() const override { return "None"; }
+
+    /** Nothing to observe: the whole region fast-forwards. */
+    std::uint64_t
+    observeFrom(std::uint64_t skip_len) override
+    {
+        return skip_len;
+    }
 };
 
 /**
@@ -149,7 +171,7 @@ class NoWarmup : public WarmupPolicy
  * fraction of each skip region, which yields the paper's fixed-period
  * policy).
  */
-class FunctionalWarmup : public WarmupPolicy
+class FunctionalWarmup final : public WarmupPolicy
 {
   public:
     /**
@@ -165,6 +187,19 @@ class FunctionalWarmup : public WarmupPolicy
     std::string name() const override { return label; }
     void beginSkip(std::uint64_t skip_len) override;
     void onSkipInst(const func::DynInst &d, bool new_fetch_block) override;
+
+    /**
+     * The cold prefix before warmStart is invisible to this policy;
+     * account for it up front so onSkipInst sees every observed
+     * instruction as warm.
+     */
+    std::uint64_t
+    observeFrom(std::uint64_t skip_len) override
+    {
+        (void)skip_len;
+        skipPos = warmStart;
+        return warmStart;
+    }
 
     /** SMARTS warming both components (the paper's S$BP). */
     static std::unique_ptr<FunctionalWarmup> smarts();
@@ -186,7 +221,7 @@ class FunctionalWarmup : public WarmupPolicy
 };
 
 /** Reverse State Reconstruction (the paper's contribution). */
-class ReverseReconstructionWarmup : public WarmupPolicy
+class ReverseReconstructionWarmup final : public WarmupPolicy
 {
   public:
     /**
@@ -242,6 +277,52 @@ std::vector<std::unique_ptr<WarmupPolicy>> makeTable2Policies();
  * apply-to-stale counter-resolution extension. Fatal on unknown names.
  */
 std::unique_ptr<WarmupPolicy> makePolicyByName(const std::string &name);
+
+// Per-skipped-instruction policy hooks, defined inline: the skip loop
+// (phase_driver.cc) dispatches on the concrete final policy type once per
+// skip region, so these bodies inline into the loop instead of costing an
+// indirect call per skipped instruction.
+
+inline void
+FunctionalWarmup::onSkipInst(const func::DynInst &d, bool new_fetch_block)
+{
+    const bool in_warm = skipPos++ >= warmStart;
+    if (!in_warm)
+        return;
+    if (warmCache) {
+        const std::uint64_t before = machine->hier.warmUpdates();
+        if (new_fetch_block)
+            machine->hier.warmAccess(d.pc, false, true);
+        if (d.inst.isMem())
+            machine->hier.warmAccess(d.effAddr, d.inst.isStore(), false);
+        work_.functionalUpdates += machine->hier.warmUpdates() - before;
+    }
+    if (warmBp && d.isBranch()) {
+        machine->bp.warmApply(d.pc, d.inst.branchKind(), d.taken, d.nextPc);
+        ++work_.functionalUpdates;
+    }
+}
+
+inline void
+ReverseReconstructionWarmup::onSkipInst(const func::DynInst &d,
+                                        bool new_fetch_block)
+{
+    if (warmCache) {
+        if (new_fetch_block) {
+            skipLog.mem.append(d.pc, d.pc, true, false);
+            ++work_.loggedRecords;
+        }
+        if (d.inst.isMem()) {
+            skipLog.mem.append(d.pc, d.effAddr, false, d.inst.isStore());
+            ++work_.loggedRecords;
+        }
+    }
+    if (warmBp && d.isBranch()) {
+        skipLog.branches.push_back(
+            {d.pc, d.nextPc, d.inst.branchKind(), d.taken});
+        ++work_.loggedRecords;
+    }
+}
 
 } // namespace rsr::core
 

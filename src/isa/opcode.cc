@@ -58,162 +58,4 @@ opcodeName(Opcode op)
     }
 }
 
-Format
-opcodeFormat(Opcode op)
-{
-    switch (op) {
-      case Opcode::Nop:
-      case Opcode::Halt:
-        return Format::R;
-      case Opcode::Add:
-      case Opcode::Sub:
-      case Opcode::And:
-      case Opcode::Or:
-      case Opcode::Xor:
-      case Opcode::Sll:
-      case Opcode::Srl:
-      case Opcode::Sra:
-      case Opcode::Slt:
-      case Opcode::Sltu:
-      case Opcode::Mul:
-      case Opcode::Div:
-      case Opcode::Fadd:
-      case Opcode::Fsub:
-      case Opcode::Fmul:
-      case Opcode::Fdiv:
-      case Opcode::Fcmplt:
-      case Opcode::Fcvt:
-        return Format::R;
-      case Opcode::Addi:
-      case Opcode::Andi:
-      case Opcode::Ori:
-      case Opcode::Xori:
-      case Opcode::Slti:
-      case Opcode::Slli:
-      case Opcode::Srli:
-      case Opcode::Lui:
-      case Opcode::Lb:
-      case Opcode::Lh:
-      case Opcode::Lw:
-      case Opcode::Ld:
-      case Opcode::Fld:
-        return Format::I;
-      case Opcode::Sb:
-      case Opcode::Sh:
-      case Opcode::Sw:
-      case Opcode::Sd:
-      case Opcode::Fsd:
-        return Format::S;
-      case Opcode::Beq:
-      case Opcode::Bne:
-      case Opcode::Blt:
-      case Opcode::Bge:
-        return Format::B;
-      case Opcode::J:
-        return Format::J26;
-      case Opcode::Jal:
-        return Format::J21;
-      case Opcode::Jalr:
-        return Format::JR;
-      default: rsr_throw_internal("opcodeFormat: bad opcode ", int(op));
-    }
-}
-
-OpClass
-opcodeClass(Opcode op)
-{
-    switch (op) {
-      case Opcode::Mul: return OpClass::IntMul;
-      case Opcode::Div: return OpClass::IntDiv;
-      case Opcode::Fadd:
-      case Opcode::Fsub:
-      case Opcode::Fcmplt:
-      case Opcode::Fcvt:
-        return OpClass::FpAdd;
-      case Opcode::Fmul: return OpClass::FpMul;
-      case Opcode::Fdiv: return OpClass::FpDiv;
-      case Opcode::Lb:
-      case Opcode::Lh:
-      case Opcode::Lw:
-      case Opcode::Ld:
-      case Opcode::Fld:
-        return OpClass::Load;
-      case Opcode::Sb:
-      case Opcode::Sh:
-      case Opcode::Sw:
-      case Opcode::Sd:
-      case Opcode::Fsd:
-        return OpClass::Store;
-      case Opcode::Beq:
-      case Opcode::Bne:
-      case Opcode::Blt:
-      case Opcode::Bge:
-      case Opcode::J:
-      case Opcode::Jal:
-      case Opcode::Jalr:
-        return OpClass::Control;
-      default:
-        return OpClass::IntAlu;
-    }
-}
-
-unsigned
-opcodeMemBytes(Opcode op)
-{
-    switch (op) {
-      case Opcode::Lb:
-      case Opcode::Sb:
-        return 1;
-      case Opcode::Lh:
-      case Opcode::Sh:
-        return 2;
-      case Opcode::Lw:
-      case Opcode::Sw:
-        return 4;
-      case Opcode::Ld:
-      case Opcode::Sd:
-      case Opcode::Fld:
-      case Opcode::Fsd:
-        return 8;
-      default:
-        return 0;
-    }
-}
-
-bool
-opcodeIsLoad(Opcode op)
-{
-    switch (op) {
-      case Opcode::Lb:
-      case Opcode::Lh:
-      case Opcode::Lw:
-      case Opcode::Ld:
-      case Opcode::Fld:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-opcodeIsStore(Opcode op)
-{
-    switch (op) {
-      case Opcode::Sb:
-      case Opcode::Sh:
-      case Opcode::Sw:
-      case Opcode::Sd:
-      case Opcode::Fsd:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-opcodeIsControl(Opcode op)
-{
-    return opcodeClass(op) == OpClass::Control;
-}
-
 } // namespace rsr::isa

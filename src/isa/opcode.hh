@@ -13,6 +13,7 @@
 #ifndef RSR_ISA_OPCODE_HH
 #define RSR_ISA_OPCODE_HH
 
+#include <array>
 #include <cstdint>
 
 namespace rsr::isa
@@ -134,23 +135,199 @@ constexpr unsigned regSp = 30;
 /** Mnemonic for an opcode (for the disassembler). */
 const char *opcodeName(Opcode op);
 
+namespace detail
+{
+
+/**
+ * Per-opcode static metadata, packed into one table entry so every hot
+ * query (format, class, mem width, load/store/control flags) is a single
+ * indexed load instead of an out-of-line switch. The table is built at
+ * compile time from one constexpr classifier per property.
+ */
+struct OpInfo
+{
+    Format format = Format::R;
+    OpClass cls = OpClass::IntAlu;
+    std::uint8_t memBytes = 0;
+    bool isLoad = false;
+    bool isStore = false;
+    bool isControl = false;
+};
+
+constexpr Format
+formatOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Addi:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+      case Opcode::Slti:
+      case Opcode::Slli:
+      case Opcode::Srli:
+      case Opcode::Lui:
+      case Opcode::Lb:
+      case Opcode::Lh:
+      case Opcode::Lw:
+      case Opcode::Ld:
+      case Opcode::Fld:
+        return Format::I;
+      case Opcode::Sb:
+      case Opcode::Sh:
+      case Opcode::Sw:
+      case Opcode::Sd:
+      case Opcode::Fsd:
+        return Format::S;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        return Format::B;
+      case Opcode::J:
+        return Format::J26;
+      case Opcode::Jal:
+        return Format::J21;
+      case Opcode::Jalr:
+        return Format::JR;
+      default:
+        return Format::R;
+    }
+}
+
+constexpr OpClass
+classOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Mul: return OpClass::IntMul;
+      case Opcode::Div: return OpClass::IntDiv;
+      case Opcode::Fadd:
+      case Opcode::Fsub:
+      case Opcode::Fcmplt:
+      case Opcode::Fcvt:
+        return OpClass::FpAdd;
+      case Opcode::Fmul: return OpClass::FpMul;
+      case Opcode::Fdiv: return OpClass::FpDiv;
+      case Opcode::Lb:
+      case Opcode::Lh:
+      case Opcode::Lw:
+      case Opcode::Ld:
+      case Opcode::Fld:
+        return OpClass::Load;
+      case Opcode::Sb:
+      case Opcode::Sh:
+      case Opcode::Sw:
+      case Opcode::Sd:
+      case Opcode::Fsd:
+        return OpClass::Store;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::J:
+      case Opcode::Jal:
+      case Opcode::Jalr:
+        return OpClass::Control;
+      default:
+        return OpClass::IntAlu;
+    }
+}
+
+constexpr std::uint8_t
+memBytesOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Lb:
+      case Opcode::Sb:
+        return 1;
+      case Opcode::Lh:
+      case Opcode::Sh:
+        return 2;
+      case Opcode::Lw:
+      case Opcode::Sw:
+        return 4;
+      case Opcode::Ld:
+      case Opcode::Sd:
+      case Opcode::Fld:
+      case Opcode::Fsd:
+        return 8;
+      default:
+        return 0;
+    }
+}
+
+constexpr std::size_t numOpcodes =
+    static_cast<std::size_t>(Opcode::NumOpcodes);
+
+constexpr std::array<OpInfo, numOpcodes>
+buildOpInfo()
+{
+    std::array<OpInfo, numOpcodes> t{};
+    for (std::size_t i = 0; i < numOpcodes; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        const OpClass cls = classOf(op);
+        t[i].format = formatOf(op);
+        t[i].cls = cls;
+        t[i].memBytes = memBytesOf(op);
+        t[i].isLoad = cls == OpClass::Load;
+        t[i].isStore = cls == OpClass::Store;
+        t[i].isControl = cls == OpClass::Control;
+    }
+    return t;
+}
+
+inline constexpr std::array<OpInfo, numOpcodes> opInfo = buildOpInfo();
+
+/** Table entry for @p op; out-of-range opcodes index the Nop entry. */
+constexpr const OpInfo &
+infoOf(Opcode op)
+{
+    const auto i = static_cast<std::size_t>(op);
+    return opInfo[i < numOpcodes ? i : 0];
+}
+
+} // namespace detail
+
 /** Encoding format of an opcode. */
-Format opcodeFormat(Opcode op);
+constexpr Format
+opcodeFormat(Opcode op)
+{
+    return detail::infoOf(op).format;
+}
 
 /** Functional-unit class of an opcode. */
-OpClass opcodeClass(Opcode op);
+constexpr OpClass
+opcodeClass(Opcode op)
+{
+    return detail::infoOf(op).cls;
+}
 
 /** Access width in bytes for memory opcodes, 0 otherwise. */
-unsigned opcodeMemBytes(Opcode op);
+constexpr unsigned
+opcodeMemBytes(Opcode op)
+{
+    return detail::infoOf(op).memBytes;
+}
 
 /** True for Lb/Lh/Lw/Ld/Fld. */
-bool opcodeIsLoad(Opcode op);
+constexpr bool
+opcodeIsLoad(Opcode op)
+{
+    return detail::infoOf(op).isLoad;
+}
 
 /** True for Sb/Sh/Sw/Sd/Fsd. */
-bool opcodeIsStore(Opcode op);
+constexpr bool
+opcodeIsStore(Opcode op)
+{
+    return detail::infoOf(op).isStore;
+}
 
 /** True for any control transfer (including J/Jal/Jalr). */
-bool opcodeIsControl(Opcode op);
+constexpr bool
+opcodeIsControl(Opcode op)
+{
+    return detail::infoOf(op).isControl;
+}
 
 } // namespace rsr::isa
 

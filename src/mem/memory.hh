@@ -80,7 +80,13 @@ class Memory
     std::size_t numPages() const { return pages.size(); }
 
     /** Drop all contents. */
-    void clear() { pages.clear(); }
+    void
+    clear()
+    {
+        pages.clear();
+        tlbTag.fill(~std::uint64_t{0});
+        tlbPage.fill(nullptr);
+    }
 
   private:
     using Page = std::array<std::uint8_t, pageSize>;
@@ -96,25 +102,57 @@ class Memory
         return addr & (pageSize - 1);
     }
 
+    // Accesses show strong page locality (stack frames, streaming arrays),
+    // so lookups go through a small direct-mapped translation cache in
+    // front of the page table; a handful of entries is enough to keep a
+    // loop's read and write streams from evicting each other. Pages never
+    // move once materialized (the map stores unique_ptrs), so cached
+    // pointers are invalidated only by clear().
+    static constexpr std::size_t tlbEntries = 16;
+
     const Page *
     findPage(std::uint64_t addr) const
     {
-        auto it = pages.find(addr >> pageShift);
-        return it == pages.end() ? nullptr : it->second.get();
+        const std::uint64_t pn = addr >> pageShift;
+        const std::size_t slot = pn & (tlbEntries - 1);
+        if (tlbTag[slot] == pn)
+            return tlbPage[slot];
+        auto it = pages.find(pn);
+        if (it == pages.end())
+            return nullptr;
+        tlbTag[slot] = pn;
+        tlbPage[slot] = it->second.get();
+        return tlbPage[slot];
     }
 
     Page &
     page(std::uint64_t addr)
     {
-        auto &slot = pages[addr >> pageShift];
-        if (!slot) {
-            slot = std::make_unique<Page>();
-            slot->fill(0);
+        const std::uint64_t pn = addr >> pageShift;
+        const std::size_t slot = pn & (tlbEntries - 1);
+        if (tlbTag[slot] == pn)
+            return *tlbPage[slot];
+        auto &entry = pages[pn];
+        if (!entry) {
+            entry = std::make_unique<Page>();
+            entry->fill(0);
         }
-        return *slot;
+        tlbTag[slot] = pn;
+        tlbPage[slot] = entry.get();
+        return *entry;
     }
 
     std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages;
+    static constexpr std::array<std::uint64_t, tlbEntries>
+    emptyTags()
+    {
+        std::array<std::uint64_t, tlbEntries> t{};
+        t.fill(~std::uint64_t{0});
+        return t;
+    }
+
+    mutable std::array<std::uint64_t, tlbEntries> tlbTag = emptyTags();
+    mutable std::array<Page *, tlbEntries> tlbPage{};
 };
 
 } // namespace rsr::mem

@@ -160,7 +160,6 @@ OoOCore::run(InstSource &src, std::uint64_t max_insts)
         std::uint64_t completeCycle = 0;
         /** Unissued producers this instruction still waits on. */
         std::uint64_t depSeq[2] = {noSeq, noSeq};
-        bool inIq = false;
         bool issued = false;
         bool isMem = false;
         bool isLoad = false;
@@ -182,9 +181,20 @@ OoOCore::run(InstSource &src, std::uint64_t max_insts)
 
     std::deque<Fetched> fetchBuf;
     std::deque<Flight> rob;
-    unsigned iq_count = 0;
+    // Age-ordered work lists over the ROB, so the per-cycle stages visit
+    // exactly the entries they can act on instead of scanning every
+    // in-flight instruction: sequence numbers of waiting (unissued)
+    // instructions, of dispatched-but-unresolved branches, and of
+    // in-flight stores. List order is dispatch order, i.e. age order, so
+    // each stage sees entries oldest-first exactly as a full ROB scan
+    // would.
+    std::vector<std::uint64_t> iq_seqs;
+    std::vector<std::uint64_t> br_seqs;
+    std::vector<std::uint64_t> st_seqs;
+    iq_seqs.reserve(params_.iqSize);
+    br_seqs.reserve(params_.maxUnresolvedBranches);
+    st_seqs.reserve(params_.lsqSize);
     unsigned lsq_count = 0;
-    unsigned unresolved_branches = 0;
     std::uint64_t reg_ready[64] = {};
     std::uint64_t last_writer[64];
     std::fill(std::begin(last_writer), std::end(last_writer), noSeq);
@@ -224,12 +234,15 @@ OoOCore::run(InstSource &src, std::uint64_t max_insts)
         unsigned fetched = 0;
 
         // ------------------------------------------------------- resolve
-        for (Flight &f : rob) {
-            if (f.isBranch && f.issued && !f.resolved &&
-                f.completeCycle <= now) {
+        // br_seqs holds exactly the dispatched-but-unresolved branches,
+        // oldest first; an entry leaves the list the cycle it resolves,
+        // and resolution gates commit, so every listed seq is still in
+        // the ROB.
+        for (auto it = br_seqs.begin(); it != br_seqs.end();) {
+            Flight &f = rob[*it - rob.front().d.seq];
+            if (f.issued && f.completeCycle <= now) {
                 f.resolved = true;
                 ++resolved_n;
-                --unresolved_branches;
                 if (f.mispredicted && waiting_branch == f.d.seq) {
                     fetch_blocked_until =
                         std::max(now, f.completeCycle +
@@ -237,6 +250,9 @@ OoOCore::run(InstSource &src, std::uint64_t max_insts)
                     waiting_branch = noSeq;
                     cur_fetch_block = ~std::uint64_t{0};
                 }
+                it = br_seqs.erase(it);
+            } else {
+                ++it;
             }
         }
 
@@ -247,8 +263,12 @@ OoOCore::run(InstSource &src, std::uint64_t max_insts)
                 break;
             if (f.isBranch && !f.resolved)
                 break;
-            if (f.isMem)
+            if (f.isMem) {
                 --lsq_count;
+                // A committing store is the oldest in-flight store.
+                if (!f.isLoad)
+                    st_seqs.erase(st_seqs.begin());
+            }
             if (f.isBranch) {
                 const BranchKind kind = f.d.inst.branchKind();
                 bp.update(f.d.pc, kind, f.d.taken, f.d.nextPc);
@@ -259,12 +279,11 @@ OoOCore::run(InstSource &src, std::uint64_t max_insts)
         }
 
         // --------------------------------------------------------- issue
-        for (Flight &f : rob) {
-            if (issued_n >= params_.issueWidth ||
-                issued_n >= params_.numFUs)
-                break;
-            if (!f.inIq)
-                continue;
+        // Visit exactly the waiting entries, oldest first.
+        for (auto it = iq_seqs.begin();
+             it != iq_seqs.end() && issued_n < params_.issueWidth &&
+             issued_n < params_.numFUs;) {
+            Flight &f = rob[*it - rob.front().d.seq];
             // Resolve latched dependences on producers.
             bool deps_ok = true;
             for (auto &dep : f.depSeq) {
@@ -279,11 +298,11 @@ OoOCore::run(InstSource &src, std::uint64_t max_insts)
                     f.readyBase = std::max(f.readyBase, w->completeCycle);
                 dep = noSeq;
             }
-            if (!deps_ok || f.readyBase > now)
+            if (!deps_ok || f.readyBase > now) {
+                ++it;
                 continue;
+            }
 
-            f.inIq = false;
-            --iq_count;
             f.issued = true;
             ++issued_n;
             if (f.isLoad) {
@@ -291,11 +310,13 @@ OoOCore::run(InstSource &src, std::uint64_t max_insts)
                 // Store-to-load forwarding: the youngest older in-flight
                 // store to the same word supplies the data from the LSQ.
                 const Flight *fwd = nullptr;
-                if (params_.storeForwarding) {
-                    for (const Flight &st : rob) {
-                        if (st.d.seq >= f.d.seq)
+                if (params_.storeForwarding && !st_seqs.empty()) {
+                    const std::uint64_t base = rob.front().d.seq;
+                    for (const std::uint64_t sseq : st_seqs) {
+                        if (sseq >= f.d.seq)
                             break;
-                        if (st.isMem && !st.isLoad && st.issued &&
+                        const Flight &st = rob[sseq - base];
+                        if (st.issued &&
                             (st.d.effAddr & ~7ull) == (f.d.effAddr & ~7ull))
                             fwd = &st;
                     }
@@ -321,6 +342,7 @@ OoOCore::run(InstSource &src, std::uint64_t max_insts)
             const int dst = destOf(f.d.inst);
             if (dst >= 0 && last_writer[dst] == f.d.seq)
                 reg_ready[dst] = f.completeCycle;
+            it = iq_seqs.erase(it);
         }
 
         // ------------------------------------------------------ dispatch
@@ -330,7 +352,7 @@ OoOCore::run(InstSource &src, std::uint64_t max_insts)
             if (fe.availCycle > now)
                 break;
             if (rob.size() >= params_.robSize ||
-                iq_count >= params_.iqSize) {
+                iq_seqs.size() >= params_.iqSize) {
                 dispatch_stalled = true;
                 break;
             }
@@ -341,7 +363,7 @@ OoOCore::run(InstSource &src, std::uint64_t max_insts)
             }
             const bool is_br = fe.d.isBranch();
             if (is_br &&
-                unresolved_branches >= params_.maxUnresolvedBranches) {
+                br_seqs.size() >= params_.maxUnresolvedBranches) {
                 dispatch_stalled = true;
                 break;
             }
@@ -352,7 +374,6 @@ OoOCore::run(InstSource &src, std::uint64_t max_insts)
             f.isLoad = fe.d.inst.isLoad();
             f.isBranch = is_br;
             f.mispredicted = fe.mispredicted;
-            f.inIq = true;
             f.readyBase = now + 1;
 
             unsigned srcs[2];
@@ -374,11 +395,14 @@ OoOCore::run(InstSource &src, std::uint64_t max_insts)
                 last_writer[dst] = fe.d.seq;
 
             rob.push_back(f);
-            ++iq_count;
-            if (is_mem)
+            iq_seqs.push_back(fe.d.seq);
+            if (is_mem) {
                 ++lsq_count;
+                if (!f.isLoad)
+                    st_seqs.push_back(fe.d.seq);
+            }
             if (is_br)
-                ++unresolved_branches;
+                br_seqs.push_back(fe.d.seq);
             fetchBuf.pop_front();
             ++dispatched;
         }
@@ -456,9 +480,15 @@ OoOCore::run(InstSource &src, std::uint64_t max_insts)
         for (const Flight &f : rob) {
             if (f.issued && f.completeCycle > now)
                 next = std::min(next, f.completeCycle);
-            else if (f.inIq && f.depSeq[0] == noSeq &&
-                     f.depSeq[1] == noSeq && f.readyBase > now)
-                next = std::min(next, f.readyBase);
+        }
+        if (!iq_seqs.empty()) {
+            const std::uint64_t base = rob.front().d.seq;
+            for (const std::uint64_t seq : iq_seqs) {
+                const Flight &f = rob[seq - base];
+                if (f.depSeq[0] == noSeq && f.depSeq[1] == noSeq &&
+                    f.readyBase > now)
+                    next = std::min(next, f.readyBase);
+            }
         }
         if (!fetchBuf.empty() && fetchBuf.front().availCycle > now)
             next = std::min(next, fetchBuf.front().availCycle);

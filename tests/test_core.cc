@@ -147,10 +147,29 @@ TEST(SkipLog, MemRecordPacksFields)
     EXPECT_TRUE(s.isStore());
 }
 
+TEST(SkipLog, MemLogSoaMatchesRecordForm)
+{
+    MemLog log;
+    log.append(0x12344, 0xdeadbec0, true, false);
+    log.append(0x40000, 0x100, false, true);
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log.pc(0), 0x12344u);
+    EXPECT_EQ(log.addr(0), 0xdeadbec0u);
+    EXPECT_TRUE(log.isInstr(0));
+    EXPECT_FALSE(log.isStore(0));
+    EXPECT_FALSE(log.isInstr(1));
+    EXPECT_TRUE(log.isStore(1));
+    // Round-trip through the AoS record form keeps the same packing.
+    const MemRecord r = log.record(0);
+    EXPECT_EQ(r.pc(), 0x12344u);
+    EXPECT_EQ(r.addr, 0xdeadbec0u);
+    EXPECT_EQ(log.bytes(), 2 * sizeof(MemRecord));
+}
+
 TEST(SkipLog, BytesAndClear)
 {
     SkipLog log;
-    log.mem.emplace_back(0, 0, false, false);
+    log.mem.append(0, 0, false, false);
     log.branches.push_back({0x10, 0x20, BranchKind::Conditional, true});
     EXPECT_EQ(log.records(), 2u);
     EXPECT_GT(log.bytes(), 0u);
@@ -167,10 +186,10 @@ TEST(CacheReconstructor, FractionSelectsLogTail)
 {
     cache::HierarchyParams hp = cache::HierarchyParams::paperDefault();
     cache::MemoryHierarchy h(hp);
-    std::vector<MemRecord> log;
+    MemLog log;
     // 100 distinct lines; with fraction 0.2 only the last 20 apply.
     for (int i = 0; i < 100; ++i)
-        log.emplace_back(0x1000, 0x100000 + i * 64, false, false);
+        log.append(0x1000, 0x100000 + i * 64, false, false);
     const auto res = reconstructCaches(h, log, 0.2);
     EXPECT_EQ(res.refsScanned, 20u);
     for (int i = 80; i < 100; ++i)
@@ -182,9 +201,9 @@ TEST(CacheReconstructor, FractionSelectsLogTail)
 TEST(CacheReconstructor, InstrRefsGoToIl1)
 {
     cache::MemoryHierarchy h(cache::HierarchyParams::paperDefault());
-    std::vector<MemRecord> log;
-    log.emplace_back(0x5000, 0x5000, true, false);
-    log.emplace_back(0x5000, 0x200000, false, false);
+    MemLog log;
+    log.append(0x5000, 0x5000, true, false);
+    log.append(0x5000, 0x200000, false, false);
     reconstructCaches(h, log, 1.0);
     EXPECT_TRUE(h.il1().probe(0x5000));
     EXPECT_FALSE(h.dl1().probe(0x5000));
@@ -196,8 +215,8 @@ TEST(CacheReconstructor, InstrRefsGoToIl1)
 TEST(CacheReconstructor, StoresAllocateUnderWtna)
 {
     cache::MemoryHierarchy h(cache::HierarchyParams::paperDefault());
-    std::vector<MemRecord> log;
-    log.emplace_back(0x5000, 0x300000, false, true);
+    MemLog log;
+    log.append(0x5000, 0x300000, false, true);
     reconstructCaches(h, log, 1.0);
     // Paper Sec. 3.1: WTNA caches allocate even on writes during
     // reconstruction.
@@ -207,9 +226,9 @@ TEST(CacheReconstructor, StoresAllocateUnderWtna)
 TEST(CacheReconstructor, CountsIgnoredRefs)
 {
     cache::MemoryHierarchy h(cache::HierarchyParams::paperDefault());
-    std::vector<MemRecord> log;
+    MemLog log;
     for (int i = 0; i < 10; ++i)
-        log.emplace_back(0x5000, 0x400000, false, false); // same line
+        log.append(0x5000, 0x400000, false, false); // same line
     const auto res = reconstructCaches(h, log, 1.0);
     EXPECT_EQ(res.refsScanned, 10u);
     EXPECT_EQ(res.refsIgnored, 9u);
@@ -219,7 +238,7 @@ TEST(CacheReconstructor, EmptyLogIsNoop)
 {
     cache::MemoryHierarchy h(cache::HierarchyParams::paperDefault());
     h.warmAccess(0x1000, false, false);
-    const auto res = reconstructCaches(h, {}, 1.0);
+    const auto res = reconstructCaches(h, MemLog{}, 1.0);
     EXPECT_EQ(res.refsScanned, 0u);
     EXPECT_TRUE(h.dl1().probe(0x1000)); // stale content untouched
 }

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Perf-smoke gate: compare a freshly measured hot-loop benchmark record
+ * against the committed baseline.
+ *
+ * Only the machine-normalized `norm_*` keys are compared (absolute
+ * rates vary with the runner); the gate fails if any normalized metric
+ * regresses by more than the tolerance. Improvements never fail — the
+ * baseline is refreshed deliberately, not ratcheted automatically.
+ *
+ *   bench_compare --baseline BENCH_hot_loops.json \
+ *                 --current build/bench/BENCH_hot_loops.json \
+ *                 [--tolerance 0.15]
+ *
+ * Exit status: 0 within tolerance, 1 regression or bad input.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "harness/json.hh"
+#include "util/args.hh"
+#include "util/error.hh"
+#include "util/fileio.hh"
+
+namespace
+{
+
+std::map<std::string, std::string>
+loadRecord(const std::string &path)
+{
+    const auto bytes = rsr::readFileBytes(path);
+    return rsr::harness::parseJsonObject(
+        std::string(bytes.begin(), bytes.end()));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace rsr;
+    ArgParser args(argc, argv);
+    const std::string base_path = args.get("baseline");
+    const std::string cur_path = args.get("current");
+    const double tolerance = args.getDouble("tolerance", 0.15);
+    if (base_path.empty() || cur_path.empty())
+        rsr_throw_user("usage: bench_compare --baseline FILE --current "
+                       "FILE [--tolerance 0.15]");
+
+    const auto baseline = loadRecord(base_path);
+    const auto current = loadRecord(cur_path);
+
+    std::printf("%-12s %12s %12s %9s  %s\n", "metric", "baseline",
+                "current", "ratio", "verdict");
+    bool ok = true;
+    unsigned compared = 0;
+    for (const auto &[key, base_text] : baseline) {
+        if (key.rfind("norm_", 0) != 0)
+            continue;
+        ++compared;
+        const auto it = current.find(key);
+        if (it == current.end()) {
+            std::printf("%-12s %12s %12s %9s  MISSING\n", key.c_str(),
+                        base_text.c_str(), "-", "-");
+            ok = false;
+            continue;
+        }
+        const double base = std::strtod(base_text.c_str(), nullptr);
+        const double cur = std::strtod(it->second.c_str(), nullptr);
+        if (base <= 0.0) {
+            std::printf("%-12s %12s %12s %9s  BAD-BASELINE\n",
+                        key.c_str(), base_text.c_str(),
+                        it->second.c_str(), "-");
+            ok = false;
+            continue;
+        }
+        const double ratio = cur / base;
+        const bool pass = ratio >= 1.0 - tolerance;
+        std::printf("%-12s %12.4f %12.4f %8.3fx  %s\n", key.c_str(),
+                    base, cur, ratio, pass ? "ok" : "REGRESSED");
+        ok = ok && pass;
+    }
+    if (compared == 0) {
+        std::printf("no norm_* metrics found in %s\n", base_path.c_str());
+        ok = false;
+    }
+    std::printf("%s (tolerance %.0f%%)\n",
+                ok ? "perf-smoke: within tolerance"
+                   : "perf-smoke: REGRESSION",
+                tolerance * 100.0);
+    return ok ? 0 : 1;
+}
