@@ -21,7 +21,11 @@ profileReuseLatency(const func::Program &program,
     prof.kind = kind;
     func::FuncSim fs(program);
     // Last-touch instruction index per cache line (instruction lines are
-    // tagged into a disjoint key space) and per branch PC.
+    // tagged into a disjoint key space) and per branch PC. Determinism
+    // audit: this map is only ever point-queried (find/insert) — the
+    // profile's output order comes from `latencies`, which is filled in
+    // program order and sorted before the percentile cut, so no
+    // hash-iteration order can leak into warmupLengths.
     std::unordered_map<std::uint64_t, std::uint64_t> last_touch;
 
     func::DynInst d;

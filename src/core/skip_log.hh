@@ -7,6 +7,9 @@
  * branch records (PC, target, kind, outcome). The log is kept only for
  * the current skip region — it is discarded once the following cluster
  * completes, bounding the storage traded for speed.
+ *
+ * rsrlint: hot — this header sits on the functional-simulation inner
+ * loop; keep stream flushes and exceptional paths out of it.
  */
 
 #ifndef RSR_CORE_SKIP_LOG_HH

@@ -1,3 +1,7 @@
+// The functional simulator's step loop executes every skipped and
+// measured instruction; it is a lint-enforced hot path.
+// rsrlint: hot
+
 #include "funcsim.hh"
 
 namespace rsr::func

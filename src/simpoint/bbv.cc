@@ -1,5 +1,7 @@
 #include "bbv.hh"
 
+#include <algorithm>
+
 #include "func/funcsim.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
@@ -36,7 +38,12 @@ profileBbv(const func::Program &program, std::uint64_t total_insts,
         flush_block();
         IntervalBbv iv;
         iv.totalInsts = in_interval;
+        // Materialize in block-id order: downstream consumers sum
+        // floating-point projections over these pairs, so hash-map
+        // iteration order would leak into the clustering results.
+        // rsrlint: allow(det-unordered-iter) — sorted on the next line
         iv.counts.assign(current.begin(), current.end());
+        std::sort(iv.counts.begin(), iv.counts.end());
         prof.intervals.push_back(std::move(iv));
         current.clear();
         in_interval = 0;

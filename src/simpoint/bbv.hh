@@ -23,7 +23,11 @@ namespace rsr::simpoint
 /** Sparse basic-block vector for one interval. */
 struct IntervalBbv
 {
-    /** (block dimension id, instructions executed in that block). */
+    /**
+     * (block dimension id, instructions executed in that block),
+     * sorted by block id so downstream floating-point accumulation
+     * visits entries in a deterministic order.
+     */
     std::vector<std::pair<std::uint32_t, std::uint32_t>> counts;
     std::uint64_t totalInsts = 0;
 };

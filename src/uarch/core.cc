@@ -1,3 +1,8 @@
+// The cycle-accurate out-of-order core model: every measured
+// instruction passes through here, so this file is a lint-enforced hot
+// path (no stream flushes, no throw statements).
+// rsrlint: hot
+
 #include "core.hh"
 
 #include <algorithm>

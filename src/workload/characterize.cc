@@ -76,8 +76,18 @@ characterize(const func::Program &program, std::uint64_t n)
     p.codeLines = code_lines.size();
     p.staticCondBranches = branches.size();
 
+    // Accumulate the bias index in PC order: summing doubles in
+    // hash-map iteration order would make the reported index depend on
+    // the standard library's bucket layout.
+    std::vector<std::pair<std::uint64_t, BranchCounts>> sorted_branches(
+        // rsrlint: allow(det-unordered-iter) — sorted just below
+        branches.begin(), branches.end());
+    std::sort(sorted_branches.begin(), sorted_branches.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
     double bias_weighted = 0;
-    for (const auto &[pc, bc] : branches) {
+    for (const auto &[pc, bc] : sorted_branches) {
         const double taken_p =
             static_cast<double>(bc.taken) / static_cast<double>(bc.total);
         bias_weighted += std::fabs(2 * taken_p - 1) *

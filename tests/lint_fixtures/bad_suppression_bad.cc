@@ -1,0 +1,14 @@
+// Fixture: the suppression below misspells det-random, so it protects
+// nothing — rsrlint must flag the dead allow() instead of trusting it.
+
+namespace rsr
+{
+
+// rsrlint: allow(det-randm)
+int
+answer()
+{
+    return 42;
+}
+
+} // namespace rsr

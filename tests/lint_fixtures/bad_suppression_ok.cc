@@ -1,0 +1,15 @@
+// Fixture: suppressions that name real rules are legal even when the
+// guarded line would not have fired — only unknown names are flagged.
+// rsrlint: allow-file(hot-endl)
+
+namespace rsr
+{
+
+// rsrlint: allow(det-random)
+int
+answer()
+{
+    return 42;
+}
+
+} // namespace rsr

@@ -1,0 +1,23 @@
+// Fixture: mutable namespace-scope state — racy once the thread pool
+// replays clusters in parallel.
+#include <cstdint>
+#include <string>
+
+namespace rsr
+{
+
+static std::uint64_t g_total_insts = 0;
+std::string last_error;
+
+namespace detail
+{
+int call_depth;
+} // namespace detail
+
+void
+record(std::uint64_t n)
+{
+    g_total_insts += n;
+}
+
+} // namespace rsr

@@ -1,0 +1,28 @@
+// Fixture: constants and class-owned state are fine at namespace scope.
+#include <cstdint>
+#include <string>
+
+namespace rsr
+{
+
+constexpr std::uint64_t kMaxClusters = 4096;
+const char *const kToolName = "rsr_sim";
+static constexpr double kTolerance = 1e-9;
+
+class Accumulator
+{
+  public:
+    void add(std::uint64_t n) { total_ += n; }
+
+  private:
+    std::uint64_t total_ = 0; // member state: owned, not shared
+};
+
+std::uint64_t
+record(Accumulator &acc, std::uint64_t n)
+{
+    acc.add(n);
+    return n;
+}
+
+} // namespace rsr

@@ -1,0 +1,21 @@
+// Fixture: a mutex member that no code path ever locks — the state it
+// was meant to guard is mutated bare.
+#include <cstdint>
+#include <mutex>
+
+namespace rsr
+{
+
+class Counter
+{
+  public:
+    void bump() { ++value_; } // unguarded write
+
+    std::uint64_t read() const { return value_; }
+
+  private:
+    std::mutex mu_;
+    std::uint64_t value_ = 0;
+};
+
+} // namespace rsr

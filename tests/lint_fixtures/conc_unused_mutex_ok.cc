@@ -1,0 +1,30 @@
+// Fixture: every access to the guarded state takes the lock.
+#include <cstdint>
+#include <mutex>
+
+namespace rsr
+{
+
+class Counter
+{
+  public:
+    void
+    bump()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++value_;
+    }
+
+    std::uint64_t
+    read() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return value_;
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::uint64_t value_ = 0;
+};
+
+} // namespace rsr

@@ -1,0 +1,22 @@
+// Fixture: seeds nondeterminism into library code. Never compiled;
+// scanned by test_lint.cc as if it lived under src/.
+#include <cstdlib>
+#include <random>
+
+namespace rsr
+{
+
+int
+jitter()
+{
+    std::random_device rd;
+    return static_cast<int>(rand() + rd());
+}
+
+void
+reseed()
+{
+    srand(42);
+}
+
+} // namespace rsr

@@ -1,0 +1,20 @@
+// Fixture: the sanctioned way to be random — a seeded rsr::Rng whose
+// whole stream replays from the seed.
+namespace rsr
+{
+
+class Rng;
+
+int
+jitter(Rng &rng);
+
+int
+pick(Rng &rng)
+{
+    // A comment mentioning rand() or std::random_device is fine, as is
+    // the string "rand()" below: rules only match real code.
+    const char *label = "rand()";
+    return label[0] + jitter(rng);
+}
+
+} // namespace rsr

@@ -1,0 +1,25 @@
+// Fixture: hash-map iteration order leaking into emitted output.
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rsr
+{
+
+void
+emitCounts(const std::unordered_map<int, long> &counts)
+{
+    for (const auto &[key, value] : counts)
+        std::printf("%d,%ld\n", key, value);
+}
+
+long
+sumViaIterators(std::unordered_set<long> &seen)
+{
+    long total = 0;
+    for (auto it = seen.begin(); it != seen.end(); ++it)
+        total += *it; // integer sum is safe, but the rule is lexical
+    return total;
+}
+
+} // namespace rsr

@@ -1,0 +1,29 @@
+// Fixture: the two sanctioned patterns — sort a materialized copy
+// (with a justified suppression), or point-query only.
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+namespace rsr
+{
+
+void
+emitCountsSorted(const std::unordered_map<int, long> &counts)
+{
+    std::vector<std::pair<int, long>> rows(
+        // rsrlint: allow(det-unordered-iter) — sorted just below
+        counts.begin(), counts.end());
+    std::sort(rows.begin(), rows.end());
+    for (const auto &[key, value] : rows)
+        std::printf("%d,%ld\n", key, value);
+}
+
+bool
+lookup(const std::unordered_map<int, long> &counts, int key)
+{
+    // find() against end() is a point query, not iteration.
+    return counts.find(key) != counts.end();
+}
+
+} // namespace rsr

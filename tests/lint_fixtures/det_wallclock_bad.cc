@@ -1,0 +1,16 @@
+// Fixture: wall-clock reads in library code.
+#include <chrono>
+#include <ctime>
+
+namespace rsr
+{
+
+long
+stamp()
+{
+    const auto now = std::chrono::system_clock::now();
+    return now.time_since_epoch().count() +
+           static_cast<long>(time(nullptr));
+}
+
+} // namespace rsr

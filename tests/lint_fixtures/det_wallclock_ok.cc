@@ -1,0 +1,15 @@
+// Fixture: steady_clock is the sanctioned (monotonic) clock — it times
+// phases without ever feeding simulated results.
+#include <chrono>
+
+namespace rsr
+{
+
+double
+elapsed(std::chrono::steady_clock::time_point start)
+{
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start).count();
+}
+
+} // namespace rsr

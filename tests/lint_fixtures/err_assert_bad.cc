@@ -1,0 +1,13 @@
+// Fixture: C assert() aborts the process (and vanishes under NDEBUG).
+#include <cassert>
+
+namespace rsr
+{
+
+void
+check(int fill)
+{
+    assert(fill >= 0);
+}
+
+} // namespace rsr

@@ -1,0 +1,15 @@
+// Fixture: rsr_assert throws InternalError — recoverable, on in every
+// build type. static_assert is compile-time and also fine.
+namespace rsr
+{
+
+void
+check(int fill)
+{
+    static_assert(sizeof(int) >= 4, "ILP32 or wider");
+    // rsr_assert(fill >= 0, "negative fill"); lives in real code; the
+    // prefixed name below must not trip the bare-assert rule.
+    [[maybe_unused]] auto rsr_assert_like = fill;
+}
+
+} // namespace rsr

@@ -1,0 +1,20 @@
+// Fixture: library code ending the process instead of throwing.
+#include <cstdlib>
+
+namespace rsr
+{
+
+void
+mustHave(bool ok)
+{
+    if (!ok)
+        std::exit(1);
+}
+
+void
+crash()
+{
+    abort();
+}
+
+} // namespace rsr

@@ -1,0 +1,17 @@
+// Fixture: library code reports failure through the SimError taxonomy
+// so the campaign runner can record it and keep going.
+#include <stdexcept>
+
+namespace rsr
+{
+
+void
+mustHave(bool ok)
+{
+    if (!ok)
+        throw std::runtime_error("invariant violated");
+    // Words like exit or abort in comments (or "exit(1)" in strings)
+    // never fire the rule.
+}
+
+} // namespace rsr

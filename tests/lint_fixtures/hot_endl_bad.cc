@@ -1,0 +1,14 @@
+// Fixture: std::endl in library code — a flush per line on paths that
+// may sit inside the measurement loop.
+#include <iostream>
+
+namespace rsr
+{
+
+void
+report(long clusters)
+{
+    std::cout << "clusters " << clusters << std::endl;
+}
+
+} // namespace rsr

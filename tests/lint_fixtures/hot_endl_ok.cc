@@ -1,0 +1,18 @@
+// Fixture: '\n' writes the newline without flushing; the stream
+// flushes once when it is destroyed or explicitly flushed at the end.
+#include <iostream>
+
+namespace rsr
+{
+
+void
+report(long clusters)
+{
+    std::cout << "clusters " << clusters << '\n';
+    // The word endl in a comment, or "std::endl" in a string literal,
+    // must not fire the rule:
+    const char *doc = "use '\\n' instead of std::endl";
+    std::cout << doc << '\n';
+}
+
+} // namespace rsr

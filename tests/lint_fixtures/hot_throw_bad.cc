@@ -1,0 +1,16 @@
+// Fixture: a file on the measurement inner loop that throws.
+// rsrlint: hot
+#include <stdexcept>
+
+namespace rsr
+{
+
+long
+step(long pc, bool ok)
+{
+    if (!ok)
+        throw std::runtime_error("halt inside the hot loop");
+    return pc + 4;
+}
+
+} // namespace rsr

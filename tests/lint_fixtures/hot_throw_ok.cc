@@ -1,0 +1,18 @@
+// Fixture: the hot loop reports failure through its return value; the
+// cold caller owns the exceptional path. rsr_assert stays legal here —
+// its throw is hidden in a macro that is cold when the check passes.
+// rsrlint: hot
+
+namespace rsr
+{
+
+bool
+step(long *pc, bool ok)
+{
+    if (!ok)
+        return false; // caller raises SimError outside the loop
+    *pc += 4;
+    return true;
+}
+
+} // namespace rsr

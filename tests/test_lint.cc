@@ -1,0 +1,286 @@
+/**
+ * @file
+ * rsrlint self-tests: every seeded-violation fixture is caught by its
+ * rule, every clean twin passes, the lexer never matches inside
+ * comments or literals, and — the project invariant — the real tree
+ * under src/ stays clean against the committed (empty) baseline.
+ *
+ * RSRLINT_FIXTURES and RSR_REPO_ROOT are injected by tests/CMakeLists.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace rsrlint
+{
+namespace
+{
+
+const SourceFile *
+noSibling(const std::string &)
+{
+    return nullptr;
+}
+
+/** Scan one fixture as if it lived under src/. */
+std::vector<Finding>
+scanFixture(const std::string &name)
+{
+    const std::string fs_path =
+        std::string(RSRLINT_FIXTURES) + "/" + name + ".cc";
+    const SourceFile file =
+        lexFile(fs_path, "src/lintcheck/" + name + ".cc");
+    return runRules(file, noSibling);
+}
+
+std::set<std::string>
+rulesIn(const std::vector<Finding> &findings)
+{
+    std::set<std::string> rules;
+    for (const Finding &f : findings)
+        rules.insert(f.rule);
+    return rules;
+}
+
+class RsrLintFixtures
+    : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(RsrLintFixtures, BadTwinIsDetectedByItsRule)
+{
+    const std::string rule = GetParam();
+    std::string stem = rule;
+    for (char &c : stem)
+        if (c == '-')
+            c = '_';
+    const auto findings = scanFixture(stem + "_bad");
+    EXPECT_TRUE(rulesIn(findings).count(rule))
+        << rule << " fixture produced no " << rule << " finding";
+    for (const Finding &f : findings)
+        EXPECT_EQ(f.rule, rule)
+            << "unexpected cross-rule finding at line " << f.line
+            << ": " << f.message;
+}
+
+TEST_P(RsrLintFixtures, CleanTwinPasses)
+{
+    const std::string rule = GetParam();
+    std::string stem = rule;
+    for (char &c : stem)
+        if (c == '-')
+            c = '_';
+    const auto findings = scanFixture(stem + "_ok");
+    EXPECT_TRUE(findings.empty())
+        << findings.size() << " finding(s) in the clean twin; first: "
+        << (findings.empty() ? ""
+                             : findings[0].rule + " at line " +
+                                   std::to_string(findings[0].line));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, RsrLintFixtures,
+    ::testing::Values("det-random", "det-wallclock",
+                      "det-unordered-iter", "err-exit", "err-assert",
+                      "conc-global-state", "conc-unused-mutex",
+                      "hot-endl", "hot-throw", "bad-suppression"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+TEST(RsrLint, CatalogMatchesFixtureCoverage)
+{
+    // Every rule in the catalog has a fixture pair on disk.
+    for (const RuleInfo &r : ruleCatalog()) {
+        std::string stem = r.id;
+        for (char &c : stem)
+            if (c == '-')
+                c = '_';
+        for (const char *suffix : {"_bad.cc", "_ok.cc"}) {
+            const std::string p = std::string(RSRLINT_FIXTURES) + "/" +
+                                  stem + suffix;
+            EXPECT_TRUE(std::filesystem::is_regular_file(p))
+                << "missing fixture " << p;
+        }
+        EXPECT_TRUE(knownRule(r.id));
+    }
+}
+
+TEST(RsrLint, LexerBlanksLiteralsAndComments)
+{
+    const SourceFile f = lexString(
+        "const int x = 1'000'000; // exit(1) in a comment\n"
+        "const char *s = \"abort(); std::endl\";\n"
+        "/* assert(false) in a block comment */\n"
+        "const auto r = R\"(rand() inside a raw string)\";\n",
+        "src/lintcheck/lexer_probe.cc");
+    for (const Finding &found : runRules(f, noSibling))
+        ADD_FAILURE() << found.rule << " fired inside a literal or "
+                      << "comment at line " << found.line;
+    // Digit separators must not open a character literal: the second
+    // line's code would otherwise be swallowed.
+    EXPECT_NE(f.lines[1].code.find("const char *s"),
+              std::string::npos);
+}
+
+TEST(RsrLint, SuppressionsSilencePreciseRules)
+{
+    const std::string bad =
+        "#include <unordered_map>\n"
+        "namespace rsr {\n"
+        "void emit(const std::unordered_map<int, int> &m) {\n"
+        "    for (const auto &[k, v] : m) { (void)k; (void)v; }\n"
+        "}\n"
+        "} // namespace rsr\n";
+    const SourceFile plain =
+        lexString(bad, "src/lintcheck/suppress_probe.cc");
+    EXPECT_EQ(runRules(plain, noSibling).size(), 1u);
+
+    // Same-line suppression.
+    std::string allowed = bad;
+    allowed.replace(allowed.find("{ (void)k;"), 1,
+                    "{ // rsrlint: allow(det-unordered-iter)\n");
+    const SourceFile same =
+        lexString(allowed, "src/lintcheck/suppress_probe.cc");
+    EXPECT_TRUE(runRules(same, noSibling).empty());
+
+    // File-wide suppression.
+    const SourceFile filewide = lexString(
+        "// rsrlint: allow-file(det-unordered-iter)\n" + bad,
+        "src/lintcheck/suppress_probe.cc");
+    EXPECT_TRUE(runRules(filewide, noSibling).empty());
+
+    // Suppressing a different rule must not help.
+    const SourceFile wrong = lexString(
+        "// rsrlint: allow-file(hot-endl)\n" + bad,
+        "src/lintcheck/suppress_probe.cc");
+    EXPECT_EQ(runRules(wrong, noSibling).size(), 1u);
+}
+
+TEST(RsrLint, ZonesExemptToolsAndBench)
+{
+    const std::string text = "#include <cstdlib>\n"
+                             "int main() { exit(1); }\n";
+    EXPECT_EQ(runRules(lexString(text, "src/core/probe.cc"),
+                       noSibling)
+                  .size(),
+              1u);
+    EXPECT_TRUE(runRules(lexString(text, "tools/probe.cc"), noSibling)
+                    .empty());
+    EXPECT_TRUE(
+        runRules(lexString(text, "src/harness/probe.cc"), noSibling)
+            .empty());
+}
+
+TEST(RsrLint, MutexPairedWithLockingSourceIsClean)
+{
+    const SourceFile hh = lexString("#include <mutex>\n"
+                                    "namespace rsr {\n"
+                                    "class Q { std::mutex mu; };\n"
+                                    "} // namespace rsr\n",
+                                    "src/core/q.hh");
+    const SourceFile cc_locking =
+        lexString("#include \"q.hh\"\n"
+                  "namespace rsr {\n"
+                  "void f(Q &q) { std::lock_guard<std::mutex> lk(q.mu); }\n"
+                  "} // namespace rsr\n",
+                  "src/core/q.cc");
+    auto sibling =
+        [&cc_locking](const std::string &rel) -> const SourceFile * {
+        return rel == "src/core/q.cc" ? &cc_locking : nullptr;
+    };
+    EXPECT_TRUE(runRules(hh, sibling).empty());
+    EXPECT_EQ(runRules(hh, [](const std::string &) {
+                  return static_cast<const SourceFile *>(nullptr);
+              }).size(),
+              1u);
+}
+
+TEST(RsrLint, BaselineRoundTripSilencesGrandfatheredFindings)
+{
+    namespace fs = std::filesystem;
+    const fs::path root =
+        fs::path(::testing::TempDir()) / "rsrlint_baseline_probe";
+    fs::create_directories(root / "src");
+    {
+        std::ofstream out(root / "src" / "legacy.cc");
+        out << "#include <cstdlib>\n"
+               "namespace rsr {\n"
+               "int f() { return rand(); }\n"
+               "} // namespace rsr\n";
+    }
+    LintOptions opts;
+    opts.root = root.string();
+    opts.paths = {"src"};
+    opts.writeBaselinePath = "baseline.txt";
+    const LintResult first = runLint(opts);
+    ASSERT_EQ(first.findings.size(), 1u);
+    EXPECT_EQ(first.findings[0].rule, "det-random");
+
+    LintOptions with_baseline;
+    with_baseline.root = root.string();
+    with_baseline.paths = {"src"};
+    with_baseline.baselinePath = "baseline.txt";
+    const LintResult second = runLint(with_baseline);
+    EXPECT_TRUE(second.findings.empty());
+    EXPECT_EQ(second.baselined, 1u);
+    fs::remove_all(root);
+}
+
+TEST(RsrLint, FixRewritesEndlMechanically)
+{
+    namespace fs = std::filesystem;
+    const fs::path root =
+        fs::path(::testing::TempDir()) / "rsrlint_fix_probe";
+    fs::create_directories(root / "src");
+    const fs::path target = root / "src" / "noisy.cc";
+    {
+        std::ofstream out(target);
+        out << "#include <iostream>\n"
+               "namespace rsr {\n"
+               "void f() { std::cout << 1 << std::endl; }\n"
+               "} // namespace rsr\n";
+    }
+    LintOptions opts;
+    opts.root = root.string();
+    opts.paths = {"src"};
+    opts.fix = true;
+    const LintResult fixed = runLint(opts);
+    EXPECT_EQ(fixed.fixed, 1u);
+    EXPECT_TRUE(fixed.findings.empty());
+
+    opts.fix = false;
+    EXPECT_TRUE(runLint(opts).findings.empty());
+    fs::remove_all(root);
+}
+
+TEST(RsrLint, RepoTreeStaysCleanAgainstCommittedBaseline)
+{
+    LintOptions opts;
+    opts.root = RSR_REPO_ROOT;
+    opts.paths = {"src", "tools", "bench"};
+    opts.baselinePath = "tools/lint/rsrlint_baseline.txt";
+    const LintResult result = runLint(opts);
+    EXPECT_GT(result.filesScanned, 100u)
+        << "scan did not cover the tree — wrong root?";
+    for (const Finding &f : result.findings)
+        ADD_FAILURE() << f.path << ":" << f.line << ": [" << f.rule
+                      << "] " << f.message;
+    // The committed baseline must stay empty: new violations are fixed
+    // or suppressed with justification, never grandfathered.
+    EXPECT_EQ(result.baselined, 0u)
+        << "tools/lint/rsrlint_baseline.txt must stay empty";
+}
+
+} // namespace
+} // namespace rsrlint

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Regression tests for output determinism: the profiles that feed
+ * stats/CSV/JSON emission (BBV intervals, workload characterization,
+ * reuse-latency warm-up lengths) must serialize byte-identically across
+ * two independent runs, and BBV interval vectors must be sorted so no
+ * hash-map iteration order leaks into downstream floating-point sums.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/regimen.hh"
+#include "core/reuse_latency.hh"
+#include "simpoint/bbv.hh"
+#include "util/random.hh"
+#include "workload/characterize.hh"
+#include "workload/synthetic.hh"
+
+namespace rsr
+{
+namespace
+{
+
+/** Serialize with hexfloat so equal strings mean bit-equal doubles. */
+std::string
+serialize(const simpoint::BbvProfile &prof)
+{
+    std::ostringstream os;
+    os << std::hexfloat;
+    os << prof.intervalSize << "/" << prof.numBlocks << "\n";
+    for (const auto &iv : prof.intervals) {
+        os << iv.totalInsts << ":";
+        for (const auto &[block, count] : iv.counts)
+            os << " " << block << "=" << count;
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+serialize(const std::vector<std::vector<double>> &proj)
+{
+    std::ostringstream os;
+    os << std::hexfloat;
+    for (const auto &row : proj) {
+        for (double v : row)
+            os << v << ",";
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+serialize(const workload::WorkloadProfile &p)
+{
+    std::ostringstream os;
+    os << std::hexfloat;
+    os << p.insts << "," << p.loadFrac << "," << p.storeFrac << ","
+       << p.condBranchFrac << "," << p.callFrac << "," << p.fpFrac
+       << "," << p.condTakenFrac << "," << p.branchBiasIndex << ","
+       << p.dataLines << "," << p.codeLines << ","
+       << p.staticCondBranches << "," << p.reuseP50 << "," << p.reuseP90
+       << "," << p.reuseP99;
+    return os.str();
+}
+
+std::string
+serialize(const core::ReuseLatencyProfile &p)
+{
+    std::ostringstream os;
+    os << p.profiledInsts << ":";
+    for (std::uint64_t w : p.warmupLengths)
+        os << " " << w;
+    return os.str();
+}
+
+TEST(OutputDeterminism, BbvProfileIsByteIdenticalAcrossRuns)
+{
+    const auto prog = workload::buildSynthetic(
+        workload::standardWorkloadParams("gcc"));
+    const auto a = simpoint::profileBbv(prog, 120'000, 10'000);
+    const auto b = simpoint::profileBbv(prog, 120'000, 10'000);
+    EXPECT_EQ(serialize(a), serialize(b));
+
+    // The per-interval vectors are sorted by block id: downstream
+    // projection sums doubles in this order, so sortedness is what
+    // keeps clustering deterministic.
+    for (const auto &iv : a.intervals)
+        EXPECT_TRUE(std::is_sorted(iv.counts.begin(), iv.counts.end()));
+}
+
+TEST(OutputDeterminism, BbvProjectionIsByteIdenticalAcrossRuns)
+{
+    const auto prog = workload::buildSynthetic(
+        workload::standardWorkloadParams("gcc"));
+    const auto prof = simpoint::profileBbv(prog, 120'000, 10'000);
+    const auto a = simpoint::projectBbv(prof, 15, 1234);
+    const auto b = simpoint::projectBbv(prof, 15, 1234);
+    EXPECT_EQ(serialize(a), serialize(b));
+}
+
+TEST(OutputDeterminism, CharacterizationIsByteIdenticalAcrossRuns)
+{
+    for (const char *name : {"gcc", "mcf", "twolf"}) {
+        const auto prog = workload::buildSynthetic(
+            workload::standardWorkloadParams(name));
+        const auto a = workload::characterize(prog, 150'000);
+        const auto b = workload::characterize(prog, 150'000);
+        EXPECT_EQ(serialize(a), serialize(b)) << name;
+    }
+}
+
+TEST(OutputDeterminism, ReuseLatencyProfileIsByteIdenticalAcrossRuns)
+{
+    const auto prog = workload::buildSynthetic(
+        workload::standardWorkloadParams("twolf"));
+    core::SamplingRegimen regimen{10, 2000};
+    Rng rng_a(7);
+    const auto sched_a = core::makeSchedule(regimen, 200'000, rng_a);
+    Rng rng_b(7);
+    const auto sched_b = core::makeSchedule(regimen, 200'000, rng_b);
+
+    const auto a = core::profileReuseLatency(
+        prog, sched_a, core::ReuseLatencyKind::Mrrl, 0.99);
+    const auto b = core::profileReuseLatency(
+        prog, sched_b, core::ReuseLatencyKind::Mrrl, 0.99);
+    EXPECT_EQ(serialize(a), serialize(b));
+}
+
+} // namespace
+} // namespace rsr

@@ -1,0 +1,249 @@
+#include "lexer.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <stdexcept>
+
+namespace rsrlint
+{
+
+namespace
+{
+
+/** Parse `rsrlint:` markers out of one comment's text. */
+void
+applyMarkers(const std::string &comment, SourceFile &file,
+             SourceLine &line)
+{
+    static const std::regex marker(
+        R"(rsrlint:\s*(allow-file|allow|hot)(?:\(([^)]*)\))?)");
+    auto begin = std::sregex_iterator(comment.begin(), comment.end(),
+                                      marker);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        const std::string kind = (*it)[1];
+        const std::string arg = (*it)[2];
+        if (kind == "hot") {
+            file.hot = true;
+            continue;
+        }
+        // Split the rule list on commas.
+        std::stringstream ss(arg);
+        std::string rule;
+        while (std::getline(ss, rule, ',')) {
+            const auto a = rule.find_first_not_of(" \t");
+            if (a == std::string::npos)
+                continue;
+            const auto b = rule.find_last_not_of(" \t");
+            rule = rule.substr(a, b - a + 1);
+            // Only plain rule tokens count: prose describing the marker
+            // syntax (e.g. `allow(<rule>[, ...])` in doc comments) must
+            // not register as a suppression.
+            const bool token = std::all_of(
+                rule.begin(), rule.end(), [](unsigned char c) {
+                    return std::isalnum(c) || c == '-' || c == '_';
+                });
+            if (!token)
+                continue;
+            if (kind == "allow")
+                line.allows.insert(rule);
+            else
+                file.fileAllows.insert(rule);
+        }
+    }
+}
+
+bool
+blankLine(const std::string &s)
+{
+    for (char c : s)
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            return false;
+    return true;
+}
+
+} // namespace
+
+bool
+SourceFile::suppressed(const std::string &rule, std::size_t idx) const
+{
+    if (fileAllows.count(rule))
+        return true;
+    if (idx < lines.size() && lines[idx].allows.count(rule))
+        return true;
+    // A comment-only line immediately above applies to this line.
+    if (idx > 0 && lines[idx - 1].allows.count(rule) &&
+        blankLine(lines[idx - 1].code))
+        return true;
+    return false;
+}
+
+std::string
+SourceFile::joinedCode() const
+{
+    std::string out;
+    for (const SourceLine &l : lines) {
+        // Preprocessor text is blanked so brace/statement tracking in
+        // scope-sensitive rules never sees directive bodies.
+        if (!l.preprocessor)
+            out += l.code;
+        out += '\n';
+    }
+    return out;
+}
+
+SourceFile
+lexString(const std::string &text, const std::string &path)
+{
+    SourceFile file;
+    file.path = path;
+
+    enum class State
+    {
+        Code,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+        RawString,
+    };
+    State st = State::Code;
+    std::string raw_delim; // the `)delim"` terminator of a raw string
+    SourceLine cur;
+    std::string cur_comment;
+    bool in_preproc = false;
+    char prev_code = '\0'; // last significant code char, for 1'000'000
+
+    auto flush_line = [&]() {
+        if (!cur_comment.empty()) {
+            applyMarkers(cur_comment, file, cur);
+            cur.comment = cur_comment;
+            cur_comment.clear();
+        }
+        cur.preprocessor = in_preproc;
+        // A directive continues onto the next physical line only with a
+        // trailing backslash.
+        if (in_preproc) {
+            const auto last = cur.code.find_last_not_of(" \t");
+            in_preproc = last != std::string::npos &&
+                         cur.code[last] == '\\';
+        }
+        file.lines.push_back(std::move(cur));
+        cur = SourceLine{};
+    };
+
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        const char n = i + 1 < text.size() ? text[i + 1] : '\0';
+
+        if (c == '\n') {
+            if (st == State::LineComment)
+                st = State::Code;
+            flush_line();
+            continue;
+        }
+
+        switch (st) {
+          case State::Code:
+            if (c == '/' && n == '/') {
+                st = State::LineComment;
+                ++i;
+            } else if (c == '/' && n == '*') {
+                st = State::BlockComment;
+                ++i;
+            } else if (c == '"') {
+                // R"delim( ... )delim" — an R (or uR/u8R/LR) directly
+                // before the quote starts a raw string.
+                if (prev_code == 'R') {
+                    std::string delim;
+                    std::size_t j = i + 1;
+                    while (j < text.size() && text[j] != '(' &&
+                           text[j] != '\n')
+                        delim += text[j++];
+                    if (j < text.size() && text[j] == '(') {
+                        raw_delim = ")" + delim + "\"";
+                        st = State::RawString;
+                        cur.code += "\"";
+                        i = j; // skip delimiter and '('
+                        prev_code = '\0';
+                        break;
+                    }
+                }
+                st = State::String;
+                cur.code += c;
+                prev_code = c;
+            } else if (c == '\'' &&
+                       !(std::isalnum(
+                             static_cast<unsigned char>(prev_code)) ||
+                         prev_code == '_')) {
+                // Not a digit separator / identifier suffix.
+                st = State::Char;
+                cur.code += c;
+                prev_code = c;
+            } else {
+                if (c == '#' && blankLine(cur.code))
+                    in_preproc = true;
+                cur.code += c;
+                if (!std::isspace(static_cast<unsigned char>(c)))
+                    prev_code = c;
+            }
+            break;
+
+          case State::LineComment:
+            cur_comment += c;
+            break;
+
+          case State::BlockComment:
+            if (c == '*' && n == '/') {
+                st = State::Code;
+                ++i;
+                cur.code += ' '; // comments separate tokens
+            } else {
+                cur_comment += c;
+            }
+            break;
+
+          case State::String:
+          case State::Char: {
+            const char quote = st == State::String ? '"' : '\'';
+            if (c == '\\') {
+                ++i; // skip the escaped char (blanked anyway)
+            } else if (c == quote) {
+                cur.code += quote;
+                st = State::Code;
+                prev_code = quote;
+            }
+            // Literal contents are blanked: emit nothing.
+            break;
+          }
+
+          case State::RawString:
+            if (c == ')' && text.compare(i, raw_delim.size(),
+                                         raw_delim) == 0) {
+                i += raw_delim.size() - 1;
+                cur.code += "\"";
+                st = State::Code;
+                prev_code = '"';
+            }
+            break;
+        }
+    }
+    if (!cur.code.empty() || !cur_comment.empty())
+        flush_line();
+    return file;
+}
+
+SourceFile
+lexFile(const std::string &fs_path, const std::string &rel_path)
+{
+    std::ifstream in(fs_path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("rsrlint: cannot read " + fs_path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return lexString(ss.str(), rel_path);
+}
+
+} // namespace rsrlint

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A lightweight, lexing front end for rsrlint. Each source file is split
+ * into per-line records whose `code` field has comments removed and the
+ * *contents* of string/character literals blanked out (the delimiters
+ * stay), so that downstream regex rules never match inside literals or
+ * comments. Comment text is kept separately per line because that is
+ * where rsrlint control markers live:
+ *
+ *   rsrlint: allow(<rule>[, <rule>...])   suppress on this / the next line
+ *   rsrlint: allow-file(<rule>[, ...])    suppress for the whole file
+ *   rsrlint: hot                          mark the file as a hot path
+ *
+ * The lexer understands line comments, block comments, ordinary and raw
+ * string literals, character literals, digit separators (1'000'000), and
+ * preprocessor lines (including backslash continuations), which are
+ * flagged so scope-sensitive rules can skip them.
+ */
+
+#ifndef RSRLINT_LEXER_HH
+#define RSRLINT_LEXER_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace rsrlint
+{
+
+/** One physical source line after lexing. */
+struct SourceLine
+{
+    /** Code with comments stripped and literal contents blanked. */
+    std::string code;
+    /** Concatenated text of any comments that end or start on the line. */
+    std::string comment;
+    /** True for `#...` directives and their continuation lines. */
+    bool preprocessor = false;
+    /** Rules suppressed on this line via `rsrlint: allow(...)`. */
+    std::set<std::string> allows;
+};
+
+/** A lexed file plus its rsrlint control state. */
+struct SourceFile
+{
+    /** Path used for rule-zone decisions, repo-relative with '/'. */
+    std::string path;
+    std::vector<SourceLine> lines;
+    /** File carries a `rsrlint: hot` marker. */
+    bool hot = false;
+    /** Rules suppressed file-wide via `rsrlint: allow-file(...)`. */
+    std::set<std::string> fileAllows;
+
+    /**
+     * Is @p rule suppressed at 0-based line @p idx? True when allowed
+     * file-wide, on the line itself, or on an immediately preceding
+     * comment-only line.
+     */
+    bool suppressed(const std::string &rule, std::size_t idx) const;
+
+    /** Whole-file code text, '\n'-joined, for cross-line rules. */
+    std::string joinedCode() const;
+};
+
+/** Lex @p text as the file named @p path (zone-relative). */
+SourceFile lexString(const std::string &text, const std::string &path);
+
+/**
+ * Read and lex the file at @p fs_path, recording @p rel_path as its
+ * zone-relative name. Throws std::runtime_error when unreadable.
+ */
+SourceFile lexFile(const std::string &fs_path, const std::string &rel_path);
+
+} // namespace rsrlint
+
+#endif // RSRLINT_LEXER_HH

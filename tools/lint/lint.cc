@@ -1,0 +1,271 @@
+#include "lint.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <stdexcept>
+
+namespace fs = std::filesystem;
+
+namespace rsrlint
+{
+
+namespace
+{
+
+bool
+isSourceFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+           ext == ".hpp" || ext == ".h";
+}
+
+bool
+skipDir(const std::string &name)
+{
+    return name == "build" || name == "build-rel" ||
+           name == "CMakeFiles" || name == ".git" ||
+           name == "lint_fixtures";
+}
+
+/** Repo-relative path with '/' separators. */
+std::string
+relPath(const fs::path &p, const fs::path &root)
+{
+    std::string s = fs::relative(p, root).generic_string();
+    return s;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Replace every `std::endl` (the only fixable pattern) with `'\n'` in
+ * the on-disk file. Operates on raw text, which is safe because the
+ * scan already proved the matches sit outside comments and literals in
+ * practice for this codebase's style; re-run the scan after fixing.
+ */
+std::size_t
+fixEndl(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("rsrlint: cannot read " +
+                                 path.string());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string text = ss.str();
+
+    std::size_t count = 0;
+    std::size_t pos = 0;
+    while ((pos = text.find("std::endl", pos)) != std::string::npos) {
+        text.replace(pos, 9, "'\\n'");
+        ++count;
+    }
+    if (count) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw std::runtime_error("rsrlint: cannot write " +
+                                     path.string());
+        out << text;
+    }
+    return count;
+}
+
+} // namespace
+
+std::set<std::string>
+loadBaseline(const std::string &path)
+{
+    std::set<std::string> entries;
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("rsrlint: cannot read baseline " +
+                                 path);
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto a = line.find_first_not_of(" \t\r");
+        if (a == std::string::npos || line[a] == '#')
+            continue;
+        const auto b = line.find_last_not_of(" \t\r");
+        entries.insert(line.substr(a, b - a + 1));
+    }
+    return entries;
+}
+
+std::string
+baselineKey(const Finding &finding)
+{
+    return finding.rule + "|" + finding.path + "|" + finding.lineText;
+}
+
+LintResult
+runLint(const LintOptions &options)
+{
+    const fs::path root(options.root);
+
+    // Collect candidate files in sorted order so output, baselines, and
+    // exit codes are stable across filesystems.
+    std::vector<fs::path> files;
+    for (const std::string &p : options.paths) {
+        const fs::path base = root / p;
+        if (fs::is_regular_file(base)) {
+            files.push_back(base);
+            continue;
+        }
+        if (!fs::is_directory(base))
+            throw std::runtime_error("rsrlint: no such path: " +
+                                     base.string());
+        for (auto it = fs::recursive_directory_iterator(base);
+             it != fs::recursive_directory_iterator(); ++it) {
+            if (it->is_directory() &&
+                skipDir(it->path().filename().string())) {
+                it.disable_recursion_pending();
+                continue;
+            }
+            if (it->is_regular_file() && isSourceFile(it->path()))
+                files.push_back(it->path());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    // Lex everything first so cross-TU rules can see sibling files.
+    std::map<std::string, SourceFile> lexed; // rel path -> file
+    for (const fs::path &f : files) {
+        const std::string rel = relPath(f, root);
+        lexed.emplace(rel, lexFile(f.string(), rel));
+    }
+    std::map<std::string, SourceFile> extraFiles;
+    auto sibling = [&lexed, &extraFiles,
+                    &root](const std::string &rel) -> const SourceFile * {
+        const auto it = lexed.find(rel);
+        if (it != lexed.end())
+            return &it->second;
+        // The pair may live outside the scanned path set (e.g. a lone
+        // header passed explicitly): lex it on demand.
+        const auto eit = extraFiles.find(rel);
+        if (eit != extraFiles.end())
+            return &eit->second;
+        const fs::path p = root / rel;
+        if (!fs::is_regular_file(p))
+            return nullptr;
+        return &extraFiles.emplace(rel, lexFile(p.string(), rel))
+                    .first->second;
+    };
+
+    std::set<std::string> baseline;
+    if (!options.baselinePath.empty())
+        baseline = loadBaseline(
+            (root / options.baselinePath).string());
+
+    LintResult result;
+    result.filesScanned = lexed.size();
+    std::vector<std::string> fixTargets;
+    for (const auto &[rel, file] : lexed) {
+        for (Finding &f : runRules(file, sibling)) {
+            if (baseline.count(baselineKey(f))) {
+                ++result.baselined;
+                continue;
+            }
+            if (options.fix && f.rule == "hot-endl") {
+                fixTargets.push_back(rel);
+                continue;
+            }
+            result.findings.push_back(std::move(f));
+        }
+    }
+
+    if (options.fix) {
+        std::sort(fixTargets.begin(), fixTargets.end());
+        fixTargets.erase(
+            std::unique(fixTargets.begin(), fixTargets.end()),
+            fixTargets.end());
+        for (const std::string &rel : fixTargets)
+            result.fixed += fixEndl(root / rel);
+    }
+
+    if (!options.writeBaselinePath.empty()) {
+        std::ofstream out(root / options.writeBaselinePath,
+                          std::ios::trunc);
+        if (!out)
+            throw std::runtime_error(
+                "rsrlint: cannot write baseline " +
+                options.writeBaselinePath);
+        out << "# rsrlint baseline: grandfathered findings, one\n"
+               "# `rule|path|squeezed-line-text` entry per line.\n"
+               "# Remove entries as violations are burned down; never\n"
+               "# add entries for new code.\n";
+        for (const Finding &f : result.findings)
+            out << baselineKey(f) << "\n";
+    }
+    return result;
+}
+
+std::string
+formatHuman(const LintResult &result)
+{
+    std::ostringstream os;
+    for (const Finding &f : result.findings)
+        os << f.path << ":" << f.line << ": [" << f.rule << "] "
+           << f.message << "\n";
+    os << result.filesScanned << " files scanned, "
+       << result.findings.size() << " finding(s)";
+    if (result.baselined)
+        os << ", " << result.baselined << " baselined";
+    if (result.fixed)
+        os << ", " << result.fixed << " fixed";
+    os << "\n";
+    return os.str();
+}
+
+std::string
+formatJson(const LintResult &result)
+{
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < result.findings.size(); ++i) {
+        const Finding &f = result.findings[i];
+        os << (i ? ",\n " : "\n ") << "{\"path\": \""
+           << jsonEscape(f.path) << "\", \"line\": " << f.line
+           << ", \"rule\": \"" << jsonEscape(f.rule)
+           << "\", \"message\": \"" << jsonEscape(f.message) << "\"}";
+    }
+    os << "\n]\n";
+    return os.str();
+}
+
+} // namespace rsrlint

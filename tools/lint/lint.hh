@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The rsrlint driver: walks the requested subtrees, lexes every C++
+ * source file, runs the rule catalog (rules.hh), subtracts a committed
+ * baseline, and optionally applies mechanical fixes. The same entry
+ * points back both the CLI (rsrlint_main.cc) and the test suite.
+ */
+
+#ifndef RSRLINT_LINT_HH
+#define RSRLINT_LINT_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rules.hh"
+
+namespace rsrlint
+{
+
+struct LintOptions
+{
+    /** Repository root all scan paths are relative to. */
+    std::string root = ".";
+    /** Subtrees (or single files) to scan, relative to root. */
+    std::vector<std::string> paths = {"src", "tools", "bench"};
+    /** Baseline file to subtract; empty = no baseline. */
+    std::string baselinePath;
+    /** Write the post-run findings as a new baseline here; empty = no. */
+    std::string writeBaselinePath;
+    /** Apply mechanical fixes for fixable rules (hot-endl). */
+    bool fix = false;
+};
+
+struct LintResult
+{
+    /** Findings that survived baseline subtraction. */
+    std::vector<Finding> findings;
+    /** Findings matched (and silenced) by the baseline. */
+    std::size_t baselined = 0;
+    /** Files scanned. */
+    std::size_t filesScanned = 0;
+    /** Mechanical fixes applied (only with LintOptions::fix). */
+    std::size_t fixed = 0;
+};
+
+/**
+ * A baseline is a set of `rule|path|squeezed-line-text` entries; line
+ * *content* rather than line *number* keys each entry so unrelated
+ * edits above a grandfathered finding do not invalidate it.
+ */
+std::set<std::string> loadBaseline(const std::string &path);
+
+/** The baseline key for one finding. */
+std::string baselineKey(const Finding &finding);
+
+/** Run the lint pass. Throws std::runtime_error on I/O failure. */
+LintResult runLint(const LintOptions &options);
+
+/** Render findings for humans (one `path:line: [rule] message` each). */
+std::string formatHuman(const LintResult &result);
+
+/** Render findings as a JSON array. */
+std::string formatJson(const LintResult &result);
+
+} // namespace rsrlint
+
+#endif // RSRLINT_LINT_HH

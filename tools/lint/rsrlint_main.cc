@@ -1,0 +1,107 @@
+/**
+ * @file
+ * rsrlint CLI. Exit status: 0 when no findings survive the baseline,
+ * 1 when findings remain, 2 on usage or I/O errors.
+ *
+ *   rsrlint [--root DIR] [--baseline FILE] [--write-baseline FILE]
+ *           [--json] [--fix] [--list-rules] [paths...]
+ *
+ * Paths default to src, tools, and bench under --root (default `.`).
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--root DIR] [--baseline FILE] "
+                 "[--write-baseline FILE] [--json] [--fix] "
+                 "[--list-rules] [paths...]\n",
+                 argv0);
+    return 2;
+}
+
+void
+listRules()
+{
+    for (const rsrlint::RuleInfo &r : rsrlint::ruleCatalog())
+        std::printf("%-20s %-15s %s%s\n", r.id, r.family, r.summary,
+                    r.fixable ? "  [fixable]" : "");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    rsrlint::LintOptions opts;
+    bool json = false;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "rsrlint: %s needs a value\n",
+                             flag);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--root") {
+            const char *v = value("--root");
+            if (!v)
+                return 2;
+            opts.root = v;
+        } else if (arg == "--baseline") {
+            const char *v = value("--baseline");
+            if (!v)
+                return 2;
+            opts.baselinePath = v;
+        } else if (arg == "--write-baseline") {
+            const char *v = value("--write-baseline");
+            if (!v)
+                return 2;
+            opts.writeBaselinePath = v;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--fix") {
+            opts.fix = true;
+        } else if (arg == "--list-rules") {
+            listRules();
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "rsrlint: unknown flag %s\n",
+                         arg.c_str());
+            return usage(argv[0]);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (!paths.empty())
+        opts.paths = paths;
+
+    try {
+        const rsrlint::LintResult result = rsrlint::runLint(opts);
+        if (json)
+            std::cout << rsrlint::formatJson(result);
+        else
+            std::cout << rsrlint::formatHuman(result);
+        return result.findings.empty() ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+}

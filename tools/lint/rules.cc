@@ -1,0 +1,530 @@
+#include "rules.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <regex>
+#include <set>
+#include <tuple>
+
+namespace rsrlint
+{
+
+namespace
+{
+
+std::string
+squeeze(const std::string &s)
+{
+    std::string out;
+    bool space = false;
+    for (char c : s) {
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            space = !out.empty();
+            continue;
+        }
+        if (space)
+            out += ' ';
+        space = false;
+        out += c;
+    }
+    return out;
+}
+
+bool
+inZones(Zone z, const std::vector<Zone> &zones)
+{
+    return std::find(zones.begin(), zones.end(), z) != zones.end();
+}
+
+/** Emit @p finding unless suppressed at its (0-based) line. */
+void
+emit(const SourceFile &file, std::vector<Finding> &out,
+     const std::string &rule, std::size_t idx, const std::string &msg)
+{
+    if (file.suppressed(rule, idx))
+        return;
+    Finding f;
+    f.rule = rule;
+    f.path = file.path;
+    f.line = idx + 1;
+    f.message = msg;
+    f.lineText = idx < file.lines.size() ? squeeze(file.lines[idx].code)
+                                         : std::string();
+    out.push_back(std::move(f));
+}
+
+// ---------------------------------------------------------------------
+// Simple per-line pattern rules.
+// ---------------------------------------------------------------------
+
+struct PatternRule
+{
+    const char *id;
+    std::regex pattern;
+    const char *message;
+    std::vector<Zone> zones;
+    bool scanPreprocessor;
+};
+
+const std::vector<PatternRule> &
+patternRules()
+{
+    static const std::vector<PatternRule> rules = {
+        {"det-random",
+         std::regex(R"((^|[^\w:])(std::)?(rand|srand|drand48|lrand48|random)\s*\(|random_device)"),
+         "unseeded/global randomness in deterministic code — use the "
+         "seeded rsr::Rng (src/util/random.hh)",
+         {Zone::SrcLib, Zone::SrcHarness, Zone::Bench},
+         false},
+        {"det-wallclock",
+         std::regex(R"(system_clock|high_resolution_clock|\bgettimeofday\b|\blocaltime\b|\bgmtime\b|\bstrftime\b|(^|[^\w:.])time\s*\(\s*(NULL|nullptr|0)?\s*\)|(^|[^\w:.])clock\s*\(\s*\))"),
+         "wall-clock time in library code breaks replayability — "
+         "steady_clock (util/timer.hh, util/deadline.hh) is the only "
+         "sanctioned clock",
+         {Zone::SrcLib, Zone::SrcHarness},
+         false},
+        {"err-exit",
+         std::regex(R"((^|[^\w:.])(std::)?(exit|abort|_Exit|quick_exit|terminate)\s*\()"),
+         "library code must not end the process — throw a SimError "
+         "subclass (util/error.hh) so the campaign runner can record "
+         "the failure and continue",
+         {Zone::SrcLib},
+         false},
+        {"err-assert",
+         std::regex(R"((^|[^\w])assert\s*\(|#\s*include\s*[<"](cassert|assert\.h)[>"])"),
+         "C assert() aborts the process — use rsr_assert "
+         "(util/logging.hh), which throws InternalError",
+         {Zone::SrcLib},
+         true},
+    };
+    return rules;
+}
+
+// ---------------------------------------------------------------------
+// det-unordered-iter: iteration over unordered associative containers.
+// ---------------------------------------------------------------------
+
+/** Offsets of each line start in a joined-code string. */
+std::vector<std::size_t>
+lineStarts(const std::string &code)
+{
+    std::vector<std::size_t> starts{0};
+    for (std::size_t i = 0; i < code.size(); ++i)
+        if (code[i] == '\n')
+            starts.push_back(i + 1);
+    return starts;
+}
+
+std::size_t
+lineOf(const std::vector<std::size_t> &starts, std::size_t pos)
+{
+    const auto it =
+        std::upper_bound(starts.begin(), starts.end(), pos);
+    return static_cast<std::size_t>(it - starts.begin()) - 1;
+}
+
+/**
+ * Names of variables (and one level of using-aliases) declared with an
+ * unordered associative container type anywhere in @p code.
+ */
+std::set<std::string>
+unorderedNames(const std::string &code)
+{
+    std::set<std::string> aliases;
+    static const std::regex alias_re(
+        R"(using\s+(\w+)\s*=\s*(?:std::)?unordered_(?:map|set|multimap|multiset)\b)");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                        alias_re);
+         it != std::sregex_iterator(); ++it)
+        aliases.insert((*it)[1]);
+
+    std::set<std::string> names;
+    auto scan_decls = [&](const std::regex &type_re, bool angle) {
+        for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                            type_re);
+             it != std::sregex_iterator(); ++it) {
+            std::size_t p = static_cast<std::size_t>(it->position()) +
+                            static_cast<std::size_t>(it->length());
+            if (angle) {
+                // Match the template argument list by bracket depth.
+                while (p < code.size() &&
+                       std::isspace(static_cast<unsigned char>(code[p])))
+                    ++p;
+                if (p >= code.size() || code[p] != '<')
+                    continue;
+                int depth = 0;
+                for (; p < code.size(); ++p) {
+                    if (code[p] == '<')
+                        ++depth;
+                    else if (code[p] == '>' && --depth == 0) {
+                        ++p;
+                        break;
+                    }
+                }
+            }
+            // Skip whitespace and reference/const decoration, then
+            // capture the declared identifier if one follows.
+            while (p < code.size() &&
+                   (std::isspace(static_cast<unsigned char>(code[p])) ||
+                    code[p] == '&'))
+                ++p;
+            std::string name;
+            while (p < code.size() &&
+                   (std::isalnum(static_cast<unsigned char>(code[p])) ||
+                    code[p] == '_'))
+                name += code[p++];
+            if (!name.empty() && name != "const")
+                names.insert(name);
+        }
+    };
+    scan_decls(std::regex(
+                   R"((?:std::)?unordered_(?:map|set|multimap|multiset))"),
+               true);
+    for (const std::string &a : aliases)
+        scan_decls(std::regex("\\b" + a + "\\b"), false);
+    return names;
+}
+
+void
+checkUnorderedIter(const SourceFile &file, std::vector<Finding> &out)
+{
+    const std::string code = file.joinedCode();
+    if (code.find("unordered_") == std::string::npos)
+        return;
+    const auto starts = lineStarts(code);
+    std::set<std::pair<std::size_t, std::string>> seen;
+    for (const std::string &name : unorderedNames(code)) {
+        // Range-for over the container, or an explicit iterator walk
+        // starting at begin(). A lone end() is only a lookup-miss
+        // check (`find(k) != m.end()`), so it is not flagged.
+        const std::regex use_re(":\\s*" + name + "\\s*\\)|\\b" + name +
+                                "\\s*\\.\\s*c?r?begin\\s*\\(");
+        for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                            use_re);
+             it != std::sregex_iterator(); ++it) {
+            const std::size_t idx = lineOf(
+                starts, static_cast<std::size_t>(it->position()));
+            if (!seen.insert({idx, name}).second)
+                continue;
+            emit(file, out, "det-unordered-iter", idx,
+                 "iteration over unordered container '" + name +
+                     "' has unspecified order — sort (or use an "
+                     "ordered container) before it can feed stats, "
+                     "CSV, or JSON output");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// conc-global-state: mutable namespace-scope variables.
+// ---------------------------------------------------------------------
+
+bool
+looksLikeMutableGlobal(const std::string &stmt_in)
+{
+    const std::string stmt = squeeze(stmt_in);
+    if (stmt.empty())
+        return false;
+    static const std::regex skip_lead(
+        R"(^(inline\s+|static\s+)*(using|typedef|template|extern|friend|static_assert|class|struct|union|enum|namespace|public|private|protected|if|for|while|switch|return|goto|case)\b)");
+    if (std::regex_search(stmt, skip_lead))
+        return false;
+    static const std::regex immutable(
+        R"(\bconst\b|\bconstexpr\b|\bconstinit\b)");
+    if (std::regex_search(stmt, immutable))
+        return false;
+    // Anything with a parameter list (function declarations, ctor-call
+    // initializers) is out of scope for this lexical check.
+    if (stmt.find('(') != std::string::npos ||
+        stmt.find("operator") != std::string::npos)
+        return false;
+    static const std::regex decl(
+        R"(^(inline\s+|static\s+|thread_local\s+|mutable\s+)*[A-Za-z_][\w:<>,\*&\s\[\]]*[\s\*&][A-Za-z_]\w*\s*(\[[^\]]*\])?\s*(=.*|\{.*)?$)");
+    return std::regex_match(stmt, decl);
+}
+
+void
+checkGlobalState(const SourceFile &file, std::vector<Finding> &out)
+{
+    const std::string code = file.joinedCode();
+    const auto starts = lineStarts(code);
+
+    enum class Ctx
+    {
+        Namespace,
+        Type,
+        Func,
+        Init,
+    };
+    std::vector<Ctx> stack;
+    auto at_ns_scope = [&] {
+        return std::all_of(stack.begin(), stack.end(), [](Ctx c) {
+            return c == Ctx::Namespace;
+        });
+    };
+
+    std::string stmt;
+    std::size_t stmt_line = 0;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const char c = code[i];
+        if (c == '{') {
+            // Classify the brace from the statement heading built up so
+            // far: a function definition always carries a parameter
+            // list, so a parenthesis-free heading at namespace scope is
+            // a brace-initialized variable (or similar) whose statement
+            // continues past the matching '}'.
+            Ctx kind = Ctx::Func;
+            const std::string s = squeeze(stmt);
+            if (std::regex_search(
+                    s, std::regex(R"((^|\s)namespace(\s|$))")))
+                kind = Ctx::Namespace;
+            else if (std::regex_search(
+                         s,
+                         std::regex(
+                             R"((^|\s)(class|struct|union|enum)(\s|$))")))
+                kind = Ctx::Type;
+            else if (s.find('(') == std::string::npos)
+                kind = Ctx::Init;
+            stack.push_back(kind);
+            if (kind == Ctx::Namespace)
+                stmt.clear();
+            continue;
+        }
+        if (c == '}') {
+            if (!stack.empty()) {
+                const Ctx closed = stack.back();
+                stack.pop_back();
+                // A function definition at namespace scope consumes its
+                // heading; a type or brace-init keeps the statement
+                // alive until its ';'.
+                if (closed == Ctx::Func && at_ns_scope())
+                    stmt.clear();
+            }
+            continue;
+        }
+        if (!at_ns_scope())
+            continue;
+        if (c == ';') {
+            if (looksLikeMutableGlobal(stmt))
+                emit(file, out, "conc-global-state", stmt_line,
+                     "mutable namespace-scope state ('" +
+                         squeeze(stmt).substr(0, 48) +
+                         "') is shared by every thread — make it "
+                         "const, or own it inside a class");
+            stmt.clear();
+            continue;
+        }
+        if (stmt.empty() &&
+            !std::isspace(static_cast<unsigned char>(c)))
+            stmt_line = lineOf(starts, i);
+        if (!stmt.empty() ||
+            !std::isspace(static_cast<unsigned char>(c)))
+            stmt += c;
+    }
+}
+
+// ---------------------------------------------------------------------
+// conc-unused-mutex: a mutex member with no lock use in the TU pair.
+// ---------------------------------------------------------------------
+
+bool
+hasLockUse(const SourceFile &file)
+{
+    static const std::regex lock_re(
+        R"(lock_guard|unique_lock|scoped_lock|shared_lock|\.lock\s*\(|->lock\s*\(|try_lock)");
+    for (const SourceLine &l : file.lines)
+        if (std::regex_search(l.code, lock_re))
+            return true;
+    return false;
+}
+
+void
+checkUnusedMutex(
+    const SourceFile &file,
+    const std::function<const SourceFile *(const std::string &)>
+        &sibling,
+    std::vector<Finding> &out)
+{
+    static const std::regex decl_re(
+        R"((?:std::)?(?:recursive_|shared_|timed_)?mutex\s+(\w+)\s*[;{=])");
+    std::vector<std::pair<std::size_t, std::string>> decls;
+    for (std::size_t i = 0; i < file.lines.size(); ++i) {
+        std::smatch m;
+        if (std::regex_search(file.lines[i].code, m, decl_re))
+            decls.push_back({i, m[1]});
+    }
+    if (decls.empty())
+        return;
+    bool locked = hasLockUse(file);
+    if (!locked) {
+        // x.hh pairs with x.cc and vice versa.
+        const auto dot = file.path.rfind('.');
+        if (dot != std::string::npos) {
+            const std::string stem = file.path.substr(0, dot);
+            const std::string ext = file.path.substr(dot);
+            for (const char *other :
+                 {".hh", ".cc", ".hpp", ".cpp", ".h"}) {
+                if (ext == other)
+                    continue;
+                if (const SourceFile *s = sibling(stem + other)) {
+                    if (hasLockUse(*s)) {
+                        locked = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    if (locked)
+        return;
+    for (const auto &[idx, name] : decls)
+        emit(file, out, "conc-unused-mutex", idx,
+             "mutex '" + name +
+                 "' is never locked in this translation unit (or its "
+                 "header/source pair) — dead synchronization hides "
+                 "real races");
+}
+
+} // namespace
+
+Zone
+zoneOf(const std::string &path)
+{
+    if (path.rfind("src/harness/", 0) == 0)
+        return Zone::SrcHarness;
+    if (path.rfind("src/", 0) == 0)
+        return Zone::SrcLib;
+    if (path.rfind("tools/", 0) == 0)
+        return Zone::Tools;
+    if (path.rfind("bench/", 0) == 0)
+        return Zone::Bench;
+    return Zone::Other;
+}
+
+const std::vector<RuleInfo> &
+ruleCatalog()
+{
+    static const std::vector<RuleInfo> catalog = {
+        {"det-random", "determinism",
+         "no rand()/srand()/std::random_device in library or bench "
+         "code; use the seeded rsr::Rng",
+         false},
+        {"det-wallclock", "determinism",
+         "no wall-clock reads in library code; steady_clock only",
+         false},
+        {"det-unordered-iter", "determinism",
+         "no iteration over unordered_map/unordered_set where order "
+         "can feed stats/CSV/JSON output",
+         false},
+        {"err-exit", "error-handling",
+         "no exit()/abort()/terminate() in library code; throw "
+         "SimError",
+         false},
+        {"err-assert", "error-handling",
+         "no C assert() in library code; rsr_assert throws instead",
+         false},
+        {"conc-global-state", "concurrency",
+         "no mutable namespace-scope state in library code",
+         false},
+        {"conc-unused-mutex", "concurrency",
+         "every declared mutex must be locked somewhere in its "
+         "header/source pair",
+         false},
+        {"hot-endl", "hot-path",
+         "no std::endl in library code (it flushes); use '\\n'",
+         true},
+        {"hot-throw", "hot-path",
+         "no throw statements in files marked 'rsrlint: hot' "
+         "(rsr_assert is allowed; it is cold when passing)",
+         false},
+        {"bad-suppression", "meta",
+         "every rsrlint: allow()/allow-file() must name a real rule; "
+         "a typo silently disables nothing",
+         false},
+    };
+    return catalog;
+}
+
+bool
+knownRule(const std::string &rule)
+{
+    for (const RuleInfo &r : ruleCatalog())
+        if (rule == r.id)
+            return true;
+    return false;
+}
+
+std::vector<Finding>
+runRules(const SourceFile &file,
+         const std::function<const SourceFile *(const std::string &)>
+             &sibling)
+{
+    std::vector<Finding> out;
+    const Zone zone = zoneOf(file.path);
+
+    for (const PatternRule &rule : patternRules()) {
+        if (!inZones(zone, rule.zones))
+            continue;
+        for (std::size_t i = 0; i < file.lines.size(); ++i) {
+            const SourceLine &l = file.lines[i];
+            if (l.preprocessor && !rule.scanPreprocessor)
+                continue;
+            if (std::regex_search(l.code, rule.pattern))
+                emit(file, out, rule.id, i, rule.message);
+        }
+    }
+
+    if (inZones(zone, {Zone::SrcLib, Zone::SrcHarness, Zone::Tools,
+                       Zone::Bench}))
+        checkUnorderedIter(file, out);
+
+    if (inZones(zone, {Zone::SrcLib, Zone::SrcHarness})) {
+        checkGlobalState(file, out);
+        checkUnusedMutex(file, sibling, out);
+    }
+
+    // Hot-path hygiene: endl is banned across src/, and additionally in
+    // any file marked hot; throw statements are banned in hot files.
+    const bool endl_zone =
+        inZones(zone, {Zone::SrcLib, Zone::SrcHarness}) || file.hot;
+    static const std::regex endl_re(R"(\bendl\b)");
+    static const std::regex throw_re(R"(\bthrow\b|rsr_throw_\w+)");
+    for (std::size_t i = 0; i < file.lines.size(); ++i) {
+        const SourceLine &l = file.lines[i];
+        if (l.preprocessor)
+            continue;
+        if (endl_zone && std::regex_search(l.code, endl_re))
+            emit(file, out, "hot-endl", i,
+                 "std::endl flushes the stream every call — use '\\n' "
+                 "and flush once at the end");
+        if (file.hot && std::regex_search(l.code, throw_re))
+            emit(file, out, "hot-throw", i,
+                 "this file is marked 'rsrlint: hot'; exceptional "
+                 "paths belong in the cold callers, not the "
+                 "measurement loop");
+    }
+
+    // A typo'd rule name in a suppression silently disables nothing —
+    // flag it (in every zone) so the dead allow() is fixed, not trusted.
+    for (std::size_t i = 0; i < file.lines.size(); ++i)
+        for (const std::string &name : file.lines[i].allows)
+            if (!knownRule(name))
+                emit(file, out, "bad-suppression", i,
+                     "suppression names unknown rule '" + name +
+                         "' — see rsrlint --list-rules");
+    for (const std::string &name : file.fileAllows)
+        if (!knownRule(name))
+            emit(file, out, "bad-suppression", 0,
+                 "allow-file names unknown rule '" + name +
+                     "' — see rsrlint --list-rules");
+
+    std::sort(out.begin(), out.end(),
+              [](const Finding &a, const Finding &b) {
+                  return std::tie(a.path, a.line, a.rule) <
+                         std::tie(b.path, b.line, b.rule);
+              });
+    return out;
+}
+
+} // namespace rsrlint

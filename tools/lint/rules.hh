@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The rsrlint rule catalog. Rules are grouped in four families that
+ * encode this project's correctness contract (see
+ * docs/STATIC_ANALYSIS.md for the full catalog):
+ *
+ *   determinism     det-random, det-wallclock, det-unordered-iter
+ *   error handling  err-exit, err-assert
+ *   concurrency     conc-global-state, conc-unused-mutex
+ *   hot path        hot-endl, hot-throw
+ *
+ * Each rule applies only inside its *zone* — a set of path prefixes —
+ * so tools may exit() and benches may read the wall clock while library
+ * code under src/ may do neither.
+ */
+
+#ifndef RSRLINT_RULES_HH
+#define RSRLINT_RULES_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lexer.hh"
+
+namespace rsrlint
+{
+
+/** One diagnostic produced by a rule. */
+struct Finding
+{
+    std::string rule;
+    std::string path;
+    std::size_t line = 0; ///< 1-based
+    std::string message;
+    /** Code text of the offending line, whitespace-squeezed. */
+    std::string lineText;
+};
+
+/** Which part of the tree a file lives in (decided by path prefix). */
+enum class Zone
+{
+    SrcLib,     ///< src/ except src/harness — pure library code
+    SrcHarness, ///< src/harness — drives pools, owns the process
+    Tools,      ///< tools/ — CLI entry points, may exit
+    Bench,      ///< bench/ — benchmark drivers
+    Other,
+};
+
+Zone zoneOf(const std::string &path);
+
+/** Catalog entry describing one rule for --list-rules and the docs. */
+struct RuleInfo
+{
+    const char *id;
+    const char *family;
+    const char *summary;
+    bool fixable;
+};
+
+const std::vector<RuleInfo> &ruleCatalog();
+
+/** True if @p rule is a known rule id. */
+bool knownRule(const std::string &rule);
+
+/**
+ * Run every applicable rule over @p file. @p sibling resolves a
+ * companion translation unit (x.hh <-> x.cc) for cross-TU checks such
+ * as conc-unused-mutex; it returns nullptr when there is none.
+ * Suppressions are already honoured in the returned list.
+ */
+std::vector<Finding>
+runRules(const SourceFile &file,
+         const std::function<const SourceFile *(const std::string &)>
+             &sibling);
+
+} // namespace rsrlint
+
+#endif // RSRLINT_RULES_HH
