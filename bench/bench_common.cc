@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <thread>
 
 #include "util/logging.hh"
 #include "util/table.hh"
@@ -129,6 +130,16 @@ banner(const std::string &title, const std::string &paper_ref)
     std::printf("%s\n", title.c_str());
     std::printf("Reproduces: %s\n", paper_ref.c_str());
     std::printf("==============================================================\n");
+}
+
+harness::JsonWriter
+benchJson(const std::string &bench, unsigned jobs)
+{
+    harness::JsonWriter j;
+    j.put("bench", bench)
+        .put("cores", std::uint64_t{std::thread::hardware_concurrency()})
+        .put("jobs", std::uint64_t{jobs});
+    return j;
 }
 
 void

@@ -20,6 +20,7 @@
 
 #include "core/sampled_sim.hh"
 #include "core/warmup.hh"
+#include "harness/json.hh"
 #include "workload/synthetic.hh"
 
 namespace rsr::bench
@@ -89,6 +90,15 @@ void runAndPrintFigure(const std::string &title,
 
 /** Print the experiment banner. */
 void banner(const std::string &title, const std::string &paper_ref);
+
+/**
+ * Start the JSON record every benchmark emits: the benchmark name, the
+ * runner's hardware core count, and the worker-job count the benchmark
+ * ran with. CI gates that reason about parallel speedups need both —
+ * a 4-job sweep on a 1-core runner legitimately shows no scaling, and
+ * the record must say so rather than leave the gate to guess.
+ */
+harness::JsonWriter benchJson(const std::string &bench, unsigned jobs);
 
 } // namespace rsr::bench
 

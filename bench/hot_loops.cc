@@ -232,9 +232,8 @@ main(int argc, char **argv)
     std::printf("table2 end2end   %8.1f Minst/s (16 policies on %s)\n",
                 e2e_rate, setup.params.name.c_str());
 
-    harness::JsonWriter j;
-    j.put("bench", "hot_loops")
-        .put("mode", quick ? "quick" : "full")
+    auto j = bench::benchJson("hot_loops", 1);
+    j.put("mode", quick ? "quick" : "full")
         .put("workload", setup.params.name)
         .put("calib_mops", calib)
         .put("func_minsts", func_rate)

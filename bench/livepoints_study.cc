@@ -1,19 +1,20 @@
 /**
  * @file
  * Live-points study (extension; after the paper's reference [18],
- * Wenisch et al., ISPASS 2006). Captures checkpoint libraries once per
+ * Wenisch et al., ISPASS 2006). Captures a live-point store once per
  * workload — warm microarchitectural state plus each cluster's committed
- * trace — then replays the whole sample under several core
- * configurations. Shows where checkpointing beats re-warming: the
- * capture pass costs about one sampled run, every further design point
- * costs only the cluster measurements, while SMARTS/RSR pay functional
- * fast-forwarding plus warm-up for every design point.
+ * trace, content-addressed and deduplicated — then replays the whole
+ * sample under several core configurations. Shows where checkpointing
+ * beats re-warming: the capture pass costs about one sampled run, every
+ * further design point costs only the cluster measurements, while
+ * SMARTS/RSR pay functional fast-forwarding plus warm-up for every
+ * design point.
  */
 
 #include <cstdio>
 
 #include "bench_common.hh"
-#include "core/livepoints.hh"
+#include "core/livepoint_store.hh"
 #include "util/table.hh"
 #include "util/timer.hh"
 
@@ -49,18 +50,18 @@ main()
         // determine each cluster's initial state).
         auto smarts = core::FunctionalWarmup::smarts();
         WallTimer cap_timer;
-        const auto lib =
-            core::LivePointLibrary::capture(s.program, *smarts, s.cfg);
+        const auto store = core::LivePointStore::create(
+            s.program, *smarts, s.cfg, s.params.name, "smarts");
         const double capture_s = cap_timer.seconds();
 
-        // Replay the design sweep from the checkpoints.
+        // Replay the design sweep from the stored live-points.
         double replay_s = 0;
         double ipcs[3] = {};
         for (unsigned i = 0; i < 3; ++i) {
-            auto core_params = s.cfg.machine.core;
-            core_params.issueWidth = sweep[i].issueWidth;
-            core_params.robSize = sweep[i].robSize;
-            const auto r = lib.replay(core_params);
+            auto machine = store.meta().machine;
+            machine.core.issueWidth = sweep[i].issueWidth;
+            machine.core.robSize = sweep[i].robSize;
+            const auto r = store.replay(machine);
             replay_s += r.seconds;
             ipcs[i] = r.estimate.mean;
         }
@@ -75,13 +76,14 @@ main()
             rewarm_s += core::runSampled(s.program, *policy, cfg).seconds;
         }
 
+        const std::uint64_t storage = store.serialize().size();
         total_capture += capture_s;
         total_replay += replay_s;
         total_rewarm += rewarm_s;
-        total_storage += lib.storageBytes();
+        total_storage += storage;
 
         t.addRow({s.params.name, TextTable::num(capture_s, 3),
-                  TextTable::num(lib.storageBytes() / 1048576.0, 1),
+                  TextTable::num(storage / 1048576.0, 1),
                   TextTable::num(replay_s, 3),
                   TextTable::num(rewarm_s, 3), TextTable::num(ipcs[0]),
                   TextTable::num(ipcs[1]), TextTable::num(ipcs[2])});

@@ -1,16 +1,18 @@
 /**
  * @file
- * Live-points example: capture a checkpoint library for one workload
- * (warm state + cluster traces), then sweep core design points by
- * replaying the same sample — no functional fast-forwarding or warm-up
- * is repeated. The replayed baseline matches a conventional sampled run
- * bit-exactly.
+ * Live-points example: capture a live-point store for one workload
+ * (warm state + cluster traces, content-addressed and deduplicated),
+ * then sweep core design points by replaying the same sample — no
+ * functional fast-forwarding or warm-up is repeated. The replayed
+ * baseline matches a conventional deferred sampled run bit-exactly.
+ * The CLI equivalents are `rsr_sim mklvpt` and `rsr_sim replay`.
  */
 
 #include <cstdio>
 
-#include "core/livepoints.hh"
+#include "core/livepoint_store.hh"
 #include "core/warmup.hh"
+#include "harness/parallel_run.hh"
 #include "util/table.hh"
 #include "workload/synthetic.hh"
 
@@ -29,10 +31,13 @@ main(int argc, char **argv)
 
     std::printf("capturing live-points for %s...\n", name.c_str());
     auto smarts = core::FunctionalWarmup::smarts();
-    const auto lib =
-        core::LivePointLibrary::capture(program, *smarts, cfg);
-    std::printf("  %zu points, %.1f MB (state + cluster traces)\n",
-                lib.points().size(), lib.storageBytes() / 1048576.0);
+    const auto store = core::LivePointStore::create(program, *smarts, cfg,
+                                                    name, "smarts");
+    std::printf("  %zu points, %.1f MB (state + cluster traces, "
+                "dedup %.2fx)\n",
+                store.clusterCount(),
+                store.serialize().size() / 1048576.0,
+                store.dedupRatio());
 
     TextTable t({"design point", "IPC", "replay(s)"});
     for (const auto &[label, width, rob] :
@@ -40,19 +45,21 @@ main(int argc, char **argv)
                                                        32},
           {"4-wide/ROB64 (baseline)", 4, 64},
           {"8-wide/ROB128", 8, 128}}) {
-        auto core_params = cfg.machine.core;
-        core_params.issueWidth = width;
-        core_params.robSize = rob;
-        const auto r = lib.replay(core_params);
+        auto machine = cfg.machine;
+        machine.core.issueWidth = width;
+        machine.core.robSize = rob;
+        const auto r = store.replay(machine);
         t.addRow({label, TextTable::num(r.estimate.mean),
                   TextTable::num(r.seconds, 3)});
     }
     t.print();
 
-    // Sanity: the baseline replay equals a conventional sampled run.
+    // Sanity: the baseline replay equals the deferred sampled run the
+    // capture pass mirrors (runDeferred's estimator).
     auto smarts2 = core::FunctionalWarmup::smarts();
-    const auto conventional = core::runSampled(program, *smarts2, cfg);
-    const auto replayed = lib.replay();
+    const auto conventional =
+        harness::runSampledParallel(program, *smarts2, cfg, 1);
+    const auto replayed = store.replay();
     std::printf("\nbaseline check: replay IPC %.6f vs sampled run %.6f "
                 "(%s)\n",
                 replayed.estimate.mean, conventional.estimate.mean,

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Cold half of the live-point store: capture, index
+ * serialization/parsing, and validation. The replay hot path lives in
+ * livepoint_replay.cc.
+ */
+
+#include "livepoint_store.hh"
+
+#include "func/funcsim.hh"
+#include "util/checksum.hh"
+#include "util/error.hh"
+#include "util/fault.hh"
+#include "util/fileio.hh"
+#include "util/logging.hh"
+#include "util/serial.hh"
+#include "util/snapshot.hh"
+
+namespace rsr::core
+{
+
+namespace
+{
+
+/** Index frame tag and version (rides on the v3 Snapshotable framing). */
+constexpr std::uint32_t indexTag = fourcc('L', 'V', 'P', 'T');
+constexpr std::uint32_t indexVersion = 1;
+
+/** Bytes per encoded trace instruction: pc, nextPc, effAddr, opcode. */
+constexpr std::size_t traceRecordBytes = 8 + 8 + 8 + 4;
+
+void
+putCacheParams(ByteSink &out, const cache::CacheParams &p)
+{
+    out.putU64(p.sizeBytes);
+    out.putU32(p.assoc);
+    out.putU32(p.lineBytes);
+    out.putU8(static_cast<std::uint8_t>(p.writePolicy));
+    out.putU32(p.hitLatency);
+}
+
+cache::CacheParams
+getCacheParams(ByteSource &in, const char *name)
+{
+    cache::CacheParams p;
+    p.name = name;
+    p.sizeBytes = in.getU64();
+    p.assoc = in.getU32();
+    p.lineBytes = in.getU32();
+    p.writePolicy = static_cast<cache::WritePolicy>(in.getU8());
+    p.hitLatency = in.getU32();
+    return p;
+}
+
+void
+putMachineConfig(ByteSink &out, const MachineConfig &m)
+{
+    putCacheParams(out, m.hier.il1);
+    putCacheParams(out, m.hier.dl1);
+    putCacheParams(out, m.hier.l2);
+    out.putU32(m.hier.l1Bus.widthBytes);
+    out.putU32(m.hier.l1Bus.cpuCyclesPerBusCycle);
+    out.putU32(m.hier.l2Bus.widthBytes);
+    out.putU32(m.hier.l2Bus.cpuCyclesPerBusCycle);
+    out.putU64(m.hier.memLatency);
+    out.putU32(m.bp.phtEntries);
+    out.putU32(m.bp.historyBits);
+    out.putU32(m.bp.btbEntries);
+    out.putU32(m.bp.rasEntries);
+    const auto &c = m.core;
+    for (std::uint32_t v :
+         {c.fetchWidth, c.dispatchWidth, c.issueWidth, c.retireWidth,
+          c.robSize, c.iqSize, c.lsqSize, c.numFUs, c.frontendDelay,
+          c.minMispredictPenalty, c.maxUnresolvedBranches,
+          c.fetchBufferSize, c.intAluLat, c.intMulLat, c.intDivLat,
+          c.fpAddLat, c.fpMulLat, c.fpDivLat})
+        out.putU32(v);
+}
+
+MachineConfig
+getMachineConfig(ByteSource &in)
+{
+    MachineConfig m;
+    m.hier.il1 = getCacheParams(in, "il1");
+    m.hier.dl1 = getCacheParams(in, "dl1");
+    m.hier.l2 = getCacheParams(in, "l2");
+    m.hier.l1Bus.widthBytes = in.getU32();
+    m.hier.l1Bus.cpuCyclesPerBusCycle = in.getU32();
+    m.hier.l2Bus.widthBytes = in.getU32();
+    m.hier.l2Bus.cpuCyclesPerBusCycle = in.getU32();
+    m.hier.memLatency = in.getU64();
+    m.bp.phtEntries = in.getU32();
+    m.bp.historyBits = in.getU32();
+    m.bp.btbEntries = in.getU32();
+    m.bp.rasEntries = in.getU32();
+    auto &c = m.core;
+    for (std::uint32_t *v :
+         {&c.fetchWidth, &c.dispatchWidth, &c.issueWidth, &c.retireWidth,
+          &c.robSize, &c.iqSize, &c.lsqSize, &c.numFUs, &c.frontendDelay,
+          &c.minMispredictPenalty, &c.maxUnresolvedBranches,
+          &c.fetchBufferSize, &c.intAluLat, &c.intMulLat, &c.intDivLat,
+          &c.fpAddLat, &c.fpMulLat, &c.fpDivLat})
+        *v = in.getU32();
+    return m;
+}
+
+std::vector<std::uint8_t>
+machineConfigBytes(const MachineConfig &m)
+{
+    ByteSink out;
+    putMachineConfig(out, m);
+    return out.take();
+}
+
+void
+putString(Serializer &out, const std::string &s)
+{
+    out.putU64(s.size());
+    out.putBytes(s.data(), s.size());
+}
+
+std::string
+getString(Deserializer &in)
+{
+    const std::uint64_t len = in.getU64();
+    FaultInjector::global().checkAlloc("livepoint_store:string", len);
+    std::string s(len, '\0');
+    in.getBytes(s.data(), s.size());
+    return s;
+}
+
+/** Feeds captured clusters into a blob store as the front half runs. */
+class CaptureSink : public ReplaySink
+{
+  public:
+    CaptureSink(BlobStoreWriter &writer,
+                std::vector<LivePointEntry> &entries)
+        : writer(writer), entries(entries)
+    {}
+
+    void
+    onCluster(ClusterReplayTask task) override
+    {
+        LivePointEntry e;
+        e.cluster = task.cluster;
+        e.firstSeq = task.trace.empty() ? 0 : task.trace.front().seq;
+        e.stateHash = writer.add(task.machineState);
+
+        ByteSink trace;
+        for (const auto &d : task.trace) {
+            trace.putU64(d.pc);
+            trace.putU64(d.nextPc);
+            trace.putU64(d.effAddr);
+            trace.putU32(isa::encode(d.inst));
+        }
+        e.traceHash = writer.add(trace.take());
+
+        if (task.context) {
+            ByteSink ctx;
+            Serializer s(ctx);
+            task.context->snapshot(s);
+            e.contextHash = writer.add(ctx.take());
+            e.hasContext = true;
+        }
+        entries.push_back(e);
+    }
+
+  private:
+    BlobStoreWriter &writer;
+    std::vector<LivePointEntry> &entries;
+};
+
+} // namespace
+
+LivePointStore
+LivePointStore::create(const func::Program &program, WarmupPolicy &policy,
+                       const SampledConfig &config,
+                       const std::string &workload_name,
+                       const std::string &policy_name,
+                       SampledResult *front_half)
+{
+    BlobStoreWriter writer;
+    std::vector<LivePointEntry> entries;
+    CaptureSink sink(writer, entries);
+
+    // The deferred front half is the producer pass: skip + reconstruct +
+    // capture, no timing. Replays from the store therefore compute the
+    // same estimator as runSampledParallel, by construction.
+    ClusterScheduleDriver driver(program, policy, config);
+    const SampledResult front = driver.runDeferred(sink);
+    if (front_half)
+        *front_half = front;
+
+    ByteSink index_sink;
+    Serializer index(index_sink);
+    index.begin(indexTag, indexVersion);
+    putString(index, workload_name);
+    putString(index, policy_name);
+    index.putU64(config.totalInsts);
+    index.putU64(config.scheduleSeed);
+    index.putU64(config.regimen.numClusters);
+    index.putU64(config.regimen.clusterSize);
+    const auto machine_bytes = machineConfigBytes(config.machine);
+    index.putU64(machine_bytes.size());
+    index.putBytes(machine_bytes.data(), machine_bytes.size());
+    index.putU64(writer.addedBytes());
+    index.putU64(entries.size());
+    for (const auto &e : entries) {
+        index.putU64(e.cluster.start);
+        index.putU64(e.cluster.size);
+        index.putU64(e.firstSeq);
+        index.putU64(e.stateHash);
+        index.putU64(e.traceHash);
+        index.putU8(e.hasContext ? 1 : 0);
+        index.putU64(e.contextHash);
+    }
+    index.end();
+
+    // Re-open our own container: one validation path, exercised on every
+    // create, and the store's internal state always mirrors its bytes.
+    return deserialize(writer.finish(index_sink.take()));
+}
+
+LivePointStore
+LivePointStore::deserialize(std::vector<std::uint8_t> bytes)
+{
+    LivePointStore store;
+    store.reader_ = std::make_unique<BlobStoreReader>(std::move(bytes));
+
+    ByteSource src(store.reader_->index());
+    Deserializer in(src);
+    const std::uint32_t version = in.begin(indexTag);
+    if (version != indexVersion)
+        rsr_throw_corrupt("live-point index version skew: file is v",
+                          version, ", this build reads v", indexVersion);
+    store.meta_.workload = getString(in);
+    store.meta_.policy = getString(in);
+    store.meta_.totalInsts = in.getU64();
+    store.meta_.scheduleSeed = in.getU64();
+    store.meta_.regimen.numClusters = in.getU64();
+    store.meta_.regimen.clusterSize = in.getU64();
+    const std::uint64_t machine_len = in.getU64();
+    FaultInjector::global().checkAlloc("livepoint_store:machine",
+                                       machine_len);
+    std::vector<std::uint8_t> machine_bytes(machine_len);
+    in.getBytes(machine_bytes.data(), machine_bytes.size());
+    {
+        ByteSource msrc(machine_bytes);
+        store.meta_.machine = getMachineConfig(msrc);
+        if (!msrc.exhausted())
+            rsr_throw_corrupt("live-point index machine config has ",
+                              msrc.remaining(), " trailing bytes");
+    }
+    store.offeredBytes_ = in.getU64();
+    const std::uint64_t count = in.getU64();
+    FaultInjector::global().checkAlloc("livepoint_store:entries",
+                                       count * sizeof(LivePointEntry));
+    store.entries_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        LivePointEntry e;
+        e.cluster.start = in.getU64();
+        e.cluster.size = in.getU64();
+        e.firstSeq = in.getU64();
+        e.stateHash = in.getU64();
+        e.traceHash = in.getU64();
+        e.hasContext = in.getU8() != 0;
+        e.contextHash = in.getU64();
+
+        // Fail at load, not mid-replay: every referenced blob must be
+        // present, and the trace blob must decode to exactly
+        // cluster.size records.
+        store.reader_->blob(e.stateHash);
+        const auto &trace = store.reader_->blob(e.traceHash);
+        if (trace.size() != e.cluster.size * traceRecordBytes)
+            rsr_throw_corrupt("live-point entry ", i, " trace blob is ",
+                              trace.size(), " bytes, cluster of ",
+                              e.cluster.size, " insts needs ",
+                              e.cluster.size * traceRecordBytes);
+        if (e.hasContext)
+            store.reader_->blob(e.contextHash);
+        store.entries_.push_back(e);
+    }
+    in.end();
+    return store;
+}
+
+const std::vector<std::uint8_t> &
+LivePointStore::serialize() const
+{
+    return reader_->fileBytes();
+}
+
+void
+LivePointStore::saveFile(const std::string &path) const
+{
+    atomicWriteFile(path, serialize());
+}
+
+LivePointStore
+LivePointStore::loadFile(const std::string &path)
+{
+    return deserialize(readFileBytes(path));
+}
+
+SampledConfig
+LivePointStore::sampledConfig() const
+{
+    SampledConfig config;
+    config.regimen = meta_.regimen;
+    config.totalInsts = meta_.totalInsts;
+    config.scheduleSeed = meta_.scheduleSeed;
+    config.machine = meta_.machine;
+    return config;
+}
+
+std::uint64_t
+LivePointStore::storeHash() const
+{
+    return reader_->fileHash();
+}
+
+std::uint64_t
+LivePointStore::configHash(const std::string &workload,
+                           const std::string &policy,
+                           const SampledConfig &config)
+{
+    Fnv64 h;
+    h.update(workload);
+    h.update("|", 1);
+    h.update(policy);
+    h.update("|", 1);
+    ByteSink params;
+    params.putU64(config.totalInsts);
+    params.putU64(config.scheduleSeed);
+    params.putU64(config.regimen.numClusters);
+    params.putU64(config.regimen.clusterSize);
+    putMachineConfig(params, config.machine);
+    h.update(params.bytes().data(), params.size());
+    return h.value();
+}
+
+std::uint64_t
+LivePointStore::configHash() const
+{
+    return configHash(meta_.workload, meta_.policy, sampledConfig());
+}
+
+std::uint64_t
+LivePointStore::storedBlobBytes() const
+{
+    return reader_->storedBytes();
+}
+
+double
+LivePointStore::dedupRatio() const
+{
+    const std::uint64_t stored = reader_->storedBytes();
+    return stored ? static_cast<double>(offeredBytes_) / stored : 1.0;
+}
+
+double
+LivePointStore::bytesPerCluster() const
+{
+    return entries_.empty() ? 0.0
+                            : static_cast<double>(serialize().size()) /
+                                  entries_.size();
+}
+
+} // namespace rsr::core

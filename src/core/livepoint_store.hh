@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The live-point store: the producer/consumer split of sampled
+ * simulation (after Wenisch, Wunderlich, Falsafi & Hoe, "Simulation
+ * Sampling with Live-Points", ISPASS 2006 — the paper's reference [18]).
+ *
+ * A one-time *producer* pass (`rsr_sim mklvpt`) runs the deferred front
+ * half of sampled simulation — functional execution, warm-up, and the
+ * per-cluster CapturePhase — and stores each cluster's warmed machine
+ * snapshot, committed trace, and measurement context as content-addressed
+ * blobs in a BlobStoreWriter: frames are keyed by their FNV-1a-64 content
+ * hash, so identical state across clusters (common for small predictors
+ * or quickly-saturating caches) is stored once. A versioned index frame
+ * ('LVPT', built on the v3 Snapshotable framing) records the capture
+ * metadata — workload, policy, schedule, machine configuration — plus
+ * one entry per cluster referencing the blobs by hash.
+ *
+ * Any number of *consumer* passes (`rsr_sim replay`) then measure the
+ * stored clusters with zero functional re-simulation, in any order, on
+ * any thread (harness/parallel_run.hh schedules them on the ThreadPool).
+ * Because capture goes through the same CapturePhase as the deferred
+ * runner and the measurement context round-trips bit-exactly, a replay
+ * from the store reproduces `runSampledParallel`'s Table-2 statistics
+ * bit-identically for every warm-up policy — including RSR's on-demand
+ * branch reconstruction, which the retired LivePointLibrary could not
+ * capture.
+ */
+
+#ifndef RSR_CORE_LIVEPOINT_STORE_HH
+#define RSR_CORE_LIVEPOINT_STORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/phase_driver.hh"
+#include "core/sampled_sim.hh"
+#include "util/content_store.hh"
+
+namespace rsr::core
+{
+
+/** One stored cluster: blob references plus replay bookkeeping. */
+struct LivePointEntry
+{
+    Cluster cluster;
+    /** Sequence number of the cluster's first committed instruction
+     *  (traces are contiguous commit streams; the timing model indexes
+     *  its ROB by absolute sequence number, so replay must regenerate
+     *  the exact values). */
+    std::uint64_t firstSeq = 0;
+    /** Content hash of the framed machine snapshot. */
+    std::uint64_t stateHash = 0;
+    /** Content hash of the encoded committed trace. */
+    std::uint64_t traceHash = 0;
+    /** Does this cluster carry a measurement context (RSR/RBP)? */
+    bool hasContext = false;
+    std::uint64_t contextHash = 0;
+};
+
+/**
+ * A validated, immutable live-point store for one
+ * (workload, policy, schedule, machine) capture. Move-only; lookups and
+ * replays are const and thread-safe.
+ */
+class LivePointStore
+{
+  public:
+    /** Capture-time metadata, stored in the index frame. */
+    struct Metadata
+    {
+        std::string workload;
+        std::string policy;
+        std::uint64_t totalInsts = 0;
+        std::uint64_t scheduleSeed = 0;
+        SamplingRegimen regimen;
+        MachineConfig machine;
+    };
+
+    /**
+     * Producer: run the deferred front half once under @p policy and
+     * store every cluster. No timing replay happens here — that is the
+     * consumer's job. @p front_half, when non-null, receives the
+     * front-half accounting (skip/reconstruct/capture counters).
+     */
+    static LivePointStore create(const func::Program &program,
+                                 WarmupPolicy &policy,
+                                 const SampledConfig &config,
+                                 const std::string &workload_name,
+                                 const std::string &policy_name,
+                                 SampledResult *front_half = nullptr);
+
+    /**
+     * Open a serialized store, validating the whole container (magic,
+     * version, index checksum, every blob's content hash, every index
+     * reference). Throws CorruptInputError on any damage.
+     */
+    static LivePointStore deserialize(std::vector<std::uint8_t> bytes);
+
+    /** The complete serialized container. */
+    const std::vector<std::uint8_t> &serialize() const;
+
+    /** Atomically write the store to @p path. */
+    void saveFile(const std::string &path) const;
+
+    /** Read and validate a store written by saveFile(). */
+    static LivePointStore loadFile(const std::string &path);
+
+    const Metadata &meta() const { return meta_; }
+    const std::vector<LivePointEntry> &entries() const { return entries_; }
+    std::size_t clusterCount() const { return entries_.size(); }
+
+    /** The capture-time SampledConfig (deadline unset). */
+    SampledConfig sampledConfig() const;
+
+    /**
+     * Decode stored cluster @p index into a ready-to-measure replay
+     * task. Const and thread-safe: replay workers decode concurrently.
+     */
+    ClusterReplayTask makeReplayTask(std::size_t index) const;
+
+    /**
+     * Consumer: measure every stored cluster serially under
+     * @p machine_config (the cache/predictor geometry must match the
+     * capture; the core may differ — that is what makes one capture
+     * serve a design-space sweep). See harness/parallel_run.hh for the
+     * out-of-order parallel version.
+     */
+    SampledResult replay(const MachineConfig &machine_config) const;
+
+    /** Replay with the capture-time machine configuration. */
+    SampledResult replay() const { return replay(meta_.machine); }
+
+    /** FNV-1a-64 over the whole serialized container. */
+    std::uint64_t storeHash() const;
+
+    /**
+     * Hash of the capture configuration — what a store *should* contain.
+     * replay-side validation compares the expected hash (from CLI flags)
+     * against a loaded store's configHash() to reject stale stores.
+     */
+    static std::uint64_t configHash(const std::string &workload,
+                                    const std::string &policy,
+                                    const SampledConfig &config);
+
+    /** configHash() of this store's own metadata. */
+    std::uint64_t configHash() const;
+
+    // ---- storage accounting (bench/livepoint_store.cc reports these).
+
+    /** Unique blob bytes actually stored (after dedup). */
+    std::uint64_t storedBlobBytes() const;
+
+    /** Blob bytes offered at capture time (before dedup). */
+    std::uint64_t offeredBlobBytes() const { return offeredBytes_; }
+
+    /** offered / stored — 1.0 means no cross-cluster sharing. */
+    double dedupRatio() const;
+
+    /** Serialized container bytes per stored cluster. */
+    double bytesPerCluster() const;
+
+  private:
+    LivePointStore() = default;
+
+    Metadata meta_;
+    std::vector<LivePointEntry> entries_;
+    std::uint64_t offeredBytes_ = 0;
+    std::unique_ptr<BlobStoreReader> reader_;
+};
+
+} // namespace rsr::core
+
+#endif // RSR_CORE_LIVEPOINT_STORE_HH

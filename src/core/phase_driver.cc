@@ -130,6 +130,47 @@ MeasurePhase::run(uarch::InstSource &src, std::uint64_t n_insts)
     return rr;
 }
 
+ClusterReplayTask
+CapturePhase::run(std::size_t index, const Cluster &cluster)
+{
+    WallTimer capture;
+    ClusterReplayTask task;
+    task.index = index;
+    task.cluster = cluster;
+    task.machineState = snapshotToBytes(machine);
+    counters.peakSnapshotBytes =
+        std::max<std::uint64_t>(counters.peakSnapshotBytes,
+                                task.machineState.size());
+    task.context = policy.makeMeasureContext();
+
+    // Record the cluster's committed trace. The shared machine receives
+    // the cluster's state effects functionally, in commit order, so the
+    // next skip region begins from hot state no matter where (or when)
+    // the timing replay runs. This is what makes the front half — and
+    // therefore the whole result — independent of the replay thread
+    // count.
+    task.trace.reserve(cluster.size);
+    func::DynInst d;
+    std::uint64_t last_iblock = ~std::uint64_t{0};
+    for (std::uint64_t i = 0; i < cluster.size; ++i) {
+        const bool ok = fs.step(&d);
+        rsr_assert(ok, "workload halted inside a cluster");
+        task.trace.push_back(d);
+        const std::uint64_t blk = d.pc & ilineMask;
+        if (blk != last_iblock)
+            machine.hier.warmAccess(d.pc, false, true);
+        last_iblock = blk;
+        if (d.inst.isMem())
+            machine.hier.warmAccess(d.effAddr, d.inst.isStore(), false);
+        if (d.isBranch())
+            machine.bp.warmApply(d.pc, d.inst.branchKind(), d.taken,
+                                 d.nextPc);
+    }
+    policy.afterCluster();
+    counters.captureSeconds += capture.seconds();
+    return task;
+}
+
 ClusterScheduleDriver::ClusterScheduleDriver(const func::Program &program,
                                              WarmupPolicy &policy,
                                              const SampledConfig &config)
@@ -220,10 +261,10 @@ ClusterScheduleDriver::runDeferred(ReplaySink &sink)
 
     SkipPhase skip(fs, policy, config.deadline, iline_mask, res.phases);
     ReconstructPhase reconstruct(policy, res.phases);
+    CapturePhase capture(fs, policy, machine, iline_mask, res.phases);
 
     std::uint64_t pos = 0;
     std::size_t index = 0;
-    func::DynInst d;
     for (const Cluster &cluster : schedule_) {
         if (config.deadline && config.deadline->expired())
             throw TimeoutError("sampled run exceeded its deadline at "
@@ -232,43 +273,7 @@ ClusterScheduleDriver::runDeferred(ReplaySink &sink)
         res.skippedInsts += cluster.start - pos;
         reconstruct.run();
 
-        WallTimer capture;
-        ClusterReplayTask task;
-        task.index = index;
-        task.cluster = cluster;
-        task.machineState = snapshotToBytes(machine);
-        res.phases.peakSnapshotBytes =
-            std::max<std::uint64_t>(res.phases.peakSnapshotBytes,
-                                    task.machineState.size());
-        task.context = policy.makeMeasureContext();
-
-        // Record the cluster's committed trace. The shared machine
-        // receives the cluster's state effects functionally, in commit
-        // order, so the next skip region begins from hot state no matter
-        // where (or when) the timing replay runs. This is what makes the
-        // front half — and therefore the whole result — independent of
-        // the replay thread count.
-        task.trace.reserve(cluster.size);
-        std::uint64_t last_iblock = ~std::uint64_t{0};
-        for (std::uint64_t i = 0; i < cluster.size; ++i) {
-            const bool ok = fs.step(&d);
-            rsr_assert(ok, "workload halted inside a cluster");
-            task.trace.push_back(d);
-            const std::uint64_t blk = d.pc & iline_mask;
-            if (blk != last_iblock)
-                machine.hier.warmAccess(d.pc, false, true);
-            last_iblock = blk;
-            if (d.inst.isMem())
-                machine.hier.warmAccess(d.effAddr, d.inst.isStore(),
-                                        false);
-            if (d.isBranch())
-                machine.bp.warmApply(d.pc, d.inst.branchKind(), d.taken,
-                                     d.nextPc);
-        }
-        policy.afterCluster();
-        res.phases.captureSeconds += capture.seconds();
-
-        sink.onCluster(std::move(task));
+        sink.onCluster(capture.run(index, cluster));
         pos = cluster.start + cluster.size;
         ++index;
     }

@@ -146,6 +146,37 @@ class ReconstructPhase
 };
 
 /**
+ * Warm-state capture at one cluster boundary — the producer half of the
+ * live-point split. Runs after ReconstructPhase (warm-up applied, the
+ * machine is exactly the state a timed cluster would start from) and
+ * packages everything a later timing replay needs: the machine snapshot,
+ * the policy's measurement context, and the cluster's committed trace.
+ * While the trace is recorded, the shared machine receives the cluster's
+ * state effects *functionally* in commit order, so the following skip
+ * region starts from hot state no matter where or when the timing replay
+ * runs. Used by runDeferred() and by the live-point store producer.
+ */
+class CapturePhase
+{
+  public:
+    CapturePhase(func::FuncSim &fs, WarmupPolicy &policy, Machine &machine,
+                 std::uint64_t iline_mask, PhaseCounters &counters)
+        : fs(fs), policy(policy), machine(machine),
+          ilineMask(iline_mask), counters(counters)
+    {}
+
+    /** Capture cluster @p cluster (schedule position @p index). */
+    ClusterReplayTask run(std::size_t index, const Cluster &cluster);
+
+  private:
+    func::FuncSim &fs;
+    WarmupPolicy &policy;
+    Machine &machine;
+    std::uint64_t ilineMask;
+    PhaseCounters &counters;
+};
+
+/**
  * Cycle-accurate measurement of one cluster on a given machine: resets
  * the buses, runs the out-of-order core over @p src, and accounts the
  * time and instructions into PhaseCounters.
@@ -240,8 +271,12 @@ class ClusterScheduleDriver
 /**
  * Measure one deferred cluster on a private machine built from
  * @p machine_config: restore the snapshot, attach the measurement
- * context, run the timing model over the stored trace. Thread-safe with
- * respect to other replays (shares nothing mutable).
+ * context, run the timing model over the stored trace. This is the
+ * restore-entry that bypasses SkipPhase entirely — the snapshot already
+ * holds the warmed state a skip would have produced — so a stored
+ * ClusterReplayTask (e.g. from a live-point store) replays with zero
+ * functional simulation. Thread-safe with respect to other replays
+ * (shares nothing mutable).
  *
  * @param recon_updates receives the context's on-demand reconstruction
  *        work (0 when the task has no context); may be null.

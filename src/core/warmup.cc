@@ -3,7 +3,9 @@
 #include <cmath>
 #include <cstdio>
 
+#include "util/error.hh"
 #include "util/logging.hh"
+#include "util/snapshot.hh"
 
 namespace rsr::core
 {
@@ -12,6 +14,10 @@ using isa::BranchKind;
 
 namespace
 {
+
+/** Frame tag for a serialized branch-reconstruction measure context. */
+constexpr std::uint32_t contextTag = fourcc('R', 'S', 'R', 'C');
+constexpr std::uint32_t contextVersion = 1;
 
 std::string
 percentLabel(const char *base, double fraction)
@@ -164,6 +170,22 @@ class BranchReconstructionContext : public MeasureContext
         return updates;
     }
 
+    void
+    snapshot(Serializer &out) const override
+    {
+        out.begin(contextTag, contextVersion);
+        out.putU8(static_cast<std::uint8_t>(mode));
+        out.putU32(log.ghrAtStart);
+        out.putU64(log.branches.size());
+        for (const auto &b : log.branches) {
+            out.putU64(b.pc);
+            out.putU64(b.target);
+            out.putU8(static_cast<std::uint8_t>(b.kind));
+            out.putU8(b.taken ? 1 : 0);
+        }
+        out.end();
+    }
+
   private:
     SkipLog log;
     PhtResolveMode mode;
@@ -171,6 +193,48 @@ class BranchReconstructionContext : public MeasureContext
 };
 
 } // namespace
+
+void
+MeasureContext::snapshot(Serializer &) const
+{
+    rsr_throw_user(
+        "this warm-up policy's measure context does not support "
+        "live-point capture");
+}
+
+std::unique_ptr<MeasureContext>
+restoreMeasureContext(Deserializer &in)
+{
+    const std::uint32_t version = in.begin(contextTag);
+    if (version != contextVersion)
+        rsr_throw_corrupt("measure-context frame version skew: v",
+                          version, ", this build reads v",
+                          contextVersion);
+    const std::uint8_t mode_raw = in.getU8();
+    if (mode_raw > static_cast<std::uint8_t>(PhtResolveMode::ApplyToStale))
+        rsr_throw_corrupt("measure-context frame has unknown PHT resolve "
+                          "mode ", unsigned{mode_raw});
+    SkipLog log;
+    log.ghrAtStart = in.getU32();
+    const std::uint64_t count = in.getU64();
+    log.branches.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        BranchRecord b;
+        b.pc = in.getU64();
+        b.target = in.getU64();
+        const std::uint8_t kind_raw = in.getU8();
+        if (kind_raw > static_cast<std::uint8_t>(isa::BranchKind::IndirectJump))
+            rsr_throw_corrupt("measure-context branch record ", i,
+                              " has unknown branch kind ",
+                              unsigned{kind_raw});
+        b.kind = static_cast<isa::BranchKind>(kind_raw);
+        b.taken = in.getU8() != 0;
+        log.branches.push_back(b);
+    }
+    in.end();
+    return std::make_unique<BranchReconstructionContext>(
+        std::move(log), static_cast<PhtResolveMode>(mode_raw));
+}
 
 std::unique_ptr<MeasureContext>
 ReverseReconstructionWarmup::makeMeasureContext()

@@ -32,6 +32,7 @@
 #include "core/machine.hh"
 #include "core/skip_log.hh"
 #include "func/dyninst.hh"
+#include "util/snapshot.hh"
 
 namespace rsr::core
 {
@@ -77,7 +78,22 @@ class MeasureContext
      * @return reconstruction work units applied on demand.
      */
     virtual std::uint64_t detach(Machine &machine) = 0;
+
+    /**
+     * Serialize this context as one framed snapshot so a live-point
+     * store can replay the cluster later with identical on-demand
+     * warming. The default refuses (UserError): a context that cannot
+     * round-trip must not be silently dropped from a store.
+     */
+    virtual void snapshot(Serializer &out) const;
 };
+
+/**
+ * Rebuild a MeasureContext from a frame written by
+ * MeasureContext::snapshot(). Throws CorruptInputError on a damaged or
+ * unrecognized frame.
+ */
+std::unique_ptr<MeasureContext> restoreMeasureContext(Deserializer &in);
 
 /** Interface every warm-up method implements. */
 class WarmupPolicy

@@ -6,8 +6,10 @@
 #include <memory>
 #include <thread>
 
+#include "core/livepoint_store.hh"
 #include "core/warmup.hh"
 #include "harness/json.hh"
+#include "harness/parallel_run.hh"
 #include "harness/thread_pool.hh"
 #include "util/checksum.hh"
 #include "util/deadline.hh"
@@ -68,6 +70,11 @@ CampaignRunner::fingerprint(const CampaignConfig &config)
     for (std::uint64_t v : {config.insts, config.clusters,
                             config.clusterSize, config.seed})
         h.update(&v, sizeof(v));
+    // Live-point campaigns compute a different (deferred) estimator, so
+    // they must not resume a classic campaign's manifest or vice versa.
+    // Classic fingerprints are unchanged by this marker.
+    if (!config.livepointDir.empty())
+        h.update("|livepoints");
     return checksumHex(h.value());
 }
 
@@ -94,7 +101,37 @@ CampaignRunner::executeJob(const JobSpec &spec)
     if (config.jobTimeoutSec > 0.0)
         sim.deadline = &deadline;
 
-    const auto r = core::runSampled(program, *policy, sim);
+    core::SampledResult r;
+    std::string store_hash;
+    std::uint64_t store_bytes = 0;
+    if (config.livepointDir.empty()) {
+        r = core::runSampled(program, *policy, sim);
+    } else {
+        // Live-point mode: replay from a per-(workload, policy) store,
+        // creating it (or recreating a stale one — never silent reuse)
+        // when its configHash does not match this campaign's parameters.
+        const std::string store_path = config.livepointDir + "/" +
+                                       spec.workload + "-" + spec.policy +
+                                       ".lvpt";
+        const std::uint64_t want = core::LivePointStore::configHash(
+            spec.workload, spec.policy, sim);
+        std::unique_ptr<core::LivePointStore> store;
+        if (fileExists(store_path)) {
+            auto loaded = core::LivePointStore::loadFile(store_path);
+            if (loaded.configHash() == want)
+                store = std::make_unique<core::LivePointStore>(
+                    std::move(loaded));
+        }
+        if (!store) {
+            store = std::make_unique<core::LivePointStore>(
+                core::LivePointStore::create(program, *policy, sim,
+                                             spec.workload, spec.policy));
+            store->saveFile(store_path);
+        }
+        r = replayStoreParallel(*store, 1);
+        store_hash = checksumHex(store->storeHash());
+        store_bytes = store->serialize().size();
+    }
 
     JsonWriter w;
     w.put("id", spec.id)
@@ -113,12 +150,15 @@ CampaignRunner::executeJob(const JobSpec &spec)
         .put("measure_insts", r.phases.measureInsts)
         .put("measure_seconds", r.phases.measureSeconds)
         .put("peak_snapshot_bytes", r.phases.peakSnapshotBytes);
+    if (!store_hash.empty())
+        w.put("store_hash", store_hash).put("store_bytes", store_bytes);
     const std::string text = w.str() + "\n";
 
     JobOutcome out;
     out.status = JobStatus::Complete;
     out.resultFile = "job-" + std::to_string(spec.id) + ".json";
     out.checksum = checksumHex(fnv64(text.data(), text.size()));
+    out.storeHash = store_hash;
     out.ipc = r.estimate.mean;
     out.seconds = r.seconds;
     atomicWriteFile(config.outDir + "/" + out.resultFile, text);
@@ -129,6 +169,8 @@ CampaignResult
 CampaignRunner::run(bool resume)
 {
     makeDirs(config.outDir);
+    if (!config.livepointDir.empty())
+        makeDirs(config.livepointDir);
     const std::string fp = fingerprint(config);
     const std::string manifest_path = manifestPath(config.outDir);
     const auto jobs = expandJobs(config);
@@ -197,6 +239,7 @@ CampaignRunner::run(bool resume)
                     rec.error.clear();
                     rec.resultFile = out.resultFile;
                     rec.checksum = out.checksum;
+                    rec.storeHash = out.storeHash;
                     rec.ipc = out.ipc;
                     rec.seconds = out.seconds;
                     manifest.append(rec);

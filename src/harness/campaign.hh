@@ -42,6 +42,17 @@ struct CampaignConfig
     std::uint64_t seed = 0x5eed;
     core::MachineConfig machine = core::MachineConfig::scaledDefault();
 
+    /**
+     * When non-empty, jobs source their clusters from per-(workload,
+     * policy) live-point stores in this directory: an existing store
+     * whose configHash matches is replayed directly (zero functional
+     * re-simulation); a missing or stale store is recreated first —
+     * never silently reused. Jobs then compute the deferred estimator
+     * (see phase_driver.hh), matching `rsr_sim run`/`replay`, whereas
+     * classic campaign jobs run the inline estimator.
+     */
+    std::string livepointDir;
+
     /** Worker threads (>= 1). */
     unsigned threads = 1;
     /** Extra attempts for retryable (transient) failures. */
@@ -116,6 +127,7 @@ class CampaignRunner
         std::string error;
         std::string resultFile;
         std::string checksum;
+        std::string storeHash;
         double ipc = 0.0;
         double seconds = 0.0;
     };

@@ -90,6 +90,8 @@ formatJobRecord(const JobRecord &r)
         w.put("error_kind", r.errorKind).put("error", r.error);
     if (!r.resultFile.empty())
         w.put("result", r.resultFile).put("checksum", r.checksum);
+    if (!r.storeHash.empty())
+        w.put("store_hash", r.storeHash);
     if (r.status == JobStatus::Complete)
         w.put("ipc", r.ipc).put("seconds", r.seconds);
     return w.str();
@@ -109,6 +111,7 @@ parseJobRecord(const std::string &line)
     r.error = toStr(obj, "error");
     r.resultFile = toStr(obj, "result");
     r.checksum = toStr(obj, "checksum");
+    r.storeHash = toStr(obj, "store_hash");
     r.ipc = toDouble(obj, "ipc");
     r.seconds = toDouble(obj, "seconds");
     return r;

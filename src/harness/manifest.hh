@@ -50,6 +50,10 @@ struct JobRecord
     /** Result artifact (relative to the campaign directory) + checksum. */
     std::string resultFile;
     std::string checksum;
+    /** Hash of the live-point store the job replayed from ("" when the
+     *  job ran the classic functional pipeline). Lets resume verify that
+     *  a re-run would consume the same stored state. */
+    std::string storeHash;
     double ipc = 0.0;
     double seconds = 0.0;
 };

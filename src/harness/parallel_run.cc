@@ -118,6 +118,51 @@ runSampledParallel(const func::Program &program,
     return res;
 }
 
+core::SampledResult
+replayStoreParallel(const core::LivePointStore &store,
+                    const core::MachineConfig &machine_config,
+                    unsigned jobs)
+{
+    WallTimer timer;
+    const std::size_t n = store.clusterCount();
+
+    std::vector<uarch::RunResult> rr(n);
+    std::vector<std::uint64_t> recon(n, 0);
+    std::vector<double> seconds(n, 0.0);
+
+    // Out-of-order consumer pass: each worker decodes and measures its
+    // cluster independently; nothing mutable is shared.
+    ThreadPool pool(jobs == 0 ? 1 : jobs);
+    for (std::size_t i = 0; i < n; ++i) {
+        pool.submit([&, i] {
+            core::ClusterReplayTask task = store.makeReplayTask(i);
+            rr[i] = core::replayCluster(task, machine_config, &recon[i],
+                                        &seconds[i]);
+        });
+    }
+    pool.wait();
+
+    core::SampledResult res;
+    for (std::size_t i = 0; i < n; ++i) {
+        res.clusterIpc.push_back(rr[i].ipc());
+        res.hotInsts += rr[i].insts;
+        res.hotCycles += rr[i].cycles;
+        res.branchMispredicts += rr[i].branchMispredicts;
+        res.warmWork.reconstructionUpdates += recon[i];
+        res.phases.measureInsts += rr[i].insts;
+        res.phases.measureSeconds += seconds[i];
+    }
+    res.estimate = core::summarizeClusters(res.clusterIpc);
+    res.seconds = timer.seconds();
+    return res;
+}
+
+core::SampledResult
+replayStoreParallel(const core::LivePointStore &store, unsigned jobs)
+{
+    return replayStoreParallel(store, store.meta().machine, jobs);
+}
+
 std::vector<PolicySweepEntry>
 runPolicySweep(const func::Program &program,
                const std::vector<std::string> &policy_names,

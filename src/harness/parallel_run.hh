@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/livepoint_store.hh"
 #include "core/sampled_sim.hh"
 #include "core/warmup.hh"
 
@@ -30,6 +31,23 @@ core::SampledResult runSampledParallel(const func::Program &program,
                                        core::WarmupPolicy &policy,
                                        const core::SampledConfig &config,
                                        unsigned jobs);
+
+/**
+ * Consumer pass over a live-point store: measure every stored cluster
+ * under @p machine_config on @p jobs ThreadPool workers, out of order —
+ * zero functional simulation. Each worker decodes its own blobs
+ * (makeReplayTask is const/thread-safe), so decode parallelizes with the
+ * timing replay. Statistics merge in schedule order; the result is
+ * bit-identical to the direct `runSampledParallel` run that capture
+ * mirrors, for any worker count.
+ */
+core::SampledResult replayStoreParallel(const core::LivePointStore &store,
+                                        const core::MachineConfig &machine_config,
+                                        unsigned jobs);
+
+/** Replay with the store's capture-time machine configuration. */
+core::SampledResult replayStoreParallel(const core::LivePointStore &store,
+                                        unsigned jobs);
 
 /** One policy's outcome in a sweep. */
 struct PolicySweepEntry

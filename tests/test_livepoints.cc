@@ -1,14 +1,24 @@
 /**
  * @file
- * Live-point (checkpointed sampling) tests: capture/replay equivalence,
- * core-parameter sweeps over one capture, serialization round-trips, and
- * state-restoration fidelity.
+ * Live-point store tests: the content-addressed blob container's
+ * validation and corruption detection, producer/consumer equivalence
+ * (replay-from-store must reproduce the direct deferred run bit-exactly,
+ * Table-2 wide), serialization round-trips, core-parameter sweeps over
+ * one capture, and state-restoration fidelity of the underlying
+ * Snapshotables.
  */
 
 #include <gtest/gtest.h>
 
-#include "core/livepoints.hh"
+#include <ios>
+#include <sstream>
+
+#include "branch/predictor.hh"
+#include "cache/cache.hh"
+#include "core/livepoint_store.hh"
 #include "core/warmup.hh"
+#include "harness/parallel_run.hh"
+#include "util/error.hh"
 #include "util/random.hh"
 #include "util/serial.hh"
 #include "util/snapshot.hh"
@@ -18,6 +28,117 @@ namespace rsr::core
 {
 namespace
 {
+
+// ---------------------------------------------------------------- blobs
+
+std::vector<std::uint8_t>
+someBytes(std::uint8_t seed, std::size_t n)
+{
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint8_t>(seed + i * 7);
+    return v;
+}
+
+TEST(ContentStore, RoundTripPreservesIndexAndBlobs)
+{
+    BlobStoreWriter w;
+    const auto a = someBytes(1, 100);
+    const auto b = someBytes(2, 50);
+    const std::uint64_t ha = w.add(a);
+    const std::uint64_t hb = w.add(b);
+    EXPECT_NE(ha, hb);
+    const std::vector<std::uint8_t> index{'i', 'd', 'x'};
+    const auto file = w.finish(index);
+
+    BlobStoreReader r(file);
+    EXPECT_EQ(r.index(), index);
+    EXPECT_EQ(r.blob(ha), a);
+    EXPECT_EQ(r.blob(hb), b);
+    EXPECT_EQ(r.blobCount(), 2u);
+    EXPECT_EQ(r.storedBytes(), 150u);
+    EXPECT_EQ(r.fileBytes(), file);
+}
+
+TEST(ContentStore, IdenticalPayloadsDedupToOneBlob)
+{
+    BlobStoreWriter w;
+    const auto a = someBytes(9, 200);
+    const std::uint64_t h1 = w.add(a);
+    const std::uint64_t h2 = w.add(a);
+    EXPECT_EQ(h1, h2);
+    EXPECT_EQ(w.blobCount(), 1u);
+    EXPECT_EQ(w.storedBytes(), 200u);
+    EXPECT_EQ(w.addedBytes(), 400u);
+    EXPECT_EQ(w.addedCount(), 2u);
+}
+
+TEST(ContentStore, TruncatedFileThrowsCorruptInput)
+{
+    BlobStoreWriter w;
+    w.add(someBytes(3, 64));
+    auto file = w.finish(someBytes(4, 32));
+    // Shorter than the fixed header: unreadable outright.
+    std::vector<std::uint8_t> stub(file.begin(), file.begin() + 10);
+    EXPECT_THROW(BlobStoreReader{stub}, CorruptInputError);
+    // Torn mid-index: the declared index length overruns the file.
+    std::vector<std::uint8_t> torn(file.begin(), file.begin() + 30);
+    EXPECT_THROW(BlobStoreReader{torn}, CorruptInputError);
+    // Torn mid-blob-table.
+    file.resize(file.size() - 5);
+    EXPECT_THROW(BlobStoreReader{file}, CorruptInputError);
+}
+
+TEST(ContentStore, BitFlipAnywhereThrowsCorruptInput)
+{
+    BlobStoreWriter w;
+    w.add(someBytes(5, 64));
+    const auto file = w.finish(someBytes(6, 32));
+    // Every single-bit flip outside the version word must be caught by
+    // the index checksum, a blob content hash, or a bounds check. (The
+    // version word has its own dedicated error; see VersionSkew below.)
+    for (std::size_t pos : {std::size_t{0}, file.size() / 3,
+                            file.size() / 2, file.size() - 1}) {
+        auto bad = file;
+        bad[pos] ^= 0x10;
+        EXPECT_THROW(BlobStoreReader{bad}, CorruptInputError) << pos;
+    }
+}
+
+TEST(ContentStore, VersionSkewNamesBothVersions)
+{
+    BlobStoreWriter w;
+    w.add(someBytes(7, 16));
+    auto file = w.finish({});
+    file[4] += 1; // the little-endian version word follows the magic
+    try {
+        BlobStoreReader r(file);
+        FAIL() << "version skew accepted";
+    } catch (const CorruptInputError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("version"), std::string::npos) << msg;
+    }
+}
+
+TEST(ContentStore, TrailingBytesThrowCorruptInput)
+{
+    BlobStoreWriter w;
+    w.add(someBytes(8, 16));
+    auto file = w.finish({});
+    file.push_back(0);
+    EXPECT_THROW(BlobStoreReader{file}, CorruptInputError);
+}
+
+TEST(ContentStore, UnknownHashLookupThrowsCorruptInput)
+{
+    BlobStoreWriter w;
+    const std::uint64_t h = w.add(someBytes(1, 8));
+    BlobStoreReader r(w.finish({}));
+    EXPECT_NO_THROW(r.blob(h));
+    EXPECT_THROW(r.blob(h ^ 1), CorruptInputError);
+}
+
+// ----------------------------------------------------------- live-points
 
 class LivePoints : public ::testing::Test
 {
@@ -33,10 +154,13 @@ class LivePoints : public ::testing::Test
         cfg->machine = MachineConfig::scaledDefault();
 
         auto smarts = FunctionalWarmup::smarts();
-        lib = new LivePointLibrary(
-            LivePointLibrary::capture(*prog, *smarts, *cfg));
+        store = new LivePointStore(LivePointStore::create(
+            *prog, *smarts, *cfg, "twolf", "smarts"));
+        // The deferred estimator the capture pass mirrors: a direct
+        // runSampledParallel with one worker.
         auto smarts2 = FunctionalWarmup::smarts();
-        reference = new SampledResult(runSampled(*prog, *smarts2, *cfg));
+        reference = new SampledResult(
+            harness::runSampledParallel(*prog, *smarts2, *cfg, 1));
     }
 
     static void
@@ -44,94 +168,207 @@ class LivePoints : public ::testing::Test
     {
         delete prog;
         delete cfg;
-        delete lib;
+        delete store;
         delete reference;
     }
 
     static func::Program *prog;
     static SampledConfig *cfg;
-    static LivePointLibrary *lib;
+    static LivePointStore *store;
     static SampledResult *reference;
 };
 
 func::Program *LivePoints::prog = nullptr;
 SampledConfig *LivePoints::cfg = nullptr;
-LivePointLibrary *LivePoints::lib = nullptr;
+LivePointStore *LivePoints::store = nullptr;
 SampledResult *LivePoints::reference = nullptr;
 
 TEST_F(LivePoints, CaptureShapes)
 {
-    ASSERT_EQ(lib->points().size(), cfg->regimen.numClusters);
-    for (const auto &lp : lib->points()) {
-        EXPECT_EQ(lp.trace.size(), cfg->regimen.clusterSize);
-        EXPECT_GT(lp.machineState.size(), 0u);
+    ASSERT_EQ(store->clusterCount(), cfg->regimen.numClusters);
+    EXPECT_EQ(store->meta().workload, "twolf");
+    EXPECT_EQ(store->meta().policy, "smarts");
+    EXPECT_EQ(store->meta().totalInsts, cfg->totalInsts);
+    for (std::size_t i = 0; i < store->clusterCount(); ++i) {
+        const auto task = store->makeReplayTask(i);
+        EXPECT_EQ(task.index, i);
+        EXPECT_EQ(task.trace.size(), cfg->regimen.clusterSize) << i;
+        EXPECT_GT(task.machineState.size(), 0u) << i;
+        // SMARTS carries no measurement context; the entry says so.
+        EXPECT_FALSE(store->entries()[i].hasContext) << i;
+        EXPECT_EQ(task.context, nullptr) << i;
     }
-    EXPECT_GT(lib->storageBytes(), 0u);
+    EXPECT_GT(store->serialize().size(), 0u);
+    EXPECT_GE(store->dedupRatio(), 1.0);
+    EXPECT_GT(store->bytesPerCluster(), 0.0);
 }
 
-TEST_F(LivePoints, ReplayMatchesSampledRunExactly)
+TEST_F(LivePoints, TraceSequenceNumbersAreContiguousFromFirstSeq)
 {
-    // Under SMARTS warming the snapshot fully determines the cluster's
-    // initial state, so replay must reproduce per-cluster IPCs
-    // bit-exactly.
-    const auto r = lib->replay();
+    for (std::size_t i = 0; i < store->clusterCount(); ++i) {
+        const auto task = store->makeReplayTask(i);
+        std::uint64_t seq = store->entries()[i].firstSeq;
+        for (const auto &d : task.trace)
+            EXPECT_EQ(d.seq, seq++) << i;
+    }
+}
+
+TEST_F(LivePoints, ReplayMatchesDeferredRunExactly)
+{
+    // The snapshot + context fully determine the cluster's initial
+    // state, so replay must reproduce per-cluster IPCs bit-exactly.
+    const auto r = store->replay();
     ASSERT_EQ(r.clusterIpc.size(), reference->clusterIpc.size());
     for (std::size_t i = 0; i < r.clusterIpc.size(); ++i)
         EXPECT_DOUBLE_EQ(r.clusterIpc[i], reference->clusterIpc[i]) << i;
     EXPECT_EQ(r.hotCycles, reference->hotCycles);
     EXPECT_EQ(r.branchMispredicts, reference->branchMispredicts);
+    EXPECT_DOUBLE_EQ(r.estimate.mean, reference->estimate.mean);
+    EXPECT_DOUBLE_EQ(r.estimate.ciLow, reference->estimate.ciLow);
 }
 
-TEST_F(LivePoints, ReplayIsCheaperThanSampledRun)
+TEST_F(LivePoints, ReplayWithMeasureContextMatches)
 {
-    // Replay skips all functional fast-forwarding; even on a tiny run it
-    // should be well under the full sampled time.
-    const auto r = lib->replay();
-    EXPECT_LT(r.seconds, reference->seconds);
+    // RSR reconstructs predictor state on demand during measurement; the
+    // serialized BranchReconstructionContext must round-trip bit-exactly
+    // (the retired LivePointLibrary's documented gap).
+    auto rsr = makePolicyByName("rsr40");
+    const auto rsr_store = LivePointStore::create(*prog, *rsr, *cfg,
+                                                  "twolf", "rsr40");
+    auto rsr2 = makePolicyByName("rsr40");
+    const auto direct =
+        harness::runSampledParallel(*prog, *rsr2, *cfg, 1);
+
+    bool any_context = false;
+    for (const auto &e : rsr_store.entries())
+        any_context = any_context || e.hasContext;
+    EXPECT_TRUE(any_context);
+
+    const auto r = rsr_store.replay();
+    ASSERT_EQ(r.clusterIpc.size(), direct.clusterIpc.size());
+    for (std::size_t i = 0; i < r.clusterIpc.size(); ++i)
+        EXPECT_DOUBLE_EQ(r.clusterIpc[i], direct.clusterIpc[i]) << i;
+    EXPECT_EQ(r.branchMispredicts, direct.branchMispredicts);
+    // Replay repeats only the measure-time context work; the front
+    // half's reconstruction happened once, at capture, and must not
+    // recur. So replay's warm-work is positive but strictly below the
+    // direct run's combined front-half + measure-time total.
+    EXPECT_GT(r.warmWork.reconstructionUpdates, 0u);
+    EXPECT_LT(r.warmWork.reconstructionUpdates,
+              direct.warmWork.reconstructionUpdates);
+}
+
+TEST_F(LivePoints, SerializeRoundTrip)
+{
+    const auto bytes = store->serialize();
+    const auto copy = LivePointStore::deserialize(bytes);
+    ASSERT_EQ(copy.clusterCount(), store->clusterCount());
+    EXPECT_EQ(copy.storeHash(), store->storeHash());
+    EXPECT_EQ(copy.configHash(), store->configHash());
+    for (std::size_t i = 0; i < copy.clusterCount(); ++i) {
+        EXPECT_EQ(copy.entries()[i].stateHash,
+                  store->entries()[i].stateHash);
+        EXPECT_EQ(copy.entries()[i].traceHash,
+                  store->entries()[i].traceHash);
+        EXPECT_EQ(copy.entries()[i].firstSeq,
+                  store->entries()[i].firstSeq);
+    }
+    const auto r1 = store->replay();
+    const auto r2 = copy.replay();
+    for (std::size_t i = 0; i < r1.clusterIpc.size(); ++i)
+        EXPECT_DOUBLE_EQ(r1.clusterIpc[i], r2.clusterIpc[i]);
+}
+
+TEST_F(LivePoints, ParallelReplayMatchesSerial)
+{
+    const auto serial = store->replay();
+    const auto parallel = harness::replayStoreParallel(*store, 3);
+    ASSERT_EQ(parallel.clusterIpc.size(), serial.clusterIpc.size());
+    EXPECT_EQ(parallel.clusterIpc, serial.clusterIpc);
+    EXPECT_EQ(parallel.hotCycles, serial.hotCycles);
+    EXPECT_DOUBLE_EQ(parallel.estimate.mean, serial.estimate.mean);
 }
 
 TEST_F(LivePoints, CoreSweepOverOneCapture)
 {
     // The core configuration may vary per replay: narrower machines must
     // not be faster than wider ones.
-    auto narrow = cfg->machine.core;
-    narrow.issueWidth = 1;
-    narrow.fetchWidth = 2;
-    narrow.dispatchWidth = 2;
-    auto wide = cfg->machine.core;
-    wide.issueWidth = 8;
-    wide.numFUs = 8;
-    const auto rn = lib->replay(narrow);
-    const auto rw = lib->replay(wide);
+    auto narrow = cfg->machine;
+    narrow.core.issueWidth = 1;
+    narrow.core.fetchWidth = 2;
+    narrow.core.dispatchWidth = 2;
+    auto wide = cfg->machine;
+    wide.core.issueWidth = 8;
+    wide.core.numFUs = 8;
+    const auto rn = store->replay(narrow);
+    const auto rw = store->replay(wide);
     EXPECT_LT(rn.estimate.mean, rw.estimate.mean);
     EXPECT_GT(rn.hotCycles, rw.hotCycles);
 }
 
-TEST_F(LivePoints, SerializeRoundTrip)
+TEST_F(LivePoints, ConfigHashDetectsParameterChanges)
 {
-    const auto bytes = lib->serialize();
-    const auto copy = LivePointLibrary::deserialize(bytes);
-    ASSERT_EQ(copy.points().size(), lib->points().size());
-    for (std::size_t i = 0; i < copy.points().size(); ++i) {
-        EXPECT_EQ(copy.points()[i].clusterStart,
-                  lib->points()[i].clusterStart);
-        EXPECT_EQ(copy.points()[i].machineState,
-                  lib->points()[i].machineState);
-        ASSERT_EQ(copy.points()[i].trace.size(),
-                  lib->points()[i].trace.size());
-    }
-    const auto r1 = lib->replay();
-    const auto r2 = copy.replay();
-    for (std::size_t i = 0; i < r1.clusterIpc.size(); ++i)
-        EXPECT_DOUBLE_EQ(r1.clusterIpc[i], r2.clusterIpc[i]);
+    EXPECT_EQ(store->configHash(),
+              LivePointStore::configHash("twolf", "smarts", *cfg));
+    auto other = *cfg;
+    other.regimen.clusterSize += 1;
+    EXPECT_NE(store->configHash(),
+              LivePointStore::configHash("twolf", "smarts", other));
+    EXPECT_NE(store->configHash(),
+              LivePointStore::configHash("twolf", "rsr40", *cfg));
+    EXPECT_NE(store->configHash(),
+              LivePointStore::configHash("gcc", "smarts", *cfg));
 }
 
-TEST_F(LivePoints, ReplayDeterministic)
+// ------------------------------------------- Table-2-wide equivalence
+
+/** Hexfloat per-cluster CSV: equal strings mean bit-equal statistics. */
+std::string
+clusterCsv(const SampledResult &r)
 {
-    const auto r1 = lib->replay();
-    const auto r2 = lib->replay();
-    EXPECT_EQ(r1.hotCycles, r2.hotCycles);
+    std::ostringstream os;
+    os << std::hexfloat;
+    os << "cluster,ipc\n";
+    for (std::size_t i = 0; i < r.clusterIpc.size(); ++i)
+        os << i << "," << r.clusterIpc[i] << "\n";
+    os << "mean," << r.estimate.mean << "\n";
+    os << "ci," << r.estimate.ciLow << "," << r.estimate.ciHigh << "\n";
+    os << "cycles," << r.hotCycles << ",mispred," << r.branchMispredicts
+       << "\n";
+    return os.str();
 }
+
+TEST(LivePointsTable2, ReplayEquivalentForAllPolicies)
+{
+    // The whole Table-2 matrix: for every warm-up policy, a store
+    // captured once and replayed (serially and on workers) must emit a
+    // byte-identical statistics CSV to the direct deferred run.
+    const auto prog = workload::buildSynthetic(
+        workload::standardWorkloadParams("gcc"));
+    SampledConfig cfg;
+    cfg.totalInsts = 150'000;
+    cfg.regimen = {8, 1500};
+    cfg.machine = MachineConfig::scaledDefault();
+
+    const char *const table2Names[] = {
+        "none",     "fp20",     "fp40",      "fp80", "scache", "sbp",
+        "smarts",   "rcache20", "rcache40",  "rcache80", "rcache100",
+        "rbp",      "rsr20",    "rsr40",     "rsr80", "rsr100"};
+    for (const char *name : table2Names) {
+        auto p1 = makePolicyByName(name);
+        const auto direct =
+            harness::runSampledParallel(prog, *p1, cfg, 1);
+
+        auto p2 = makePolicyByName(name);
+        const auto store =
+            LivePointStore::create(prog, *p2, cfg, "gcc", name);
+        const auto replayed = harness::replayStoreParallel(store, 2);
+
+        EXPECT_EQ(clusterCsv(replayed), clusterCsv(direct)) << name;
+    }
+}
+
+// --------------------------------------------------- retained fixtures
 
 TEST(SerialHelpers, PrimitivesRoundTrip)
 {

@@ -22,7 +22,7 @@
 #include <unistd.h>
 
 #include "core/branch_reconstructor.hh"
-#include "core/livepoints.hh"
+#include "core/livepoint_store.hh"
 #include "core/sampled_sim.hh"
 #include "core/warmup.hh"
 #include "harness/campaign.hh"
@@ -247,7 +247,9 @@ TEST(Robustness, TruncatedTraceThrowsCorruptInput)
     std::remove(path.c_str());
 }
 
-TEST(Robustness, BitFlippedLivePointLibraryThrowsCorruptInput)
+/** Capture a tiny live-point store and save it under TempDir. */
+std::string
+savedSmallStore(const char *tag)
 {
     const auto prog = workload::buildSynthetic(
         workload::standardWorkloadParams("twolf"));
@@ -256,22 +258,100 @@ TEST(Robustness, BitFlippedLivePointLibraryThrowsCorruptInput)
     cfg.regimen = {3, 500};
     cfg.machine = core::MachineConfig::scaledDefault();
     auto smarts = core::FunctionalWarmup::smarts();
-    const auto lib = core::LivePointLibrary::capture(prog, *smarts, cfg);
+    const auto store = core::LivePointStore::create(prog, *smarts, cfg,
+                                                    "twolf", "smarts");
+    const std::string path = std::string(::testing::TempDir()) +
+                             "/rsr_store_" + tag + ".lvpt";
+    store.saveFile(path);
+    return path;
+}
 
-    const std::string path =
-        std::string(::testing::TempDir()) + "/rsr_flip.lpl";
-    lib.saveFile(path);
+TEST(Robustness, BitFlippedLivePointStoreThrowsCorruptInput)
+{
+    const std::string path = savedSmallStore("flip");
 
-    // Sanity: the pristine file loads.
-    EXPECT_NO_THROW(core::LivePointLibrary::loadFile(path));
+    // Sanity: the pristine file loads and replays.
+    EXPECT_NO_THROW(core::LivePointStore::loadFile(path).replay());
 
+    const auto pristine = slurpFile(path);
+    ASSERT_GT(pristine.size(), 64u);
+    // A flip anywhere — index metadata, a blob header, blob payload —
+    // must be refused at load; damaged state is never silently replayed.
+    for (std::size_t pos : {std::size_t{9}, pristine.size() / 3,
+                            pristine.size() / 2, pristine.size() - 2}) {
+        auto bytes = pristine;
+        bytes[pos] ^= 0x10;
+        spillFile(path, bytes);
+        EXPECT_THROW(core::LivePointStore::loadFile(path),
+                     CorruptInputError)
+            << "flip at " << pos;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Robustness, TruncatedLivePointStoreThrowsCorruptInput)
+{
+    const std::string path = savedSmallStore("trunc");
     auto bytes = slurpFile(path);
     ASSERT_GT(bytes.size(), 64u);
-    bytes[bytes.size() / 2] ^= 0x10; // one bit, mid-payload
-    spillFile(path, bytes);
+    // Torn at the header, inside the index, and near the tail.
+    for (std::size_t keep : {std::size_t{10}, std::size_t{40},
+                             bytes.size() - 16}) {
+        auto torn = bytes;
+        torn.resize(keep);
+        spillFile(path, torn);
+        EXPECT_THROW(core::LivePointStore::loadFile(path),
+                     CorruptInputError)
+            << "truncated to " << keep;
+    }
+    std::remove(path.c_str());
+}
 
-    EXPECT_THROW(core::LivePointLibrary::loadFile(path),
-                 CorruptInputError);
+TEST(Robustness, VersionSkewedLivePointStoreIsRejected)
+{
+    const std::string path = savedSmallStore("skew");
+    auto bytes = slurpFile(path);
+    bytes[4] += 1; // container version word (follows the 'RSRS' magic)
+    spillFile(path, bytes);
+    try {
+        core::LivePointStore::loadFile(path);
+        FAIL() << "version-skewed store accepted";
+    } catch (const CorruptInputError &e) {
+        // The message must name the version mismatch so a user knows to
+        // recapture rather than suspect disk corruption.
+        EXPECT_NE(std::string(e.what()).find("version"),
+                  std::string::npos)
+            << e.what();
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Robustness, FaultInjectedLivePointLoadFailsTyped)
+{
+    const std::string path = savedSmallStore("fault");
+
+    // Injected I/O failure: the read itself fails with the retryable
+    // IoError, not a crash or a half-parsed store.
+    {
+        FaultConfig fc;
+        fc.seed = 7;
+        fc.ioFailProb = 1.0;
+        ScopedFaultInjection guard(fc);
+        EXPECT_THROW(core::LivePointStore::loadFile(path), IoError);
+    }
+
+    // Injected payload corruption: caught by the container's checksums.
+    {
+        FaultConfig fc;
+        fc.seed = 7;
+        fc.corruptProb = 1.0;
+        ScopedFaultInjection guard(fc);
+        EXPECT_THROW(core::LivePointStore::loadFile(path),
+                     CorruptInputError);
+    }
+
+    // Disarmed again: the pristine file still loads.
+    EXPECT_NO_THROW(core::LivePointStore::loadFile(path));
     std::remove(path.c_str());
 }
 

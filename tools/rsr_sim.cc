@@ -14,13 +14,22 @@
  *   rsr_sim compare      --workload gcc [--policies P1,P2,...] [--jobs N]
  *                        [sample flags] — Table-2-style policy sweep,
  *                        one pool task per policy
+ *   rsr_sim mklvpt       --workload gcc --policy rsr40 --out file.lvpt
+ *                        [sample flags] — producer pass: run functional
+ *                        simulation + warming once, write the per-cluster
+ *                        live-point store
+ *   rsr_sim replay       --store file.lvpt [--jobs N] [--csv]
+ *                        [--set core.<field>=V] [validation flags] —
+ *                        consumer pass: any policy/timing sweep straight
+ *                        from the store, zero functional re-simulation
  *   rsr_sim record-trace --workload gcc --out file.trc [--insts N]
  *   rsr_sim sim-trace    --trace file.trc [--insts N] [--machine ...]
  *   rsr_sim simpoint     --workload gcc [--insts N] [--interval I]
  *                        [--max-k K] [--warm]
  *   rsr_sim campaign     --workloads gcc,vpr,twolf --policies none,smarts
- *                        --out DIR [--resume] [--threads T] [--retries R]
- *                        [--timeout SECS] [--fault-io P] [...]
+ *                        --out DIR [--livepoints DIR] [--resume]
+ *                        [--threads T] [--retries R] [--timeout SECS]
+ *                        [--fault-io P] [...]
  *
  * Policies: none, smarts, scache, sbp, fp<pct>, rsr<pct>, rcache<pct>,
  * rbp (RSR variants accept a +stale suffix), mrrl, blrl.
@@ -34,7 +43,7 @@
 #include <vector>
 
 #include "core/config_file.hh"
-#include "core/livepoints.hh"
+#include "core/livepoint_store.hh"
 #include "core/stats_report.hh"
 #include "func/funcsim.hh"
 #include "core/reuse_latency.hh"
@@ -45,6 +54,7 @@
 #include "simpoint/simpoint.hh"
 #include "trace/trace.hh"
 #include "util/args.hh"
+#include "util/checksum.hh"
 #include "util/error.hh"
 #include "util/fileio.hh"
 #include "util/logging.hh"
@@ -262,53 +272,108 @@ cmdRun(const ArgParser &args)
 }
 
 int
-cmdCapture(const ArgParser &args)
+cmdMkLvpt(const ArgParser &args)
 {
     const auto program = workloadFor(args);
     const std::string out = args.get("out");
     if (out.empty())
-        rsr_throw_user("--out is required");
-    core::SampledConfig cfg;
-    cfg.totalInsts = args.getU64("insts", 4'000'000);
-    cfg.regimen.numClusters = args.getU64("clusters", 60);
-    cfg.regimen.clusterSize = args.getU64("cluster-size", 3000);
-    cfg.scheduleSeed = args.getU64("seed", cfg.scheduleSeed);
-    cfg.machine = machineFor(args);
-    auto policy = core::makePolicyByName(args.get("policy", "smarts"));
-    const auto lib =
-        core::LivePointLibrary::capture(program, *policy, cfg);
-    lib.saveFile(out);
-    std::printf("captured %zu live-points (%.1f MB) to %s\n",
-                lib.points().size(),
-                lib.serialize().size() / 1048576.0, out.c_str());
+        rsr_throw_user("--out FILE is required (where to write the "
+                       "live-point store)");
+    const std::string workload = args.get("workload");
+    const std::string policy_name = args.get("policy", "rsr40");
+    const auto cfg = sampledConfigFor(args);
+    auto policy = core::makePolicyByName(policy_name);
+
+    core::SampledResult front;
+    const auto store = core::LivePointStore::create(
+        program, *policy, cfg, workload, policy_name, &front);
+    store.saveFile(out);
+
+    std::printf("wrote %s: %zu live-points, %.1f KB (%.1f KB/cluster, "
+                "dedup %.2fx), store hash %016llx\n",
+                out.c_str(), store.clusterCount(),
+                store.serialize().size() / 1024.0,
+                store.bytesPerCluster() / 1024.0, store.dedupRatio(),
+                static_cast<unsigned long long>(store.storeHash()));
+    std::printf("  capture: %llu insts skipped, %.3fs front half "
+                "(skip %.3fs, reconstruct %.3fs, capture %.3fs)\n",
+                static_cast<unsigned long long>(front.skippedInsts),
+                front.seconds, front.phases.skipSeconds,
+                front.phases.reconstructSeconds,
+                front.phases.captureSeconds);
     return 0;
 }
 
 int
 cmdReplay(const ArgParser &args)
 {
-    const std::string path = args.get("lib");
+    const std::string path = args.get("store");
     if (path.empty())
-        rsr_throw_user("--lib is required");
-    const auto lib = core::LivePointLibrary::loadFile(path);
+        rsr_throw_user("--store FILE is required (create one with: "
+                       "rsr_sim mklvpt --workload W --policy P --out "
+                       "FILE)");
+    if (!fileExists(path))
+        rsr_throw_user("live-point store ", path, " does not exist; "
+                       "create it with: rsr_sim mklvpt --workload W "
+                       "--policy P --out ", path);
+    const auto store = core::LivePointStore::loadFile(path);
 
-    auto core_params = lib.machineConfig().core;
+    // With --workload/--policy given, validate that the store actually
+    // holds the capture these flags (plus the sample flags) describe —
+    // a stale store is an error, never silently replayed.
+    if (args.has("workload") || args.has("policy")) {
+        const std::string workload =
+            args.get("workload", store.meta().workload);
+        const std::string policy_name =
+            args.get("policy", store.meta().policy);
+        const std::uint64_t want = core::LivePointStore::configHash(
+            workload, policy_name, sampledConfigFor(args));
+        if (want != store.configHash())
+            rsr_throw_user(
+                "live-point store ", path, " is stale: expected config "
+                "hash ", checksumHex(want), " for ", workload, "/",
+                policy_name, ", but the store holds ",
+                checksumHex(store.configHash()), " (captured from ",
+                store.meta().workload, "/", store.meta().policy,
+                "); recreate it with: rsr_sim mklvpt --workload ",
+                workload, " --policy ", policy_name, " --out ", path);
+    }
+
+    auto machine = store.meta().machine;
     if (args.has("set")) {
-        // Reuse the machine-option syntax for core overrides.
-        auto mc = lib.machineConfig();
+        // Reuse the machine-option syntax for core overrides (cache and
+        // predictor geometry must match the capture; the snapshots
+        // refuse to restore into different geometry).
         const std::string kv = args.get("set");
         const auto eq = kv.find('=');
         if (eq == std::string::npos)
             rsr_throw_user("--set expects key=value");
-        core::applyMachineOption(mc, kv.substr(0, eq),
+        core::applyMachineOption(machine, kv.substr(0, eq),
                                  kv.substr(eq + 1));
-        core_params = mc.core;
     }
-    const auto r = lib.replay(core_params);
-    std::printf("replayed %zu clusters: IPC %.4f  CI [%.4f, %.4f]  "
-                "(%.3fs)\n",
-                lib.points().size(), r.estimate.mean, r.estimate.ciLow,
-                r.estimate.ciHigh, r.seconds);
+
+    const unsigned jobs =
+        static_cast<unsigned>(args.getPositiveU64("jobs", 1));
+    const auto r = harness::replayStoreParallel(store, machine, jobs);
+
+    if (args.has("csv")) {
+        // Full precision, same format as `run --csv`, so the two can be
+        // diffed bit-for-bit.
+        std::printf("cluster,ipc\n");
+        for (std::size_t i = 0; i < r.clusterIpc.size(); ++i)
+            std::printf("%zu,%.17g\n", i, r.clusterIpc[i]);
+    }
+
+    std::printf("replayed %s/%s from %s (%u jobs): IPC estimate %.4f  "
+                "CI [%.4f, %.4f]  aggregate %.4f\n",
+                store.meta().workload.c_str(),
+                store.meta().policy.c_str(), path.c_str(), jobs,
+                r.estimate.mean, r.estimate.ciLow, r.estimate.ciHigh,
+                r.aggregateIpc());
+    std::printf("  %zu clusters, %.3fs, zero functional re-simulation; "
+                "store hash %016llx\n",
+                store.clusterCount(), r.seconds,
+                static_cast<unsigned long long>(store.storeHash()));
     return 0;
 }
 
@@ -464,6 +529,7 @@ cmdCampaign(const ArgParser &args)
     cfg.clusterSize = args.getU64("cluster-size", 2000);
     cfg.seed = args.getU64("seed", cfg.seed);
     cfg.machine = machineFor(args);
+    cfg.livepointDir = args.get("livepoints");
     cfg.threads = static_cast<unsigned>(args.getU64("threads", 1));
     cfg.maxRetries = static_cast<unsigned>(args.getU64("retries", 2));
     cfg.backoffMs = static_cast<unsigned>(args.getU64("backoff-ms", 10));
@@ -509,17 +575,27 @@ usage()
         "  sim-trace    --trace FILE [--insts N]\n"
         "  simpoint     --workload W [--insts N] [--interval I] [--max-k K]"
         " [--warm]\n"
-        "  capture      --workload W --out FILE [--policy P] [--insts N]\n"
-        "  replay       --lib FILE [--set core.<field>=V]\n"
+        "  mklvpt       --workload W --policy P --out FILE [sample flags]\n"
+        "               (producer: run functional simulation + warming\n"
+        "               once, write a content-addressed live-point store)\n"
+        "  replay       --store FILE [--jobs N] [--csv] "
+        "[--set core.<field>=V]\n"
+        "               (consumer: measure straight from the store, zero\n"
+        "               functional re-simulation; --workload/--policy +\n"
+        "               sample flags validate the store is not stale)\n"
         "  campaign     --workloads W1,W2,... --policies P1,P2,... "
         "--out DIR\n"
         "               [--insts N] [--clusters C] [--cluster-size S] "
         "[--seed X]\n"
-        "               [--threads T] [--retries R] [--backoff-ms MS] "
-        "[--timeout SECS]\n"
-        "               [--resume] [--fault-seed X] [--fault-io P] "
-        "[--fault-corrupt P]\n"
-        "               [--fault-alloc P]\n"
+        "               [--livepoints DIR] [--threads T] [--retries R] "
+        "[--backoff-ms MS]\n"
+        "               [--timeout SECS] [--resume] [--fault-seed X] "
+        "[--fault-io P]\n"
+        "               [--fault-corrupt P] [--fault-alloc P]\n"
+        "examples:\n"
+        "  rsr_sim mklvpt --workload gcc --policy rsr40 --out gcc.lvpt\n"
+        "  rsr_sim replay --store gcc.lvpt --jobs 4 --csv\n"
+        "  rsr_sim replay --store gcc.lvpt --set core.rob_size=256\n"
         "policies: none smarts scache sbp fp<pct> rsr<pct>[+stale] "
         "rcache<pct> rbp mrrl blrl\n"
         "exit status: 0 ok, 1 fatal, 2 campaign partially complete\n");
@@ -532,10 +608,10 @@ dispatch(const ArgParser &args)
         "workload",  "insts",    "machine",  "policy",    "clusters",
         "cluster-size", "seed",  "true-ipc", "csv",       "out",
         "trace",     "interval", "max-k",    "warm",      "stats",
-        "config",    "set",      "lib",      "workloads", "policies",
+        "config",    "set",      "store",    "workloads", "policies",
         "threads",   "retries",  "backoff-ms", "timeout", "resume",
         "fault-seed", "fault-io", "fault-corrupt", "fault-alloc",
-        "jobs"};
+        "jobs",      "livepoints"};
     args.requireKnown(allowed);
 
     const std::string cmd = args.command();
@@ -551,8 +627,8 @@ dispatch(const ArgParser &args)
         return cmdCompare(args);
     if (cmd == "record-trace")
         return cmdRecordTrace(args);
-    if (cmd == "capture")
-        return cmdCapture(args);
+    if (cmd == "mklvpt")
+        return cmdMkLvpt(args);
     if (cmd == "replay")
         return cmdReplay(args);
     if (cmd == "sim-trace")
