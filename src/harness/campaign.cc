@@ -213,12 +213,23 @@ CampaignRunner::run(bool resume)
         faults = std::make_unique<ScopedFaultInjection>(config.faults);
 
     std::atomic<std::uint64_t> completed{0}, failed{0}, skipped{0},
-        retries{0};
+        retries{0}, stopped{0};
+
+    const auto stopRequested = [this]() {
+        return config.stopFlag && config.stopFlag->load();
+    };
 
     auto runJob = [&](const JobSpec &spec) {
         {
             if (done[spec.id]) {
                 ++skipped;
+                return;
+            }
+            // Graceful shutdown: a job that has not started yet is simply
+            // not dispatched. It gets no manifest entry, so --resume runs
+            // it next time.
+            if (stopRequested()) {
+                ++stopped;
                 return;
             }
 
@@ -246,7 +257,8 @@ CampaignRunner::run(bool resume)
                     ++completed;
                     break;
                 } catch (const SimError &e) {
-                    if (e.retryable() && attempt < config.maxRetries) {
+                    if (e.retryable() && attempt < config.maxRetries &&
+                        !stopRequested()) {
                         ++retries;
                         std::this_thread::sleep_for(
                             std::chrono::milliseconds(
@@ -289,6 +301,7 @@ CampaignRunner::run(bool resume)
     result.failed = failed;
     result.skipped = skipped;
     result.retries = retries;
+    result.stopped = stopped;
     return result;
 }
 

@@ -15,6 +15,7 @@
 #ifndef RSR_HARNESS_CAMPAIGN_HH
 #define RSR_HARNESS_CAMPAIGN_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -64,6 +65,15 @@ struct CampaignConfig
 
     /** Fault injection armed for the duration of the run. */
     FaultConfig faults;
+
+    /**
+     * Optional cooperative stop request (not owned; must outlive run()).
+     * When it becomes true — a SIGINT/SIGTERM handler typically sets it —
+     * no further jobs are dispatched and no further retries are slept
+     * for; in-flight jobs finish and their manifest entries are flushed,
+     * so `--resume` picks up exactly the jobs that never completed.
+     */
+    const std::atomic<bool> *stopFlag = nullptr;
 };
 
 /** One cell of the matrix. */
@@ -84,6 +94,8 @@ struct CampaignResult
     std::uint64_t skipped = 0;
     /** Transient failures that were retried. */
     std::uint64_t retries = 0;
+    /** Jobs not run (or not retried) because a stop was requested. */
+    std::uint64_t stopped = 0;
 
     bool allComplete() const { return completed + skipped == total; }
     bool partial() const { return failed > 0 && !allComplete(); }

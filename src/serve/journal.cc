@@ -1,0 +1,147 @@
+#include "journal.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+#include <unistd.h>
+
+#include "harness/json.hh"
+#include "util/checksum.hh"
+#include "util/error.hh"
+#include "util/fileio.hh"
+
+namespace rsr::serve
+{
+
+const char *
+requestStatusName(RequestStatus status)
+{
+    switch (status) {
+      case RequestStatus::Queued:
+        return "queued";
+      case RequestStatus::Done:
+        return "done";
+      case RequestStatus::Failed:
+        return "failed";
+    }
+    return "unknown";
+}
+
+RequestStatus
+parseRequestStatus(const std::string &name)
+{
+    for (RequestStatus s : {RequestStatus::Queued, RequestStatus::Done,
+                            RequestStatus::Failed})
+        if (name == requestStatusName(s))
+            return s;
+    rsr_throw_corrupt("unknown journal status '", name, "'");
+}
+
+JournalState
+loadJournal(const std::string &path)
+{
+    JournalState state;
+    if (!fileExists(path))
+        return state;
+    const auto bytes = readFileBytes(path);
+    const std::string text(bytes.begin(), bytes.end());
+
+    // Latest record wins per id; ordered map keeps the backlog sorted.
+    std::map<std::uint64_t, std::pair<RequestStatus, SimRequest>> latest;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        const std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty())
+            continue;
+        try {
+            const auto obj = harness::parseJsonObject(line);
+            const auto id_it = obj.find("id");
+            const auto status_it = obj.find("status");
+            if (id_it == obj.end() || status_it == obj.end())
+                rsr_throw_corrupt("journal line missing id/status");
+            const std::uint64_t id =
+                std::strtoull(id_it->second.c_str(), nullptr, 10);
+            const RequestStatus status =
+                parseRequestStatus(status_it->second);
+            SimRequest request = simRequestFromJson(line);
+            // Verify the stored hash: a bit-flipped-but-parsable line
+            // must not resurrect a different request.
+            const auto hash_it = obj.find("request_hash");
+            if (hash_it == obj.end() ||
+                parseChecksumHex(hash_it->second) !=
+                    request.requestHash())
+                rsr_throw_corrupt("journal line hash mismatch");
+            latest[id] = {status, std::move(request)};
+            if (id + 1 > state.nextId)
+                state.nextId = id + 1;
+        } catch (const SimError &) {
+            // Torn or damaged line from a crash mid-append: drop it.
+            ++state.droppedLines;
+        }
+    }
+    for (auto &[id, rec] : latest)
+        if (rec.first == RequestStatus::Queued)
+            state.backlog.emplace_back(id, std::move(rec.second));
+    return state;
+}
+
+RequestJournal::RequestJournal(const std::string &path) : path_(path)
+{
+    // Repair a torn trailing line (SIGKILL mid-append) by truncating
+    // back to the last complete line, so the tear is dropped once at
+    // reopen instead of polluting every future load.
+    if (fileExists(path)) {
+        const auto bytes = readFileBytes(path);
+        std::size_t keep = 0;
+        for (std::size_t i = bytes.size(); i > 0; --i) {
+            if (bytes[i - 1] == '\n') {
+                keep = i;
+                break;
+            }
+        }
+        if (keep != bytes.size() &&
+            ::truncate(path.c_str(), static_cast<off_t>(keep)) != 0)
+            rsr_throw_io("cannot repair request journal ", path, ": ",
+                         std::strerror(errno));
+    }
+    file_ = std::fopen(path.c_str(), "ab");
+    if (!file_)
+        rsr_throw_io("cannot open request journal ", path, ": ",
+                     std::strerror(errno));
+}
+
+RequestJournal::~RequestJournal()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+RequestJournal::append(std::uint64_t id, RequestStatus status,
+                       const SimRequest &request)
+{
+    // Rebuild the request JSON with the journal bookkeeping fields
+    // appended; simRequestFromJson ignores the extras when loading.
+    std::string line = simRequestJson(request);
+    line.pop_back(); // drop the closing '}'
+    line += ",\"id\":" + std::to_string(id);
+    line += ",\"status\":\"" + std::string(requestStatusName(status)) +
+            "\"";
+    line += ",\"request_hash\":\"" +
+            checksumHex(request.requestHash()) + "\"}";
+    line += "\n";
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+        std::fflush(file_) != 0)
+        rsr_throw_io("cannot append to request journal ", path_);
+    ::fsync(::fileno(file_));
+}
+
+} // namespace rsr::serve

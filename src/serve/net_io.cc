@@ -1,0 +1,314 @@
+// rsrlint: allow-file(serve-blocking-io) — this is the deadline wrapper
+// itself: every raw socket syscall below runs nonblocking under poll(2)
+// with a Deadline-derived timeout.
+
+#include "net_io.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/error.hh"
+#include "util/fault.hh"
+
+namespace rsr::serve
+{
+
+namespace
+{
+
+/** Poll slice: deadline checks happen at least this often (ms). */
+constexpr int kPollSliceMs = 100;
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        rsr_throw_io("fcntl(O_NONBLOCK) failed: ",
+                     std::strerror(errno));
+}
+
+/** Wait for @p fd to become readable/writable within the deadline. */
+void
+waitFor(int fd, short events, const Deadline &deadline,
+        const char *what)
+{
+    while (true) {
+        if (deadline.expired())
+            throw TimeoutError(std::string("peer I/O deadline expired "
+                                           "while waiting to ") +
+                               what);
+        struct pollfd pfd{fd, events, 0};
+        const int rc = ::poll(&pfd, 1, deadline.pollTimeoutMs(kPollSliceMs));
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            rsr_throw_io("poll failed: ", std::strerror(errno));
+        }
+        if (rc > 0)
+            return;
+    }
+}
+
+/** Send all @p n bytes within the deadline. */
+void
+sendAll(int fd, const std::uint8_t *data, std::size_t n,
+        const Deadline &deadline)
+{
+    std::size_t sent = 0;
+    while (sent < n) {
+        const ssize_t rc =
+            ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+        if (rc > 0) {
+            sent += static_cast<std::size_t>(rc);
+            continue;
+        }
+        if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            waitFor(fd, POLLOUT, deadline, "send");
+            continue;
+        }
+        if (rc < 0 && errno == EINTR)
+            continue;
+        rsr_throw_io("send failed after ", sent, " of ", n,
+                     " byte(s): ", std::strerror(errno));
+    }
+}
+
+/**
+ * Receive exactly @p n bytes within the deadline. Returns the number of
+ * bytes actually read before end-of-stream (== n on success), so the
+ * caller can distinguish "peer hung up cleanly" (0) from "torn frame"
+ * (0 < read < n).
+ */
+std::size_t
+recvUpTo(int fd, std::uint8_t *data, std::size_t n,
+         const Deadline &deadline)
+{
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t rc = ::recv(fd, data + got, n - got, 0);
+        if (rc > 0) {
+            got += static_cast<std::size_t>(rc);
+            continue;
+        }
+        if (rc == 0)
+            return got; // end of stream
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            waitFor(fd, POLLIN, deadline, "receive");
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == ECONNRESET)
+            return got; // treat a reset like a torn stream
+        rsr_throw_io("recv failed after ", got, " of ", n,
+                     " byte(s): ", std::strerror(errno));
+    }
+    return got;
+}
+
+} // namespace
+
+void
+Socket::closeNow()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Socket
+listenOn(std::uint16_t &port)
+{
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid())
+        rsr_throw_io("socket() failed: ", std::strerror(errno));
+
+    const int one = 1;
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    struct sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(sock.fd(), reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) < 0)
+        rsr_throw_io("bind(127.0.0.1:", port,
+                     ") failed: ", std::strerror(errno));
+    if (::listen(sock.fd(), 64) < 0)
+        rsr_throw_io("listen failed: ", std::strerror(errno));
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(sock.fd(),
+                      reinterpret_cast<struct sockaddr *>(&addr),
+                      &len) < 0)
+        rsr_throw_io("getsockname failed: ", std::strerror(errno));
+    port = ntohs(addr.sin_port);
+
+    setNonBlocking(sock.fd());
+    return sock;
+}
+
+WaitResult
+waitAcceptable(int listen_fd, int wake_fd, int timeout_ms)
+{
+    struct pollfd pfds[2];
+    pfds[0] = {listen_fd, POLLIN, 0};
+    nfds_t n = 1;
+    if (wake_fd >= 0) {
+        pfds[1] = {wake_fd, POLLIN, 0};
+        n = 2;
+    }
+    const int rc = ::poll(pfds, n, timeout_ms);
+    if (rc < 0) {
+        if (errno == EINTR)
+            return WaitResult::Timeout;
+        rsr_throw_io("poll(listen) failed: ", std::strerror(errno));
+    }
+    if (rc == 0)
+        return WaitResult::Timeout;
+    if (n == 2 && (pfds[1].revents & POLLIN))
+        return WaitResult::Woken;
+    return WaitResult::Acceptable;
+}
+
+Socket
+acceptConnection(int listen_fd)
+{
+    while (true) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0) {
+            Socket sock(fd);
+            setNonBlocking(fd);
+            const int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+            return sock;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK ||
+            errno == ECONNABORTED)
+            return Socket(); // the peer vanished between poll and accept
+        if (errno == EINTR)
+            continue;
+        rsr_throw_io("accept failed: ", std::strerror(errno));
+    }
+}
+
+Socket
+connectTo(std::uint16_t port, const Deadline &deadline)
+{
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid())
+        rsr_throw_io("socket() failed: ", std::strerror(errno));
+    setNonBlocking(sock.fd());
+
+    struct sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(sock.fd(),
+                  reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof(addr)) == 0)
+        return sock;
+    if (errno != EINPROGRESS)
+        rsr_throw_io("connect(127.0.0.1:", port,
+                     ") failed: ", std::strerror(errno));
+
+    waitFor(sock.fd(), POLLOUT, deadline, "connect");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) < 0 ||
+        err != 0)
+        rsr_throw_io("connect(127.0.0.1:", port,
+                     ") failed: ", std::strerror(err ? err : errno));
+    const int one = 1;
+    ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                 sizeof(one));
+    return sock;
+}
+
+void
+sendFrame(int fd, const Frame &frame, const Deadline &deadline)
+{
+    const auto bytes = encodeFrame(frame);
+    sendAll(fd, bytes.data(), bytes.size(), deadline);
+}
+
+bool
+recvFrame(int fd, const Deadline &deadline, Frame &out)
+{
+    std::uint8_t header[kHeaderBytes];
+    const std::size_t head_got =
+        recvUpTo(fd, header, kHeaderBytes, deadline);
+    if (head_got == 0)
+        return false; // clean hang-up between frames
+    if (head_got < kHeaderBytes)
+        rsr_throw_corrupt("torn frame: stream ended after ", head_got,
+                          " of ", kHeaderBytes, " header byte(s)");
+
+    // Deterministic fault injection: pretend the connection tore right
+    // after the header, exactly as a mid-transfer peer death looks.
+    if (FaultInjector::global().shouldTearFrame("recv:frame"))
+        rsr_throw_corrupt("torn frame (injected): stream ended after "
+                          "the header");
+
+    const std::uint32_t payload_len = validateHeader(header);
+    std::vector<std::uint8_t> bytes(kHeaderBytes + payload_len);
+    std::memcpy(bytes.data(), header, kHeaderBytes);
+    if (payload_len > 0) {
+        const std::size_t got = recvUpTo(
+            fd, bytes.data() + kHeaderBytes, payload_len, deadline);
+        if (got < payload_len)
+            rsr_throw_corrupt("torn frame: stream ended after ", got,
+                              " of ", payload_len,
+                              " payload byte(s)");
+    }
+    // Deterministic fault injection: flip one payload bit so the
+    // checksum-mismatch path gets exercised end to end.
+    FaultInjector::global().maybeCorrupt("recv:payload", bytes);
+    out = decodeFrame(bytes);
+    return true;
+}
+
+WakePipe
+makeWakePipe()
+{
+    int fds[2];
+    if (::pipe(fds) < 0)
+        rsr_throw_io("pipe() failed: ", std::strerror(errno));
+    WakePipe p;
+    p.readEnd = Socket(fds[0]);
+    p.writeEnd = Socket(fds[1]);
+    setNonBlocking(fds[0]);
+    setNonBlocking(fds[1]);
+    return p;
+}
+
+void
+notifyWakePipe(int write_fd)
+{
+    const char byte = 'w';
+    // Best effort and async-signal-safe: a full pipe already guarantees
+    // a pending wakeup, so a short or failed write is fine.
+    [[maybe_unused]] const ssize_t rc = ::write(write_fd, &byte, 1);
+}
+
+void
+drainWakePipe(int read_fd)
+{
+    char buf[64];
+    while (::read(read_fd, buf, sizeof(buf)) > 0) {
+    }
+}
+
+} // namespace rsr::serve

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Deadline-capped socket I/O for the serve daemon and its clients. This
+ * is the only translation unit in src/serve/ allowed to touch blocking
+ * socket syscalls (rsrlint's serve-blocking-io rule enforces it): every
+ * read and write here runs a nonblocking descriptor under poll(2) with a
+ * Deadline-derived timeout, so a hung, slow-loris, or half-dead peer
+ * costs at most the deadline — never a wedged daemon.
+ *
+ * Failure taxonomy: a peer that stops sending mid-frame is a
+ * TimeoutError (retryable — the peer may come back); a peer that closes
+ * mid-frame or sends damaged bytes is a CorruptInputError; environmental
+ * socket failures are IoError.
+ */
+
+#ifndef RSR_SERVE_NET_IO_HH
+#define RSR_SERVE_NET_IO_HH
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.hh"
+#include "util/deadline.hh"
+
+namespace rsr::serve
+{
+
+/** Move-only RAII owner of one socket descriptor. */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { closeNow(); }
+
+    Socket(Socket &&other) noexcept : fd_(other.fd_)
+    {
+        other.fd_ = -1;
+    }
+
+    Socket &
+    operator=(Socket &&other) noexcept
+    {
+        if (this != &other) {
+            closeNow();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    int fd() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Close immediately (idempotent). */
+    void closeNow();
+
+    /** Release ownership of the descriptor without closing it. */
+    int
+    release()
+    {
+        const int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Bind and listen on 127.0.0.1:@p port (0 picks an ephemeral port;
+ * @p port is updated with the bound value). The descriptor is
+ * nonblocking. Throws IoError on failure.
+ */
+Socket listenOn(std::uint16_t &port);
+
+/**
+ * Outcome of waiting on the listen socket plus a wake pipe.
+ */
+enum class WaitResult
+{
+    Timeout,
+    Acceptable, ///< the listen socket has a pending connection
+    Woken,      ///< the wake fd became readable (drain requested)
+};
+
+/**
+ * Wait up to @p timeout_ms for a pending connection on @p listen_fd or
+ * a byte on @p wake_fd (pass -1 for none). Wake wins ties so drain
+ * requests are honoured promptly.
+ */
+WaitResult waitAcceptable(int listen_fd, int wake_fd, int timeout_ms);
+
+/**
+ * Accept one pending connection (call after waitAcceptable says
+ * Acceptable). Returns an invalid Socket if the peer already vanished;
+ * throws IoError on a real accept failure.
+ */
+Socket acceptConnection(int listen_fd);
+
+/** Connect to 127.0.0.1:@p port within @p deadline. */
+Socket connectTo(std::uint16_t port, const Deadline &deadline);
+
+/**
+ * Send one encoded frame within @p deadline. Throws TimeoutError when
+ * the deadline expires with bytes still unsent, IoError when the peer
+ * resets or the socket fails.
+ */
+void sendFrame(int fd, const Frame &frame, const Deadline &deadline);
+
+/**
+ * Receive one frame within @p deadline. Returns false on a clean
+ * end-of-stream before any byte arrives (the peer simply hung up).
+ * Throws TimeoutError when the peer stalls mid-frame past the deadline
+ * (slow-loris), CorruptInputError on truncation / bad bytes / injected
+ * torn frames, IoError on socket failure.
+ */
+bool recvFrame(int fd, const Deadline &deadline, Frame &out);
+
+/** A nonblocking self-pipe for signal-safe daemon wakeups. */
+struct WakePipe
+{
+    Socket readEnd;
+    Socket writeEnd;
+};
+
+/** Create a nonblocking pipe pair. Throws IoError on failure. */
+WakePipe makeWakePipe();
+
+/**
+ * Write one byte to @p write_fd. Async-signal-safe (a bare write), so
+ * SIGTERM/SIGINT handlers may call it to request a graceful drain.
+ */
+void notifyWakePipe(int write_fd);
+
+/** Drain any pending bytes from the read end (never blocks). */
+void drainWakePipe(int read_fd);
+
+} // namespace rsr::serve
+
+#endif // RSR_SERVE_NET_IO_HH

@@ -108,6 +108,19 @@ FaultInjector::maybeCorrupt(const std::string &site,
     return true;
 }
 
+bool
+FaultInjector::shouldTearFrame(const std::string &site)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!armed_ || config_.tornFrameProb <= 0.0)
+        return false;
+    std::uint64_t salt;
+    if (draw(site, salt) >= config_.tornFrameProb)
+        return false;
+    ++stats_.tornFrames;
+    return true;
+}
+
 void
 FaultInjector::checkAlloc(const std::string &site, std::size_t bytes)
 {

@@ -34,12 +34,16 @@ struct FaultConfig
     double corruptProb = 0.0;
     /** Probability that a guarded large allocation throws bad_alloc. */
     double allocFailProb = 0.0;
+    /** Probability that a protocol frame is torn mid-transfer (the
+     *  serve daemon's receive path sees a truncated frame, as if the
+     *  peer died or the connection was cut between header and payload). */
+    double tornFrameProb = 0.0;
 
     bool
     enabled() const
     {
         return ioFailProb > 0.0 || corruptProb > 0.0 ||
-               allocFailProb > 0.0;
+               allocFailProb > 0.0 || tornFrameProb > 0.0;
     }
 };
 
@@ -49,6 +53,7 @@ struct FaultStats
     std::uint64_t ioFaults = 0;
     std::uint64_t corruptions = 0;
     std::uint64_t allocFaults = 0;
+    std::uint64_t tornFrames = 0;
 };
 
 /**
@@ -84,6 +89,14 @@ class FaultInjector
 
     /** Throws std::bad_alloc if an allocation fault fires for @p site. */
     void checkAlloc(const std::string &site, std::size_t bytes);
+
+    /**
+     * Should the protocol frame at @p site (e.g. "recv:frame") arrive
+     * torn? Counts a draw; records a fired fault in the stats. The
+     * caller reacts as it would to a real truncation: a typed
+     * CorruptInputError, never a crash.
+     */
+    bool shouldTearFrame(const std::string &site);
 
   private:
     FaultInjector() = default;

@@ -1,0 +1,27 @@
+// Fixture: raw socket syscalls in the serve zone. Each of these blocks
+// forever on a hung peer; the daemon's robustness contract requires the
+// deadline-capped wrappers in src/serve/net_io.hh instead.
+#include <cstddef>
+
+namespace rsr::serve
+{
+
+long
+readRequest(int fd, unsigned char *buf, std::size_t n)
+{
+    return recv(fd, buf, n, 0);
+}
+
+long
+writeReply(int fd, const unsigned char *buf, std::size_t n)
+{
+    return ::send(fd, buf, n, 0);
+}
+
+int
+takeOne(int listen_fd)
+{
+    return ::accept(listen_fd, nullptr, nullptr);
+}
+
+} // namespace rsr::serve

@@ -1,0 +1,29 @@
+// Fixture: serve-zone code going through the deadline-capped net_io
+// wrappers. Wrapper names that merely contain a syscall name
+// (recvFrame, sendFrame) and method calls (source.read) never fire the
+// rule; neither do comments mentioning recv( or poll( directly.
+#include <cstddef>
+
+namespace rsr::serve
+{
+
+struct Frame;
+class Deadline;
+bool recvFrame(int fd, const Deadline &deadline, Frame &out);
+void sendFrame(int fd, const Frame &frame, const Deadline &deadline);
+
+bool
+roundTrip(int fd, const Deadline &deadline, Frame &frame)
+{
+    sendFrame(fd, frame, deadline);
+    return recvFrame(fd, deadline, frame);
+}
+
+template <typename Source>
+std::size_t
+drainBuffered(Source &source, unsigned char *buf, std::size_t n)
+{
+    return source.read(buf, n);
+}
+
+} // namespace rsr::serve

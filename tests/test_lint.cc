@@ -29,14 +29,20 @@ noSibling(const std::string &)
     return nullptr;
 }
 
-/** Scan one fixture as if it lived under src/. */
+/**
+ * Scan one fixture as if it lived under src/ — or, for serve-zone
+ * rules (stem "serve_*"), under src/serve/.
+ */
 std::vector<Finding>
 scanFixture(const std::string &name)
 {
     const std::string fs_path =
         std::string(RSRLINT_FIXTURES) + "/" + name + ".cc";
+    const std::string zone_dir =
+        name.rfind("serve_", 0) == 0 ? "src/serve/lintcheck/"
+                                     : "src/lintcheck/";
     const SourceFile file =
-        lexFile(fs_path, "src/lintcheck/" + name + ".cc");
+        lexFile(fs_path, zone_dir + name + ".cc");
     return runRules(file, noSibling);
 }
 
@@ -89,7 +95,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("det-random", "det-wallclock",
                       "det-unordered-iter", "err-exit", "err-assert",
                       "conc-global-state", "conc-unused-mutex",
-                      "hot-endl", "hot-throw", "bad-suppression"),
+                      "hot-endl", "hot-throw", "bad-suppression",
+                      "serve-blocking-io"),
     [](const ::testing::TestParamInfo<const char *> &info) {
         std::string name = info.param;
         for (char &c : name)
@@ -180,6 +187,22 @@ TEST(RsrLint, ZonesExemptToolsAndBench)
     EXPECT_TRUE(
         runRules(lexString(text, "src/harness/probe.cc"), noSibling)
             .empty());
+}
+
+TEST(RsrLint, ServeBlockingIoScopedToServeZone)
+{
+    const std::string text =
+        "namespace rsr {\n"
+        "long f(int fd, char *b) { return ::recv(fd, b, 1, 0); }\n"
+        "} // namespace rsr\n";
+    EXPECT_EQ(runRules(lexString(text, "src/serve/probe.cc"), noSibling)
+                  .size(),
+              1u);
+    EXPECT_TRUE(
+        runRules(lexString(text, "src/core/probe.cc"), noSibling)
+            .empty());
+    EXPECT_TRUE(runRules(lexString(text, "tools/probe.cc"), noSibling)
+                    .empty());
 }
 
 TEST(RsrLint, MutexPairedWithLockingSourceIsClean)

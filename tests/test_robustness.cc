@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <csignal>
 #include <cmath>
 #include <cstdint>
@@ -453,6 +454,38 @@ TEST(Robustness, CampaignKillAndResumeRoundTrip)
     EXPECT_TRUE(r.allComplete());
     EXPECT_EQ(r.completed + r.skipped, r.total);
     EXPECT_EQ(r.exitStatus(), 0);
+}
+
+TEST(Robustness, CampaignStopFlagLeavesResumableManifest)
+{
+    // The SIGINT/SIGTERM path without the signal: a raised stop flag
+    // halts dispatch before any new job starts, the manifest stays
+    // durable, and a later resume finishes exactly the stopped work.
+    auto cfg = smallCampaign("stopflag");
+    std::atomic<bool> stop{true}; // raised before the first dispatch
+    cfg.stopFlag = &stop;
+
+    harness::CampaignRunner stopped(cfg);
+    const auto r1 = stopped.run();
+    EXPECT_EQ(r1.total, 6u);
+    EXPECT_EQ(r1.stopped, 6u);
+    EXPECT_EQ(r1.completed, 0u);
+    EXPECT_FALSE(r1.allComplete());
+    EXPECT_EQ(r1.exitStatus(), 2); // incomplete, by design
+
+    // Stopped jobs left no manifest entries: nothing half-recorded.
+    const auto state = harness::loadManifest(
+        harness::CampaignRunner::manifestPath(cfg.outDir));
+    for (const auto &[id, job] : state.jobs)
+        EXPECT_NE(job.status, harness::JobStatus::Complete);
+
+    // Lower the flag and resume: every stopped job runs to completion.
+    stop.store(false);
+    harness::CampaignRunner resumed(cfg);
+    const auto r2 = resumed.run(/*resume=*/true);
+    EXPECT_TRUE(r2.allComplete());
+    EXPECT_EQ(r2.stopped, 0u);
+    EXPECT_EQ(r2.exitStatus(), 0);
 }
 
 TEST(Robustness, ResumeRejectsMismatchedCampaign)

@@ -6,9 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cmath>
+#include <limits>
 #include <set>
+#include <thread>
 
 #include "util/bitutil.hh"
+#include "util/deadline.hh"
 #include "util/random.hh"
 #include "util/table.hh"
 #include "util/timer.hh"
@@ -179,6 +184,60 @@ TEST(WallTimer, MonotonicNonNegative)
     const double b = t.seconds();
     EXPECT_GE(a, 0.0);
     EXPECT_GE(b, a);
+}
+
+TEST(Deadline, NonPositiveSecondsIsTheUnlimitedSentinel)
+{
+    for (const double seconds : {0.0, -1.0, -1e300}) {
+        const Deadline d(seconds);
+        EXPECT_TRUE(d.unlimited());
+        EXPECT_FALSE(d.expired());
+        EXPECT_TRUE(std::isinf(d.remainingSeconds()));
+        // poll(2) callers get the cap, never a blocking -1 or a 0 spin.
+        EXPECT_EQ(d.pollTimeoutMs(250), 250);
+    }
+}
+
+TEST(Deadline, HugeSecondsClampInsteadOfOverflowing)
+{
+    // 1e300 seconds overflows the steady_clock duration cast; the
+    // constructor must clamp to maxSeconds, not wrap into the past.
+    for (const double seconds :
+         {Deadline::maxSeconds, Deadline::maxSeconds * 2, 1e300,
+          std::numeric_limits<double>::infinity()}) {
+        const Deadline d(seconds);
+        EXPECT_FALSE(d.unlimited());
+        EXPECT_FALSE(d.expired());
+        const double remaining = d.remainingSeconds();
+        EXPECT_GT(remaining, Deadline::maxSeconds * 0.99);
+        EXPECT_LE(remaining, Deadline::maxSeconds);
+    }
+}
+
+TEST(Deadline, ExpiryClampsRemainingToZero)
+{
+    const Deadline d(0.02);
+    EXPECT_FALSE(d.unlimited());
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    EXPECT_TRUE(d.expired());
+    EXPECT_EQ(d.remainingSeconds(), 0.0);
+    EXPECT_EQ(d.pollTimeoutMs(100), 0);
+}
+
+TEST(Deadline, PollTimeoutRoundsUpAndHonoursTheCap)
+{
+    // Far-off expiry: the cap wins.
+    EXPECT_EQ(Deadline(60.0).pollTimeoutMs(100), 100);
+
+    // Sub-millisecond remainder: rounds *up* to 1, never truncates to a
+    // busy-spin 0 while unexpired.
+    const Deadline soon(0.05);
+    const int ms = soon.pollTimeoutMs(1000);
+    EXPECT_GE(ms, 1);
+    EXPECT_LE(ms, 51);
+
+    // A zero cap is respected even with time remaining.
+    EXPECT_EQ(Deadline(60.0).pollTimeoutMs(0), 0);
 }
 
 } // namespace

@@ -75,28 +75,37 @@ patternRules()
          std::regex(R"((^|[^\w:])(std::)?(rand|srand|drand48|lrand48|random)\s*\(|random_device)"),
          "unseeded/global randomness in deterministic code — use the "
          "seeded rsr::Rng (src/util/random.hh)",
-         {Zone::SrcLib, Zone::SrcHarness, Zone::Bench},
+         {Zone::SrcLib, Zone::SrcHarness, Zone::SrcServe, Zone::Bench},
          false},
         {"det-wallclock",
          std::regex(R"(system_clock|high_resolution_clock|\bgettimeofday\b|\blocaltime\b|\bgmtime\b|\bstrftime\b|(^|[^\w:.])time\s*\(\s*(NULL|nullptr|0)?\s*\)|(^|[^\w:.])clock\s*\(\s*\))"),
          "wall-clock time in library code breaks replayability — "
          "steady_clock (util/timer.hh, util/deadline.hh) is the only "
          "sanctioned clock",
-         {Zone::SrcLib, Zone::SrcHarness},
+         {Zone::SrcLib, Zone::SrcHarness, Zone::SrcServe},
          false},
         {"err-exit",
          std::regex(R"((^|[^\w:.])(std::)?(exit|abort|_Exit|quick_exit|terminate)\s*\()"),
          "library code must not end the process — throw a SimError "
          "subclass (util/error.hh) so the campaign runner can record "
          "the failure and continue",
-         {Zone::SrcLib},
+         {Zone::SrcLib, Zone::SrcServe},
          false},
         {"err-assert",
          std::regex(R"((^|[^\w])assert\s*\(|#\s*include\s*[<"](cassert|assert\.h)[>"])"),
          "C assert() aborts the process — use rsr_assert "
          "(util/logging.hh), which throws InternalError",
-         {Zone::SrcLib},
+         {Zone::SrcLib, Zone::SrcServe},
          true},
+        {"serve-blocking-io",
+         std::regex(
+             R"((^|[^\w.:>])(::\s*)?(accept4?|connect|recv(from|msg)?|send(to|msg)?|read|write|p?poll|p?select)\s*\()"),
+         "raw socket syscall in the serve zone — go through "
+         "src/serve/net_io.hh, whose nonblocking poll(2) wrappers cap "
+         "every operation with a Deadline so a hung peer cannot wedge "
+         "the daemon",
+         {Zone::SrcServe},
+         false},
     };
     return rules;
 }
@@ -393,6 +402,8 @@ zoneOf(const std::string &path)
 {
     if (path.rfind("src/harness/", 0) == 0)
         return Zone::SrcHarness;
+    if (path.rfind("src/serve/", 0) == 0)
+        return Zone::SrcServe;
     if (path.rfind("src/", 0) == 0)
         return Zone::SrcLib;
     if (path.rfind("tools/", 0) == 0)
@@ -430,6 +441,11 @@ ruleCatalog()
         {"conc-unused-mutex", "concurrency",
          "every declared mutex must be locked somewhere in its "
          "header/source pair",
+         false},
+        {"serve-blocking-io", "serve",
+         "no raw socket syscalls in src/serve outside net_io.cc; every "
+         "network operation must run under a Deadline-capped poll "
+         "wrapper",
          false},
         {"hot-endl", "hot-path",
          "no std::endl in library code (it flushes); use '\\n'",
@@ -475,11 +491,11 @@ runRules(const SourceFile &file,
         }
     }
 
-    if (inZones(zone, {Zone::SrcLib, Zone::SrcHarness, Zone::Tools,
-                       Zone::Bench}))
+    if (inZones(zone, {Zone::SrcLib, Zone::SrcHarness, Zone::SrcServe,
+                       Zone::Tools, Zone::Bench}))
         checkUnorderedIter(file, out);
 
-    if (inZones(zone, {Zone::SrcLib, Zone::SrcHarness})) {
+    if (inZones(zone, {Zone::SrcLib, Zone::SrcHarness, Zone::SrcServe})) {
         checkGlobalState(file, out);
         checkUnusedMutex(file, sibling, out);
     }
@@ -487,7 +503,8 @@ runRules(const SourceFile &file,
     // Hot-path hygiene: endl is banned across src/, and additionally in
     // any file marked hot; throw statements are banned in hot files.
     const bool endl_zone =
-        inZones(zone, {Zone::SrcLib, Zone::SrcHarness}) || file.hot;
+        inZones(zone, {Zone::SrcLib, Zone::SrcHarness, Zone::SrcServe}) ||
+        file.hot;
     static const std::regex endl_re(R"(\bendl\b)");
     static const std::regex throw_re(R"(\bthrow\b|rsr_throw_\w+)");
     for (std::size_t i = 0; i < file.lines.size(); ++i) {

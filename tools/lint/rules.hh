@@ -8,6 +8,7 @@
  *   error handling  err-exit, err-assert
  *   concurrency     conc-global-state, conc-unused-mutex
  *   hot path        hot-endl, hot-throw
+ *   serve           serve-blocking-io
  *
  * Each rule applies only inside its *zone* — a set of path prefixes —
  * so tools may exit() and benches may read the wall clock while library
@@ -40,8 +41,9 @@ struct Finding
 /** Which part of the tree a file lives in (decided by path prefix). */
 enum class Zone
 {
-    SrcLib,     ///< src/ except src/harness — pure library code
+    SrcLib,     ///< src/ except src/harness and src/serve — pure library
     SrcHarness, ///< src/harness — drives pools, owns the process
+    SrcServe,   ///< src/serve — network I/O must be deadline-capped
     Tools,      ///< tools/ — CLI entry points, may exit
     Bench,      ///< bench/ — benchmark drivers
     Other,

@@ -38,6 +38,8 @@
  * (some jobs failed; see the manifest).
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -51,6 +53,8 @@
 #include "core/warmup.hh"
 #include "harness/campaign.hh"
 #include "harness/parallel_run.hh"
+#include "serve/daemon.hh"
+#include "serve/net_io.hh"
 #include "simpoint/simpoint.hh"
 #include "trace/trace.hh"
 #include "util/args.hh"
@@ -510,6 +514,51 @@ cmdCompare(const ArgParser &args)
     return 0;
 }
 
+// Signal plumbing for the long-running commands. Handlers must be
+// async-signal-safe: the campaign handler only stores to a lock-free
+// atomic that the runner polls; the serve handler only write()s one byte
+// to the daemon's wake pipe (notifyWakePipe is a bare write).
+std::atomic<bool> g_campaignStop{false};
+std::atomic<int> g_serveWakeFd{-1};
+
+extern "C" void
+campaignSignalHandler(int)
+{
+    g_campaignStop.store(true);
+}
+
+extern "C" void
+serveSignalHandler(int)
+{
+    const int fd = g_serveWakeFd.load();
+    if (fd >= 0)
+        rsr::serve::notifyWakePipe(fd);
+}
+
+/** RAII: route SIGINT/SIGTERM to @p handler, restoring on scope exit. */
+class ScopedSignalHandlers
+{
+  public:
+    explicit ScopedSignalHandlers(void (*handler)(int))
+    {
+        priorInt_ = std::signal(SIGINT, handler);
+        priorTerm_ = std::signal(SIGTERM, handler);
+    }
+
+    ~ScopedSignalHandlers()
+    {
+        std::signal(SIGINT, priorInt_);
+        std::signal(SIGTERM, priorTerm_);
+    }
+
+    ScopedSignalHandlers(const ScopedSignalHandlers &) = delete;
+    ScopedSignalHandlers &operator=(const ScopedSignalHandlers &) = delete;
+
+  private:
+    void (*priorInt_)(int);
+    void (*priorTerm_)(int);
+};
+
 int
 cmdCampaign(const ArgParser &args)
 {
@@ -539,7 +588,13 @@ cmdCampaign(const ArgParser &args)
     cfg.faults.corruptProb = args.getDouble("fault-corrupt", 0.0);
     cfg.faults.allocFailProb = args.getDouble("fault-alloc", 0.0);
 
+    // Graceful shutdown: SIGINT/SIGTERM stop dispatching new jobs while
+    // in-flight jobs finish and flush their manifest entries, so the
+    // campaign directory stays resumable.
+    g_campaignStop.store(false);
+    cfg.stopFlag = &g_campaignStop;
     harness::CampaignRunner runner(cfg);
+    const ScopedSignalHandlers guard(campaignSignalHandler);
     const auto r = runner.run(resume);
     std::printf("campaign %s: %llu jobs, %llu completed, %llu skipped "
                 "(already done), %llu failed, %llu transient retries\n",
@@ -549,11 +604,68 @@ cmdCampaign(const ArgParser &args)
                 static_cast<unsigned long long>(r.skipped),
                 static_cast<unsigned long long>(r.failed),
                 static_cast<unsigned long long>(r.retries));
+    if (r.stopped > 0)
+        std::printf("  stopped by signal with %llu job(s) not run; "
+                    "rerun with --resume to finish them\n",
+                    static_cast<unsigned long long>(r.stopped));
     if (r.failed > 0)
         std::printf("  failed jobs are recorded in %s\n",
                     harness::CampaignRunner::manifestPath(cfg.outDir)
                         .c_str());
     return r.exitStatus();
+}
+
+int
+cmdServe(const ArgParser &args)
+{
+    serve::ServeConfig cfg;
+    cfg.port = static_cast<std::uint16_t>(args.getU64("port", 0));
+    cfg.threads =
+        static_cast<unsigned>(args.getPositiveU64("threads", 2));
+    cfg.queueCapacity = args.getPositiveU64("queue-capacity", 16);
+    cfg.shedFillFraction = args.getDouble("shed-fill", 0.75);
+    cfg.ioDeadlineSec = args.getDouble("io-timeout", 5.0);
+    cfg.requestDeadlineSec = args.getDouble("timeout", 120.0);
+    cfg.maxRetries = static_cast<unsigned>(args.getU64("retries", 1));
+    cfg.backoffMs =
+        static_cast<unsigned>(args.getU64("backoff-ms", 5));
+    cfg.resultCacheBytes = args.getPositiveU64("result-cache-mb", 64)
+                           << 20;
+    cfg.storeCacheBytes = args.getPositiveU64("store-cache-mb", 256)
+                          << 20;
+    cfg.journalPath = args.get("journal");
+    cfg.faults.seed = args.getU64("fault-seed", 0);
+    cfg.faults.ioFailProb = args.getDouble("fault-io", 0.0);
+    cfg.faults.corruptProb = args.getDouble("fault-corrupt", 0.0);
+    cfg.faults.allocFailProb = args.getDouble("fault-alloc", 0.0);
+    cfg.faults.tornFrameProb = args.getDouble("fault-torn", 0.0);
+
+    const unsigned threads = cfg.threads;
+    const std::uint64_t capacity = cfg.queueCapacity;
+    const bool journaled = !cfg.journalPath.empty();
+
+    serve::Server server(std::move(cfg));
+    server.start();
+
+    // Route SIGINT/SIGTERM through the daemon's wake pipe: the handler
+    // write()s one byte, the accept loop sees it and drains gracefully.
+    g_serveWakeFd.store(server.wakeFd());
+    const ScopedSignalHandlers guard(serveSignalHandler);
+
+    std::printf("rsr_sim serve: listening on 127.0.0.1:%u "
+                "(threads %u, queue %llu%s)\n",
+                server.port(), threads,
+                static_cast<unsigned long long>(capacity),
+                journaled ? ", journaled" : "");
+    std::fflush(stdout);
+
+    server.serve();
+    g_serveWakeFd.store(-1);
+
+    const auto s = server.stats();
+    std::printf("rsr_sim serve: drained cleanly\n%s\n",
+                s.json().c_str());
+    return 0;
 }
 
 void
@@ -592,6 +704,21 @@ usage()
         "               [--timeout SECS] [--resume] [--fault-seed X] "
         "[--fault-io P]\n"
         "               [--fault-corrupt P] [--fault-alloc P]\n"
+        "               (SIGINT/SIGTERM stop dispatching, let in-flight\n"
+        "               jobs finish, and leave a resumable manifest)\n"
+        "  serve        [--port P] [--threads T] [--queue-capacity N]\n"
+        "               [--shed-fill F] [--io-timeout SECS] "
+        "[--timeout SECS]\n"
+        "               [--retries R] [--backoff-ms MS] "
+        "[--result-cache-mb M]\n"
+        "               [--store-cache-mb M] [--journal FILE] "
+        "[--fault-seed X]\n"
+        "               [--fault-io P] [--fault-corrupt P] "
+        "[--fault-torn P]\n"
+        "               (fault-tolerant simulation daemon on 127.0.0.1;\n"
+        "               drive it with rsr_serve_client; SIGTERM drains\n"
+        "               gracefully and --journal makes the queue "
+        "resumable)\n"
         "examples:\n"
         "  rsr_sim mklvpt --workload gcc --policy rsr40 --out gcc.lvpt\n"
         "  rsr_sim replay --store gcc.lvpt --jobs 4 --csv\n"
@@ -611,7 +738,9 @@ dispatch(const ArgParser &args)
         "config",    "set",      "store",    "workloads", "policies",
         "threads",   "retries",  "backoff-ms", "timeout", "resume",
         "fault-seed", "fault-io", "fault-corrupt", "fault-alloc",
-        "jobs",      "livepoints"};
+        "jobs",      "livepoints", "port", "queue-capacity",
+        "shed-fill", "io-timeout", "result-cache-mb", "store-cache-mb",
+        "journal",   "fault-torn"};
     args.requireKnown(allowed);
 
     const std::string cmd = args.command();
@@ -637,6 +766,8 @@ dispatch(const ArgParser &args)
         return cmdSimPoint(args);
     if (cmd == "campaign")
         return cmdCampaign(args);
+    if (cmd == "serve")
+        return cmdServe(args);
     usage();
     return cmd.empty() ? 0 : 1;
 }
