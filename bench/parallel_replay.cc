@@ -13,6 +13,10 @@
  * records the machine's core count next to the measured speedup — on a
  * single-core container the two sweeps cost the same and `speedup`
  * honestly reports ~1.0.
+ *
+ * Flags: --out FILE (default BENCH_parallel_replay.json), --baseline
+ * (stamping a committed baseline; refused on machines with a single
+ * hardware core, where the recorded speedup would be meaningless).
  */
 
 #include <cstdio>
@@ -21,14 +25,34 @@
 #include "bench_common.hh"
 #include "harness/json.hh"
 #include "harness/parallel_run.hh"
+#include "util/args.hh"
 #include "util/fileio.hh"
 #include "util/table.hh"
 #include "util/timer.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rsr;
+    ArgParser args(argc, argv);
+    const bool baseline = args.has("baseline");
+    const std::string out =
+        args.get("out", "BENCH_parallel_replay.json");
+    const unsigned cores = std::thread::hardware_concurrency();
+
+    // A baseline stamped on a 1-core runner would record a meaningless
+    // ~1.0 "speedup" that multicore CI runs then get compared against.
+    // Refuse outright: baselines only come from machines that can
+    // actually run replays in parallel.
+    if (baseline && cores <= 1) {
+        std::fprintf(stderr,
+                     "parallel_replay: refusing to write a baseline on a "
+                     "%u-core machine; parallel speedup is unmeasurable "
+                     "here — rerun --baseline on a multicore runner\n",
+                     cores);
+        return 1;
+    }
+
     bench::banner("Parallel cluster replay: serial vs pooled timing",
                   "phase-driver deferred mode determinism + speedup");
 
@@ -42,7 +66,6 @@ main()
         "smarts",   "rcache20", "rcache40",  "rcache80", "rcache100",
         "rbp",      "rsr20",    "rsr40",     "rsr80", "rsr100"};
     const unsigned jobs = 4;
-    const unsigned cores = std::thread::hardware_concurrency();
 
     WallTimer serial_timer;
     const auto serial =
@@ -102,7 +125,6 @@ main()
         .put("speedup", speedup)
         .putBool("parallel_scaling_valid", scaling_valid)
         .putBool("identical", identical);
-    const std::string out = "BENCH_parallel_replay.json";
     atomicWriteFile(out, j.str() + "\n");
     std::printf("wrote %s\n", out.c_str());
     return identical ? 0 : 1;

@@ -283,13 +283,23 @@ ClusterScheduleDriver::runDeferred(ReplaySink &sink)
     return res;
 }
 
+Machine &
+ReplayArena::acquire(const MachineConfig &machine_config)
+{
+    if (!machine)
+        machine = std::make_unique<Machine>(machine_config);
+    return *machine;
+}
+
+namespace
+{
+
 uarch::RunResult
-replayCluster(ClusterReplayTask &task,
-              const MachineConfig &machine_config,
-              std::uint64_t *recon_updates, double *seconds)
+replayOnMachine(ClusterReplayTask &task,
+                const MachineConfig &machine_config, Machine &m,
+                std::uint64_t *recon_updates, double *seconds)
 {
     WallTimer timer;
-    Machine m(machine_config);
     restoreFromBytes(m, task.machineState);
     if (task.context)
         task.context->attach(m);
@@ -308,6 +318,28 @@ replayCluster(ClusterReplayTask &task,
     if (seconds)
         *seconds = timer.seconds();
     return rr;
+}
+
+} // namespace
+
+uarch::RunResult
+replayCluster(ClusterReplayTask &task,
+              const MachineConfig &machine_config,
+              std::uint64_t *recon_updates, double *seconds)
+{
+    Machine m(machine_config);
+    return replayOnMachine(task, machine_config, m, recon_updates,
+                           seconds);
+}
+
+uarch::RunResult
+replayCluster(ClusterReplayTask &task,
+              const MachineConfig &machine_config, ReplayArena &arena,
+              std::uint64_t *recon_updates, double *seconds)
+{
+    return replayOnMachine(task, machine_config,
+                           arena.acquire(machine_config), recon_updates,
+                           seconds);
 }
 
 } // namespace rsr::core

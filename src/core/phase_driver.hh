@@ -269,6 +269,27 @@ class ClusterScheduleDriver
 };
 
 /**
+ * A worker-private machine reused across cluster replays. Building a
+ * Machine allocates every cache array and predictor table; doing that
+ * per cluster makes parallel replay a global-heap contention benchmark
+ * instead of a simulation. One arena per replay worker amortizes the
+ * allocation: restoreFromBytes() overwrites the entire hierarchy and
+ * predictor state (Machine::restore covers both), and replayCluster()
+ * resets the buses, so a reused machine is bit-identical to a fresh one.
+ */
+class ReplayArena
+{
+  public:
+    ReplayArena() = default;
+
+    /** The arena machine for @p machine_config, built on first use. */
+    Machine &acquire(const MachineConfig &machine_config);
+
+  private:
+    std::unique_ptr<Machine> machine;
+};
+
+/**
  * Measure one deferred cluster on a private machine built from
  * @p machine_config: restore the snapshot, attach the measurement
  * context, run the timing model over the stored trace. This is the
@@ -284,6 +305,17 @@ class ClusterScheduleDriver
  */
 uarch::RunResult replayCluster(ClusterReplayTask &task,
                                const MachineConfig &machine_config,
+                               std::uint64_t *recon_updates = nullptr,
+                               double *seconds = nullptr);
+
+/**
+ * replayCluster() on a reusable arena machine instead of a fresh one.
+ * Bit-identical to the fresh-machine overload (the snapshot restore is
+ * total); the arena must be private to the calling thread.
+ */
+uarch::RunResult replayCluster(ClusterReplayTask &task,
+                               const MachineConfig &machine_config,
+                               ReplayArena &arena,
                                std::uint64_t *recon_updates = nullptr,
                                double *seconds = nullptr);
 

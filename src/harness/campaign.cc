@@ -10,6 +10,7 @@
 #include "core/warmup.hh"
 #include "harness/json.hh"
 #include "harness/parallel_run.hh"
+#include "harness/shard.hh"
 #include "harness/thread_pool.hh"
 #include "util/checksum.hh"
 #include "util/deadline.hh"
@@ -204,7 +205,19 @@ CampaignRunner::run(bool resume)
         }
     }
 
-    ManifestWriter manifest(manifest_path, fp, jobs.size(), resume);
+    const ManifestWriter::OpenMode manifest_mode =
+        config.sharedManifest ? ManifestWriter::OpenMode::SharedAppend
+        : resume              ? ManifestWriter::OpenMode::Resume
+                              : ManifestWriter::OpenMode::Fresh;
+    ManifestWriter manifest(manifest_path, fp, jobs.size(),
+                            manifest_mode);
+
+    // Sharded workers race siblings for job ownership; claims are held
+    // until process exit (see shard.hh for the protocol).
+    std::unique_ptr<ShardClaimTable> claims;
+    if (!config.claimPath.empty())
+        claims = std::make_unique<ShardClaimTable>(config.claimPath,
+                                                   jobs.size());
 
     // Arm fault injection for the run only; jobs see injected faults,
     // the manifest journal itself does not (it bypasses the hooks).
@@ -231,6 +244,23 @@ CampaignRunner::run(bool resume)
             if (stopRequested()) {
                 ++stopped;
                 return;
+            }
+            if (claims) {
+                if (!claims->tryClaim(spec.id)) {
+                    // A live sibling process owns this job.
+                    ++skipped;
+                    return;
+                }
+                // The claim is won, but the previous owner may have
+                // completed the job and exited (its lock died with it).
+                // Re-check the journal before running.
+                const ManifestState now = loadManifest(manifest_path);
+                const auto it = now.jobs.find(spec.id);
+                if (it != now.jobs.end() &&
+                    it->second.status == JobStatus::Complete) {
+                    ++skipped;
+                    return;
+                }
             }
 
             JobRecord rec;

@@ -67,6 +67,22 @@ struct CampaignConfig
     FaultConfig faults;
 
     /**
+     * When non-empty, the path of a ShardClaimTable (see shard.hh): a
+     * job is run only after this process wins its advisory claim, and a
+     * won claim is double-checked against the manifest so a job finished
+     * by a sibling that already exited is never rerun. Set by the
+     * sharded-campaign driver on each worker process.
+     */
+    std::string claimPath;
+
+    /**
+     * Open the manifest in SharedAppend mode: no header write and no
+     * torn-line repair, because several worker processes append to the
+     * same journal (the sharded driver's parent writes the header).
+     */
+    bool sharedManifest = false;
+
+    /**
      * Optional cooperative stop request (not owned; must outlive run()).
      * When it becomes true — a SIGINT/SIGTERM handler typically sets it —
      * no further jobs are dispatched and no further retries are slept

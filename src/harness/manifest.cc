@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <fcntl.h>
+#include <sys/types.h>
 #include <unistd.h>
 
 #include "json.hh"
@@ -119,33 +121,48 @@ parseJobRecord(const std::string &line)
 
 ManifestWriter::ManifestWriter(const std::string &path,
                                const std::string &fingerprint,
-                               std::uint64_t num_jobs, bool append)
+                               std::uint64_t num_jobs, OpenMode mode)
     : path(path)
 {
-    if (append) {
-        file = std::fopen(path.c_str(), "r+b");
-        if (!file)
-            rsr_throw_user("cannot open manifest for resume: ", path,
-                           ": ", std::strerror(errno));
-        // Repair a torn trailing line (SIGKILL mid-append) so the next
-        // append starts on a fresh line.
-        std::fseek(file, 0, SEEK_END);
-        const long size = std::ftell(file);
-        if (size > 0) {
-            std::fseek(file, size - 1, SEEK_SET);
-            if (std::fgetc(file) != '\n') {
-                std::fseek(file, 0, SEEK_END);
-                std::fputc('\n', file);
-            }
-        }
-        std::fseek(file, 0, SEEK_END);
-        return;
+    // Every mode opens with O_APPEND: the kernel positions each write()
+    // at end-of-file atomically, which is what makes SharedAppend safe
+    // across shard worker processes.
+    switch (mode) {
+      case OpenMode::Fresh:
+        fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND,
+                    0644);
+        if (fd < 0)
+            rsr_throw_io("cannot create manifest ", path, ": ",
+                         std::strerror(errno));
+        break;
+      case OpenMode::Resume:
+      case OpenMode::SharedAppend:
+        fd = ::open(path.c_str(), O_RDWR | O_APPEND);
+        if (fd < 0)
+            rsr_throw_user("cannot open manifest for ",
+                           mode == OpenMode::Resume ? "resume"
+                                                    : "shared append",
+                           ": ", path, ": ", std::strerror(errno));
+        break;
     }
 
-    file = std::fopen(path.c_str(), "wb");
-    if (!file)
-        rsr_throw_io("cannot create manifest ", path, ": ",
-                     std::strerror(errno));
+    if (mode == OpenMode::Resume) {
+        // Repair a torn trailing line (SIGKILL mid-append) so the next
+        // append starts on a fresh line. Only safe single-writer —
+        // SharedAppend skips it and relies on the loader dropping the
+        // torn line instead.
+        const off_t size = ::lseek(fd, 0, SEEK_END);
+        char last = '\n';
+        if (size > 0 && ::pread(fd, &last, 1, size - 1) == 1 &&
+            last != '\n') {
+            if (::write(fd, "\n", 1) != 1)
+                rsr_throw_io("cannot repair manifest ", path);
+        }
+        return;
+    }
+    if (mode == OpenMode::SharedAppend)
+        return;
+
     JsonWriter header;
     header.put("manifest", manifestTag)
         .put("version", manifestVersion)
@@ -156,18 +173,23 @@ ManifestWriter::ManifestWriter(const std::string &path,
 
 ManifestWriter::~ManifestWriter()
 {
-    if (file)
-        std::fclose(file);
+    if (fd >= 0)
+        ::close(fd);
 }
 
 void
 ManifestWriter::appendLine(const std::string &line)
 {
+    // One write() per line: with O_APPEND this is atomic with respect to
+    // other appenders, so concurrent shard processes can never interleave
+    // partial lines (a crash mid-write tears at most this line, which the
+    // loader drops).
     const std::string out = line + "\n";
-    if (std::fwrite(out.data(), 1, out.size(), file) != out.size() ||
-        std::fflush(file) != 0)
-        rsr_throw_io("cannot append to manifest ", path);
-    ::fsync(::fileno(file));
+    const ssize_t n = ::write(fd, out.data(), out.size());
+    if (n != static_cast<ssize_t>(out.size()))
+        rsr_throw_io("cannot append to manifest ", path, ": ",
+                     std::strerror(errno));
+    ::fsync(fd);
 }
 
 void

@@ -64,30 +64,57 @@ std::string formatJobRecord(const JobRecord &r);
 /** Parse a line written by formatJobRecord(); throws CorruptInputError. */
 JobRecord parseJobRecord(const std::string &line);
 
-/** Append-only, fsync-per-line manifest journal. Thread-safe. */
+/**
+ * Append-only, fsync-per-line manifest journal. Thread-safe, and — in
+ * SharedAppend mode — multi-process safe: every line goes out as one
+ * write() on an O_APPEND descriptor, so concurrent shard workers
+ * appending to the same journal interleave whole lines, never bytes.
+ */
 class ManifestWriter
 {
   public:
-    /**
-     * Open @p path. Fresh campaigns truncate and write a header line;
-     * resumed campaigns append (repairing a torn trailing line first)
-     * without writing a new header.
-     */
+    enum class OpenMode
+    {
+        /** Truncate and write a fresh header line. */
+        Fresh,
+        /**
+         * Reopen an existing journal for more appends, repairing a torn
+         * trailing line (SIGKILL mid-append) first. Single-writer: the
+         * repair step must not race another live writer.
+         */
+        Resume,
+        /**
+         * Open an existing journal for appends from one of several
+         * concurrent writer processes. No header, no torn-line repair
+         * (a peer may be mid-append); the loader drops torn lines.
+         */
+        SharedAppend,
+    };
+
     ManifestWriter(const std::string &path, const std::string &fingerprint,
-                   std::uint64_t num_jobs, bool append);
+                   std::uint64_t num_jobs, OpenMode mode);
+
+    /** Legacy spelling: append=false → Fresh, append=true → Resume. */
+    ManifestWriter(const std::string &path, const std::string &fingerprint,
+                   std::uint64_t num_jobs, bool append)
+        : ManifestWriter(path, fingerprint, num_jobs,
+                         append ? OpenMode::Resume : OpenMode::Fresh)
+    {
+    }
+
     ~ManifestWriter();
 
     ManifestWriter(const ManifestWriter &) = delete;
     ManifestWriter &operator=(const ManifestWriter &) = delete;
 
-    /** Durably append one record (one line, flushed and fsynced). */
+    /** Durably append one record (one write()+fsync line). */
     void append(const JobRecord &r);
 
   private:
     void appendLine(const std::string &line);
 
     std::mutex mutex_;
-    std::FILE *file = nullptr;
+    int fd = -1;
     std::string path;
 };
 

@@ -12,6 +12,7 @@
 #ifndef RSR_HARNESS_PARALLEL_RUN_HH
 #define RSR_HARNESS_PARALLEL_RUN_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -25,12 +26,15 @@ namespace rsr::harness
 /**
  * Run one sampled simulation with per-cluster timing replays spread over
  * @p jobs worker threads (1 = serial, same estimator). The result's
- * clusterIpc / estimate / hot counters are deterministic in @p jobs.
+ * clusterIpc / estimate / hot counters are deterministic in @p jobs —
+ * and in @p steal_seed, which only randomizes the pool's victim-selection
+ * order (a determinism stress knob; 0 = fixed ring order).
  */
 core::SampledResult runSampledParallel(const func::Program &program,
                                        core::WarmupPolicy &policy,
                                        const core::SampledConfig &config,
-                                       unsigned jobs);
+                                       unsigned jobs,
+                                       std::uint64_t steal_seed = 0);
 
 /**
  * Consumer pass over a live-point store: measure every stored cluster
@@ -43,7 +47,8 @@ core::SampledResult runSampledParallel(const func::Program &program,
  */
 core::SampledResult replayStoreParallel(const core::LivePointStore &store,
                                         const core::MachineConfig &machine_config,
-                                        unsigned jobs);
+                                        unsigned jobs,
+                                        std::uint64_t steal_seed = 0);
 
 /** Replay with the store's capture-time machine configuration. */
 core::SampledResult replayStoreParallel(const core::LivePointStore &store,
@@ -62,12 +67,14 @@ struct PolicySweepEntry
  * one pool task per policy (each task replays its clusters serially —
  * policy-level parallelism scales better than cluster-level for sweeps).
  * Results come back in the order of @p policy_names; unknown names throw
- * UserInputError before any work starts.
+ * UserInputError before any work starts. @p steal_seed randomizes the
+ * pool's victim-selection order without affecting any result.
  */
 std::vector<PolicySweepEntry>
 runPolicySweep(const func::Program &program,
                const std::vector<std::string> &policy_names,
-               const core::SampledConfig &config, unsigned jobs);
+               const core::SampledConfig &config, unsigned jobs,
+               std::uint64_t steal_seed = 0);
 
 } // namespace rsr::harness
 

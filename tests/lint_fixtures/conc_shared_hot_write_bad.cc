@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Seeded violations for conc-shared-hot-write: pool-submitted lambdas
+ * writing reference-captured containers with no commit-zone marker.
+ */
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace rsr
+{
+
+class Pool
+{
+  public:
+    void submit(std::function<void()> task);
+};
+
+void
+fanOutSlots(Pool &pool, std::vector<double> &results, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        pool.submit([&results, i] {
+            results[i] = static_cast<double>(i) * 0.5;
+        });
+}
+
+void
+fanOutGrow(Pool &pool, std::vector<double> &log)
+{
+    pool.submit([&] {
+        log.push_back(1.0);
+    });
+}
+
+} // namespace rsr

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Clean twin for conc-shared-hot-write: shared writes carry a
+ * commit-zone marker (disjoint-by-index slots), and everything else is
+ * value-captured or lambda-local.
+ */
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace rsr
+{
+
+class Pool
+{
+  public:
+    void submit(std::function<void()> task);
+};
+
+void
+fanOutSlots(Pool &pool, std::vector<double> &results, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        pool.submit([&results, i] {
+            // rsrlint: commit-zone — slot i is owned by this task alone.
+            results[i] = static_cast<double>(i) * 0.5;
+        });
+}
+
+void
+fanOutLocal(Pool &pool, std::vector<double> seed)
+{
+    pool.submit([seed] {
+        std::vector<double> scratch = seed;
+        scratch.push_back(1.0);
+    });
+}
+
+} // namespace rsr

@@ -95,8 +95,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("det-random", "det-wallclock",
                       "det-unordered-iter", "err-exit", "err-assert",
                       "conc-global-state", "conc-unused-mutex",
-                      "hot-endl", "hot-throw", "bad-suppression",
-                      "serve-blocking-io"),
+                      "conc-shared-hot-write", "hot-endl", "hot-throw",
+                      "bad-suppression", "serve-blocking-io"),
     [](const ::testing::TestParamInfo<const char *> &info) {
         std::string name = info.param;
         for (char &c : name)

@@ -12,7 +12,19 @@
  *                 --current build/bench/BENCH_hot_loops.json \
  *                 [--tolerance 0.15]
  *
- * Exit status: 0 within tolerance, 1 regression or bad input.
+ * Two records are only comparable when they describe the same
+ * experiment: a `jobs` mismatch always means the wrong files are being
+ * compared (exit 3, with the offending values). A `cores` mismatch is
+ * fine for machine-normalized metrics — that is their whole point —
+ * unless the records make a scaling claim (they carry
+ * `parallel_scaling_valid`), where the core count is part of the
+ * experiment: then a mismatch is also typed INCOMPARABLE (exit 3).
+ * When either scaling record says `parallel_scaling_valid=false`
+ * (a 1-core runner), the comparison is skipped with exit 0 — an honest
+ * "cannot measure scaling here" must not fail the gate.
+ *
+ * Exit status: 0 within tolerance (or skipped), 1 regression or bad
+ * input, 3 incomparable records.
  */
 
 #include <cstdio>
@@ -52,6 +64,59 @@ main(int argc, char **argv)
 
     const auto baseline = loadRecord(base_path);
     const auto current = loadRecord(cur_path);
+
+    // Typed comparability checks before any metric math: silently
+    // comparing records of different experiments yields verdicts that
+    // are worse than no gate at all.
+    const auto field = [](const std::map<std::string, std::string> &rec,
+                          const char *key) {
+        const auto it = rec.find(key);
+        return it == rec.end() ? std::string() : it->second;
+    };
+    const std::string base_jobs = field(baseline, "jobs");
+    const std::string cur_jobs = field(current, "jobs");
+    if (base_jobs != cur_jobs) {
+        std::fprintf(stderr,
+                     "bench_compare: INCOMPARABLE records: baseline %s "
+                     "ran with jobs=%s but current %s ran with jobs=%s; "
+                     "regenerate one side with the other's job count "
+                     "(or point --baseline/--current at the right "
+                     "files)\n",
+                     base_path.c_str(),
+                     base_jobs.empty() ? "<missing>" : base_jobs.c_str(),
+                     cur_path.c_str(),
+                     cur_jobs.empty() ? "<missing>" : cur_jobs.c_str());
+        return 3;
+    }
+    const bool scaling_record =
+        baseline.count("parallel_scaling_valid") != 0 ||
+        current.count("parallel_scaling_valid") != 0;
+    if (scaling_record) {
+        // An honest 1-core record cannot gate scaling: skip, loudly.
+        if (field(baseline, "parallel_scaling_valid") == "false" ||
+            field(current, "parallel_scaling_valid") == "false") {
+            std::printf("bench_compare: skipping scaling comparison — "
+                        "parallel_scaling_valid=false (baseline cores=%s"
+                        ", current cores=%s); rerun on a multicore "
+                        "machine for an enforceable record\n",
+                        field(baseline, "cores").c_str(),
+                        field(current, "cores").c_str());
+            return 0;
+        }
+        // For scaling records the core count is part of the experiment,
+        // not machine noise the norm_* trick cancels.
+        if (field(baseline, "cores") != field(current, "cores")) {
+            std::fprintf(stderr,
+                         "bench_compare: INCOMPARABLE scaling records: "
+                         "baseline measured on %s core(s), current on "
+                         "%s; scaling efficiency is only comparable on "
+                         "matching core counts — regenerate the "
+                         "baseline on this runner class\n",
+                         field(baseline, "cores").c_str(),
+                         field(current, "cores").c_str());
+            return 3;
+        }
+    }
 
     std::printf("%-12s %12s %12s %9s  %s\n", "metric", "baseline",
                 "current", "ratio", "verdict");

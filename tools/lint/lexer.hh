@@ -10,6 +10,9 @@
  *   rsrlint: allow(<rule>[, <rule>...])   suppress on this / the next line
  *   rsrlint: allow-file(<rule>[, ...])    suppress for the whole file
  *   rsrlint: hot                          mark the file as a hot path
+ *   rsrlint: commit-zone                  mark shared writes below it in a
+ *                                         pool-submitted lambda as proven
+ *                                         disjoint (conc-shared-hot-write)
  *
  * The lexer understands line comments, block comments, ordinary and raw
  * string literals, character literals, digit separators (1'000'000), and

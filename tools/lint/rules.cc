@@ -334,6 +334,157 @@ checkGlobalState(const SourceFile &file, std::vector<Finding> &out)
 }
 
 // ---------------------------------------------------------------------
+// conc-shared-hot-write: non-atomic writes to shared containers from
+// pool-submitted lambdas, outside a marked commit zone.
+// ---------------------------------------------------------------------
+
+/**
+ * The parallel-replay convention (harness/parallel_run.cc): a task
+ * submitted to the worker pool may only write shared containers inside
+ * a commit zone — a region the author has explicitly marked with a
+ * `rsrlint: commit-zone` comment after convincing themselves the writes
+ * are disjoint (committed by index, one slot per task) or otherwise
+ * synchronized. Everything else is treated as a data race in waiting:
+ * the lambda runs on an arbitrary worker at an arbitrary time.
+ *
+ * Lexically: inside every lambda passed to a `submit(` call, flag
+ * subscript-assignments and mutating container calls on identifiers the
+ * lambda captures by reference (or any identifier under a `this` /
+ * default-& capture), unless a commit-zone marker appears between the
+ * lambda introducer and the write.
+ */
+void
+checkSharedHotWrite(const SourceFile &file, std::vector<Finding> &out)
+{
+    const std::string code = file.joinedCode();
+    if (code.find("submit") == std::string::npos)
+        return;
+    const auto starts = lineStarts(code);
+
+    static const std::regex submit_re(R"(\bsubmit\s*\()");
+    static const std::regex sub_write_re(
+        R"((\w+)\s*\[[^\]]*\]\s*(?:\.\w+|->\w+)*\s*[-+*/|&^]?=(?!=))");
+    static const std::regex mut_call_re(
+        R"((\w+)\s*\.\s*(push_back|emplace_back|emplace|insert|erase|clear|resize|pop_back|assign)\s*\()");
+
+    for (auto sit = std::sregex_iterator(code.begin(), code.end(),
+                                         submit_re);
+         sit != std::sregex_iterator(); ++sit) {
+        // Find the lambda introducer '[' among submit's own arguments.
+        std::size_t p = static_cast<std::size_t>(sit->position()) +
+                        static_cast<std::size_t>(sit->length());
+        int pdepth = 1;
+        std::size_t lb = std::string::npos;
+        for (std::size_t q = p; q < code.size() && pdepth > 0; ++q) {
+            const char c = code[q];
+            if (c == '(')
+                ++pdepth;
+            else if (c == ')')
+                --pdepth;
+            else if (c == '[' && pdepth == 1) {
+                lb = q;
+                break;
+            }
+        }
+        if (lb == std::string::npos)
+            continue;
+        const std::size_t rb = code.find(']', lb);
+        if (rb == std::string::npos)
+            continue;
+
+        // Parse the capture list: '&name' captures by reference; a bare
+        // '&' or 'this' makes every outer name reachable by reference.
+        const std::string caps = code.substr(lb + 1, rb - lb - 1);
+        std::set<std::string> ref_names;
+        bool ref_all = false;
+        std::size_t tok_start = 0;
+        for (std::size_t q = 0; q <= caps.size(); ++q) {
+            if (q < caps.size() && caps[q] != ',')
+                continue;
+            std::string tok = squeeze(caps.substr(tok_start,
+                                                  q - tok_start));
+            tok_start = q + 1;
+            if (tok == "&" || tok == "this" || tok == "*this")
+                ref_all = true;
+            else if (tok.size() > 1 && tok[0] == '&')
+                ref_names.insert(tok.substr(1));
+        }
+        if (!ref_all && ref_names.empty())
+            continue; // value captures: the lambda owns its copies
+
+        // Find the body braces (skipping any parameter list).
+        std::size_t body_start = std::string::npos;
+        int pd = 0;
+        for (std::size_t q = rb + 1; q < code.size(); ++q) {
+            const char c = code[q];
+            if (c == '(')
+                ++pd;
+            else if (c == ')')
+                --pd;
+            else if (c == '{' && pd == 0) {
+                body_start = q;
+                break;
+            } else if (c == ';')
+                break;
+        }
+        if (body_start == std::string::npos)
+            continue;
+        std::size_t body_end = std::string::npos;
+        int bd = 0;
+        for (std::size_t q = body_start; q < code.size(); ++q) {
+            if (code[q] == '{')
+                ++bd;
+            else if (code[q] == '}' && --bd == 0) {
+                body_end = q;
+                break;
+            }
+        }
+        if (body_end == std::string::npos)
+            continue;
+        const std::string body =
+            code.substr(body_start, body_end - body_start + 1);
+        const std::size_t lambda_line = lineOf(starts, lb);
+
+        const auto commitZoned = [&](std::size_t write_line) {
+            for (std::size_t k = lambda_line;
+                 k <= write_line && k < file.lines.size(); ++k)
+                if (file.lines[k].comment.find("rsrlint: commit-zone") !=
+                    std::string::npos)
+                    return true;
+            return false;
+        };
+
+        const auto scan = [&](const std::regex &re, const char *what) {
+            for (auto wit = std::sregex_iterator(body.begin(),
+                                                 body.end(), re);
+                 wit != std::sregex_iterator(); ++wit) {
+                const std::string name = (*wit)[1];
+                if (!ref_all && ref_names.count(name) == 0)
+                    continue;
+                const std::size_t idx = lineOf(
+                    starts,
+                    body_start +
+                        static_cast<std::size_t>(wit->position()));
+                if (commitZoned(idx))
+                    continue;
+                emit(file, out, "conc-shared-hot-write", idx,
+                     std::string(what) + " '" + name +
+                         "' is shared with the submitting thread and "
+                         "every pool worker — commit results by index "
+                         "inside a '// rsrlint: commit-zone' (after "
+                         "proving the writes disjoint), or accumulate "
+                         "into a per-worker shard and merge after "
+                         "wait()");
+            }
+        };
+        scan(sub_write_re,
+             "subscript write to reference-captured container");
+        scan(mut_call_re,
+             "mutating call on reference-captured container");
+    }
+}
+
+// ---------------------------------------------------------------------
 // conc-unused-mutex: a mutex member with no lock use in the TU pair.
 // ---------------------------------------------------------------------
 
@@ -442,6 +593,11 @@ ruleCatalog()
          "every declared mutex must be locked somewhere in its "
          "header/source pair",
          false},
+        {"conc-shared-hot-write", "concurrency",
+         "no non-atomic writes to reference-captured containers inside "
+         "pool-submitted lambdas outside a '// rsrlint: commit-zone' "
+         "marker",
+         false},
         {"serve-blocking-io", "serve",
          "no raw socket syscalls in src/serve outside net_io.cc; every "
          "network operation must run under a Deadline-capped poll "
@@ -499,6 +655,10 @@ runRules(const SourceFile &file,
         checkGlobalState(file, out);
         checkUnusedMutex(file, sibling, out);
     }
+
+    if (inZones(zone, {Zone::SrcLib, Zone::SrcHarness, Zone::SrcServe,
+                       Zone::Bench}))
+        checkSharedHotWrite(file, out);
 
     // Hot-path hygiene: endl is banned across src/, and additionally in
     // any file marked hot; throw statements are banned in hot files.

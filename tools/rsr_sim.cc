@@ -53,6 +53,7 @@
 #include "core/warmup.hh"
 #include "harness/campaign.hh"
 #include "harness/parallel_run.hh"
+#include "harness/shard.hh"
 #include "serve/daemon.hh"
 #include "serve/net_io.hh"
 #include "simpoint/simpoint.hh"
@@ -593,9 +594,24 @@ cmdCampaign(const ArgParser &args)
     // campaign directory stays resumable.
     g_campaignStop.store(false);
     cfg.stopFlag = &g_campaignStop;
-    harness::CampaignRunner runner(cfg);
-    const ScopedSignalHandlers guard(campaignSignalHandler);
-    const auto r = runner.run(resume);
+
+    const unsigned shards =
+        static_cast<unsigned>(args.getU64("shards", 1));
+    harness::CampaignResult r;
+    if (shards > 1) {
+        // Process sharding: fork workers that race for jobs via the
+        // claim table and append to one shared manifest. A killed worker
+        // only loses its in-flight jobs; --resume reruns exactly those.
+        harness::CampaignRunner runner(cfg); // validates the config
+        harness::ShardOptions opts;
+        opts.shards = shards;
+        opts.resume = resume;
+        r = harness::runShardedCampaign(cfg, opts);
+    } else {
+        harness::CampaignRunner runner(cfg);
+        const ScopedSignalHandlers guard(campaignSignalHandler);
+        r = runner.run(resume);
+    }
     std::printf("campaign %s: %llu jobs, %llu completed, %llu skipped "
                 "(already done), %llu failed, %llu transient retries\n",
                 cfg.outDir.c_str(),
@@ -605,8 +621,8 @@ cmdCampaign(const ArgParser &args)
                 static_cast<unsigned long long>(r.failed),
                 static_cast<unsigned long long>(r.retries));
     if (r.stopped > 0)
-        std::printf("  stopped by signal with %llu job(s) not run; "
-                    "rerun with --resume to finish them\n",
+        std::printf("  %llu job(s) not completed (stop signal or dead "
+                    "shard worker); rerun with --resume to finish them\n",
                     static_cast<unsigned long long>(r.stopped));
     if (r.failed > 0)
         std::printf("  failed jobs are recorded in %s\n",
@@ -703,9 +719,13 @@ usage()
         "[--backoff-ms MS]\n"
         "               [--timeout SECS] [--resume] [--fault-seed X] "
         "[--fault-io P]\n"
-        "               [--fault-corrupt P] [--fault-alloc P]\n"
+        "               [--fault-corrupt P] [--fault-alloc P] "
+        "[--shards N]\n"
         "               (SIGINT/SIGTERM stop dispatching, let in-flight\n"
-        "               jobs finish, and leave a resumable manifest)\n"
+        "               jobs finish, and leave a resumable manifest;\n"
+        "               --shards forks N worker processes over one\n"
+        "               claim-locked manifest — a killed worker's jobs\n"
+        "               are rerun by --resume, never lost or duplicated)\n"
         "  serve        [--port P] [--threads T] [--queue-capacity N]\n"
         "               [--shed-fill F] [--io-timeout SECS] "
         "[--timeout SECS]\n"
@@ -738,7 +758,7 @@ dispatch(const ArgParser &args)
         "config",    "set",      "store",    "workloads", "policies",
         "threads",   "retries",  "backoff-ms", "timeout", "resume",
         "fault-seed", "fault-io", "fault-corrupt", "fault-alloc",
-        "jobs",      "livepoints", "port", "queue-capacity",
+        "jobs",      "livepoints", "shards", "port", "queue-capacity",
         "shed-fill", "io-timeout", "result-cache-mb", "store-cache-mb",
         "journal",   "fault-torn"};
     args.requireKnown(allowed);
