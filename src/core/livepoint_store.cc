@@ -22,9 +22,12 @@ namespace rsr::core
 namespace
 {
 
-/** Index frame tag and version (rides on the v3 Snapshotable framing). */
+/** Index frame tag and version (rides on the v3 Snapshotable framing).
+ *  v2 appends estimator capture metadata and a per-entry group word;
+ *  v1 stores still load, with uniform-sampling defaults. */
 constexpr std::uint32_t indexTag = fourcc('L', 'V', 'P', 'T');
-constexpr std::uint32_t indexVersion = 1;
+constexpr std::uint32_t indexVersion = 2;
+constexpr std::uint32_t oldestReadableIndexVersion = 1;
 
 /** Bytes per encoded trace instruction: pc, nextPc, effAddr, opcode. */
 constexpr std::size_t traceRecordBytes = 8 + 8 + 8 + 4;
@@ -177,7 +180,8 @@ LivePointStore::create(const func::Program &program, WarmupPolicy &policy,
                        const SampledConfig &config,
                        const std::string &workload_name,
                        const std::string &policy_name,
-                       SampledResult *front_half)
+                       SampledResult *front_half,
+                       const CaptureAnnotations *annotations)
 {
     BlobStoreWriter writer;
     std::vector<LivePointEntry> entries;
@@ -191,6 +195,19 @@ LivePointStore::create(const func::Program &program, WarmupPolicy &policy,
     if (front_half)
         *front_half = front;
 
+    const EstimatorOptions est_opts =
+        annotations ? annotations->estimator : EstimatorOptions{};
+    const std::uint64_t candidate_count =
+        annotations ? annotations->candidateCount : 0;
+    if (annotations) {
+        rsr_assert(annotations->groups.size() == entries.size(),
+                   "capture annotations carry ",
+                   annotations->groups.size(), " groups for ",
+                   entries.size(), " captured clusters");
+        for (std::size_t i = 0; i < entries.size(); ++i)
+            entries[i].group = annotations->groups[i];
+    }
+
     ByteSink index_sink;
     Serializer index(index_sink);
     index.begin(indexTag, indexVersion);
@@ -200,6 +217,13 @@ LivePointStore::create(const func::Program &program, WarmupPolicy &policy,
     index.putU64(config.scheduleSeed);
     index.putU64(config.regimen.numClusters);
     index.putU64(config.regimen.clusterSize);
+    index.putU8(static_cast<std::uint8_t>(est_opts.kind));
+    index.putU8(static_cast<std::uint8_t>(est_opts.proxy));
+    index.putU64(est_opts.setSize);
+    index.putU64(est_opts.strata);
+    index.putU64(est_opts.phase1PerStratum);
+    index.putU64(est_opts.rankSeed);
+    index.putU64(candidate_count);
     const auto machine_bytes = machineConfigBytes(config.machine);
     index.putU64(machine_bytes.size());
     index.putBytes(machine_bytes.data(), machine_bytes.size());
@@ -213,6 +237,7 @@ LivePointStore::create(const func::Program &program, WarmupPolicy &policy,
         index.putU64(e.traceHash);
         index.putU8(e.hasContext ? 1 : 0);
         index.putU64(e.contextHash);
+        index.putU32(e.group);
     }
     index.end();
 
@@ -230,15 +255,34 @@ LivePointStore::deserialize(std::vector<std::uint8_t> bytes)
     ByteSource src(store.reader_->index());
     Deserializer in(src);
     const std::uint32_t version = in.begin(indexTag);
-    if (version != indexVersion)
+    if (version < oldestReadableIndexVersion || version > indexVersion)
         rsr_throw_corrupt("live-point index version skew: file is v",
-                          version, ", this build reads v", indexVersion);
+                          version, ", this build reads v",
+                          oldestReadableIndexVersion, "..v", indexVersion);
     store.meta_.workload = getString(in);
     store.meta_.policy = getString(in);
     store.meta_.totalInsts = in.getU64();
     store.meta_.scheduleSeed = in.getU64();
     store.meta_.regimen.numClusters = in.getU64();
     store.meta_.regimen.clusterSize = in.getU64();
+    if (version >= 2) {
+        const std::uint8_t kind = in.getU8();
+        const std::uint8_t proxy = in.getU8();
+        if (kind > static_cast<std::uint8_t>(
+                       SamplingPolicyKind::TwoPhaseStratified))
+            rsr_throw_corrupt("live-point index names unknown sampling "
+                              "policy kind ", int{kind});
+        if (proxy > static_cast<std::uint8_t>(ProxyKind::BbvDistance))
+            rsr_throw_corrupt("live-point index names unknown proxy "
+                              "kind ", int{proxy});
+        store.meta_.estimator.kind = static_cast<SamplingPolicyKind>(kind);
+        store.meta_.estimator.proxy = static_cast<ProxyKind>(proxy);
+        store.meta_.estimator.setSize = in.getU64();
+        store.meta_.estimator.strata = in.getU64();
+        store.meta_.estimator.phase1PerStratum = in.getU64();
+        store.meta_.estimator.rankSeed = in.getU64();
+        store.meta_.candidateCount = in.getU64();
+    }
     const std::uint64_t machine_len = in.getU64();
     FaultInjector::global().checkAlloc("livepoint_store:machine",
                                        machine_len);
@@ -265,6 +309,8 @@ LivePointStore::deserialize(std::vector<std::uint8_t> bytes)
         e.traceHash = in.getU64();
         e.hasContext = in.getU8() != 0;
         e.contextHash = in.getU64();
+        if (version >= 2)
+            e.group = in.getU32();
 
         // Fail at load, not mid-replay: every referenced blob must be
         // present, and the trace blob must decode to exactly
@@ -340,9 +386,37 @@ LivePointStore::configHash(const std::string &workload,
 }
 
 std::uint64_t
+LivePointStore::configHash(const std::string &workload,
+                           const std::string &policy,
+                           const SampledConfig &config,
+                           const EstimatorOptions &estimator,
+                           std::uint64_t candidate_count)
+{
+    std::uint64_t h = configHash(workload, policy, config);
+    if (estimator.kind == SamplingPolicyKind::UniformCluster)
+        return h;
+    // Fold the selection inputs, not the selection itself: the explicit
+    // schedule is a pure function of these, and hashing the inputs lets
+    // the CLI validate a store against flags without a proxy pass.
+    Fnv64 fold;
+    ByteSink params;
+    params.putU64(h);
+    params.putU8(static_cast<std::uint8_t>(estimator.kind));
+    params.putU8(static_cast<std::uint8_t>(estimator.proxy));
+    params.putU64(estimator.setSize);
+    params.putU64(estimator.strata);
+    params.putU64(estimator.phase1PerStratum);
+    params.putU64(estimator.rankSeed);
+    params.putU64(candidate_count);
+    fold.update(params.bytes().data(), params.size());
+    return fold.value();
+}
+
+std::uint64_t
 LivePointStore::configHash() const
 {
-    return configHash(meta_.workload, meta_.policy, sampledConfig());
+    return configHash(meta_.workload, meta_.policy, sampledConfig(),
+                      meta_.estimator, meta_.candidateCount);
 }
 
 std::uint64_t

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "core/estimator.hh"
 #include "core/phase_driver.hh"
 #include "core/sampled_sim.hh"
 #include "util/content_store.hh"
@@ -57,6 +58,11 @@ struct LivePointEntry
     /** Does this cluster carry a measurement context (RSR/RBP)? */
     bool hasContext = false;
     std::uint64_t contextHash = 0;
+    /** Estimator group of this cluster (index v2): the rank class for
+     *  ranked-set captures, the stratum id for two-phase captures, 0 for
+     *  uniform. Replays feed these straight into rankedSetEstimate() /
+     *  stratifiedEstimate() without recomputing the selection. */
+    std::uint32_t group = 0;
 };
 
 /**
@@ -76,6 +82,25 @@ class LivePointStore
         std::uint64_t scheduleSeed = 0;
         SamplingRegimen regimen;
         MachineConfig machine;
+        /** Sampling-estimator capture parameters (index v2; defaults
+         *  describe a plain uniform capture, which is also what a v1
+         *  store deserializes to). */
+        EstimatorOptions estimator;
+        /** Size of the candidate pool the estimator's selection plan
+         *  drew from (0 for uniform captures). */
+        std::uint64_t candidateCount = 0;
+    };
+
+    /**
+     * Estimator capture annotations handed to create(): which selection
+     * produced the (explicit) schedule being captured, and each
+     * cluster's estimator group, parallel to the schedule.
+     */
+    struct CaptureAnnotations
+    {
+        EstimatorOptions estimator;
+        std::uint64_t candidateCount = 0;
+        std::vector<std::uint32_t> groups;
     };
 
     /**
@@ -83,13 +108,18 @@ class LivePointStore
      * store every cluster. No timing replay happens here — that is the
      * consumer's job. @p front_half, when non-null, receives the
      * front-half accounting (skip/reconstruct/capture counters).
+     * @p annotations, when non-null, records the estimator selection
+     * that produced config.explicitSchedule (groups must be parallel to
+     * the schedule).
      */
     static LivePointStore create(const func::Program &program,
                                  WarmupPolicy &policy,
                                  const SampledConfig &config,
                                  const std::string &workload_name,
                                  const std::string &policy_name,
-                                 SampledResult *front_half = nullptr);
+                                 SampledResult *front_half = nullptr,
+                                 const CaptureAnnotations *annotations =
+                                     nullptr);
 
     /**
      * Open a serialized store, validating the whole container (magic,
@@ -143,6 +173,21 @@ class LivePointStore
     static std::uint64_t configHash(const std::string &workload,
                                     const std::string &policy,
                                     const SampledConfig &config);
+
+    /**
+     * configHash() folding in an estimator selection. The explicit
+     * schedule itself is deliberately *not* hashed: it is a pure
+     * deterministic function of (workload, policy, config, estimator
+     * options), so hashing the inputs is equivalent and lets replay-side
+     * validation compute the expected hash from CLI flags without
+     * re-running the proxy pass. Identical to the plain overload when
+     * the options describe uniform sampling.
+     */
+    static std::uint64_t configHash(const std::string &workload,
+                                    const std::string &policy,
+                                    const SampledConfig &config,
+                                    const EstimatorOptions &estimator,
+                                    std::uint64_t candidate_count);
 
     /** configHash() of this store's own metadata. */
     std::uint64_t configHash() const;

@@ -176,8 +176,13 @@ ClusterScheduleDriver::ClusterScheduleDriver(const func::Program &program,
                                              const SampledConfig &config)
     : program(program), policy(policy), config(config)
 {
-    Rng rng(config.scheduleSeed);
-    schedule_ = makeSchedule(config.regimen, config.totalInsts, rng);
+    if (!config.explicitSchedule.empty()) {
+        validateSchedule(config.explicitSchedule, config.totalInsts);
+        schedule_ = config.explicitSchedule;
+    } else {
+        Rng rng(config.scheduleSeed);
+        schedule_ = makeSchedule(config.regimen, config.totalInsts, rng);
+    }
 }
 
 SampledResult
@@ -281,6 +286,119 @@ ClusterScheduleDriver::runDeferred(ReplaySink &sink)
     res.warmWork = policy.work();
     res.seconds = timer.seconds();
     return res;
+}
+
+namespace
+{
+
+/**
+ * The proxy micro-models: small enough that a functional pass over a
+ * few million instructions costs microseconds per cluster, rich enough
+ * that their miss/mispredict counts order clusters by timing behaviour.
+ */
+struct ProxyModels
+{
+    static constexpr std::uint64_t numSets = 512;
+    static constexpr std::uint64_t lineShift = 6;
+    static constexpr std::uint64_t bimodalEntries = 4096;
+
+    std::vector<std::uint64_t> tags =
+        std::vector<std::uint64_t>(numSets, ~std::uint64_t{0});
+    std::vector<std::uint8_t> counters =
+        std::vector<std::uint8_t>(bimodalEntries, 1);
+
+    /** Probe-and-fill; true on miss. */
+    bool
+    access(std::uint64_t addr)
+    {
+        const std::uint64_t line = addr >> lineShift;
+        const std::uint64_t set = line & (numSets - 1);
+        if (tags[set] == line)
+            return false;
+        tags[set] = line;
+        return true;
+    }
+
+    /** Predict-and-train a conditional branch; true on mispredict. */
+    bool
+    predict(std::uint64_t pc, bool taken)
+    {
+        const std::uint64_t idx = (pc >> 2) & (bimodalEntries - 1);
+        std::uint8_t &ctr = counters[idx];
+        const bool predicted_taken = ctr >= 2;
+        if (taken && ctr < 3)
+            ++ctr;
+        else if (!taken && ctr > 0)
+            --ctr;
+        return predicted_taken != taken;
+    }
+};
+
+} // namespace
+
+std::vector<double>
+profileClusterProxies(const func::Program &program,
+                      const std::vector<Cluster> &candidates,
+                      const Deadline *deadline)
+{
+    if (candidates.empty())
+        return {};
+    validateSchedule(candidates,
+                     candidates.back().start + candidates.back().size);
+
+    func::FuncSim fs(program);
+    ProxyModels models;
+    std::vector<double> scores(candidates.size(), 0.0);
+
+    const std::uint64_t end =
+        candidates.back().start + candidates.back().size;
+    std::size_t next = 0;       // first candidate not yet finished
+    std::uint64_t in_misses = 0, in_mispred = 0;
+    func::DynInst d;
+    std::uint64_t last_iblock = ~std::uint64_t{0};
+    for (std::uint64_t i = 0; i < end; ++i) {
+        if (deadline && (i & deadlineCheckMask) == 0 &&
+            deadline->expired())
+            throw TimeoutError("proxy-rank pass exceeded its deadline");
+        const bool ok = fs.step(&d);
+        rsr_assert(ok, "workload halted inside the proxy-rank pass");
+
+        const Cluster &c = candidates[next];
+        const bool inside = i >= c.start;
+        std::uint64_t misses = 0, mispred = 0;
+
+        // The models run continuously — skipped regions warm them just
+        // like SkipPhase warms the real hierarchy — but counts are only
+        // charged to the enclosing candidate cluster.
+        const std::uint64_t blk = d.pc >> ProxyModels::lineShift
+                                       << ProxyModels::lineShift;
+        if (blk != last_iblock)
+            misses += models.access(d.pc);
+        last_iblock = blk;
+        if (d.inst.isMem())
+            misses += models.access(d.effAddr);
+        if (d.inst.branchKind() == isa::BranchKind::Conditional)
+            mispred += models.predict(d.pc, d.taken);
+
+        if (inside) {
+            in_misses += misses;
+            in_mispred += mispred;
+            if (i + 1 == c.start + c.size) {
+                const double insts = static_cast<double>(c.size);
+                scores[next] =
+                    insts / (insts + 18.0 * static_cast<double>(in_misses) +
+                             10.0 * static_cast<double>(in_mispred));
+                in_misses = 0;
+                in_mispred = 0;
+                ++next;
+                if (next == candidates.size())
+                    break;
+            }
+        }
+    }
+    rsr_assert(next == candidates.size(),
+               "proxy-rank pass ended before the last candidate");
+    return scores;
 }
 
 Machine &

@@ -269,6 +269,29 @@ class ClusterScheduleDriver
 };
 
 /**
+ * Cheap per-cluster proxy IPC from one functional pass (the ranked-set /
+ * two-phase proxy rank of core/estimator.hh). The pass drives two tiny
+ * deterministic models — a direct-mapped 512-set x 64-byte-line tag
+ * array probed by instruction lines and data accesses, and a 4096-entry
+ * 2-bit bimodal predictor for conditional branches — continuously over
+ * the population (so cluster-local counts see warmed proxy state), and
+ * scores each candidate cluster as
+ *
+ *     insts / (insts + 18 * tagMisses + 10 * mispredicts),
+ *
+ * a crude latency-weighted IPC whose *ordering* across clusters is all
+ * the estimators consume. Candidates must be sorted and non-overlapping;
+ * the pass stops after the last candidate ends. Costs one functional
+ * simulation of the covered prefix — orders of magnitude cheaper than a
+ * timing measurement, which is the whole point of ranking by proxy.
+ * Polls @p deadline like SkipPhase (TimeoutError on expiry).
+ */
+std::vector<double>
+profileClusterProxies(const func::Program &program,
+                      const std::vector<Cluster> &candidates,
+                      const Deadline *deadline = nullptr);
+
+/**
  * A worker-private machine reused across cluster replays. Building a
  * Machine allocates every cache array and predictor table; doing that
  * per cluster makes parallel replay a global-heap contention benchmark

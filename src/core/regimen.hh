@@ -42,6 +42,25 @@ struct Cluster
 std::vector<Cluster> makeSchedule(const SamplingRegimen &regimen,
                                   std::uint64_t total_insts, Rng &rng);
 
+/**
+ * Check that @p schedule is a valid explicit measurement schedule over a
+ * @p total_insts population: non-empty clusters, sorted by start,
+ * non-overlapping, last one ending within the population. Throws
+ * UserError naming the offending cluster otherwise. Estimator policies
+ * route their selection plans through this before handing a subset
+ * schedule to the phase driver.
+ */
+void validateSchedule(const std::vector<Cluster> &schedule,
+                      std::uint64_t total_insts);
+
+/**
+ * The subset of @p candidates selected by ascending indices @p chosen
+ * (e.g. a SelectionPlan's chosen list). Indices must be strictly
+ * increasing and in range.
+ */
+std::vector<Cluster> subsetSchedule(const std::vector<Cluster> &candidates,
+                                    const std::vector<std::size_t> &chosen);
+
 } // namespace rsr::core
 
 #endif // RSR_CORE_REGIMEN_HH

@@ -41,6 +41,17 @@ struct SampledConfig
      * (not owned; must outlive the run).
      */
     const Deadline *deadline = nullptr;
+    /**
+     * When non-empty, measure exactly these clusters instead of drawing
+     * a schedule from (regimen, scheduleSeed). Clusters must be sorted
+     * by start and non-overlapping within totalInsts; everything between
+     * them is a skip region under the active warm-up policy — so a
+     * subset of a candidate schedule executes with canonical warming
+     * semantics (unselected candidates become part of the skips).
+     * Estimator policies (core/estimator.hh) use this to measure only
+     * the clusters their selection plan chose.
+     */
+    std::vector<Cluster> explicitSchedule;
 };
 
 /**

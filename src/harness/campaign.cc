@@ -8,6 +8,7 @@
 
 #include "core/livepoint_store.hh"
 #include "core/warmup.hh"
+#include "harness/estimator_run.hh"
 #include "harness/json.hh"
 #include "harness/parallel_run.hh"
 #include "harness/shard.hh"
@@ -48,6 +49,14 @@ CampaignRunner::CampaignRunner(CampaignConfig config)
                        "policy");
     if (this->config.threads == 0)
         this->config.threads = 1;
+    if (this->config.sampling.kind !=
+            core::SamplingPolicyKind::UniformCluster &&
+        !this->config.livepointDir.empty())
+        rsr_throw_user("campaign --livepoints does not compose with "
+                       "--sampling ",
+                       core::samplingPolicyName(this->config.sampling.kind),
+                       "; capture estimator stores with `rsr_sim mklvpt "
+                       "--sampling ...` and replay them directly");
 }
 
 std::vector<JobSpec>
@@ -76,6 +85,12 @@ CampaignRunner::fingerprint(const CampaignConfig &config)
     // Classic fingerprints are unchanged by this marker.
     if (!config.livepointDir.empty())
         h.update("|livepoints");
+    // Same reasoning for estimator campaigns: a different selection
+    // means different jobs. Uniform leaves classic fingerprints alone.
+    if (config.sampling.kind != core::SamplingPolicyKind::UniformCluster) {
+        h.update("|");
+        h.update(config.sampling.describe());
+    }
     return checksumHex(h.value());
 }
 
@@ -105,7 +120,17 @@ CampaignRunner::executeJob(const JobSpec &spec)
     core::SampledResult r;
     std::string store_hash;
     std::uint64_t store_bytes = 0;
-    if (config.livepointDir.empty()) {
+    const bool estimator_job =
+        config.sampling.kind != core::SamplingPolicyKind::UniformCluster;
+    EstimatorRunResult est;
+    if (estimator_job) {
+        // Selection + explicit-schedule measurement, serial within the
+        // job (campaign parallelism is across jobs): bit-identical to
+        // any `rsr_sim run --sampling ...` of the same parameters.
+        est = runEstimator(program, spec.policy, sim, config.sampling,
+                           /*jobs=*/1);
+        r = est.sampled;
+    } else if (config.livepointDir.empty()) {
         r = core::runSampled(program, *policy, sim);
     } else {
         // Live-point mode: replay from a per-(workload, policy) store,
@@ -151,6 +176,14 @@ CampaignRunner::executeJob(const JobSpec &spec)
         .put("measure_insts", r.phases.measureInsts)
         .put("measure_seconds", r.phases.measureSeconds)
         .put("peak_snapshot_bytes", r.phases.peakSnapshotBytes);
+    if (estimator_job)
+        w.put("sampling",
+              core::samplingPolicyName(config.sampling.kind))
+            .put("proxy", core::proxyKindName(config.sampling.proxy))
+            .put("candidates", est.candidateCount)
+            .put("proxy_insts", est.proxyInsts)
+            .put("pilot_measure_insts", est.pilotMeasuredInsts)
+            .put("total_measure_insts", est.measuredInsts());
     if (!store_hash.empty())
         w.put("store_hash", store_hash).put("store_bytes", store_bytes);
     const std::string text = w.str() + "\n";

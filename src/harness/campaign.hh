@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "core/estimator.hh"
 #include "core/sampled_sim.hh"
 #include "harness/manifest.hh"
 #include "util/fault.hh"
@@ -42,6 +43,17 @@ struct CampaignConfig
     std::uint64_t clusterSize = 2000;
     std::uint64_t seed = 0x5eed;
     core::MachineConfig machine = core::MachineConfig::scaledDefault();
+
+    /**
+     * Sampling estimator applied to every job. Uniform (the default) is
+     * the classic campaign; ranked-set / two-phase jobs run the
+     * selection + explicit-schedule pipeline of estimator_run.hh with
+     * the same budget (`clusters` timed clusters). Non-uniform sampling
+     * folds into the resume fingerprint and is rejected together with
+     * `livepointDir` (capture estimator stores with `rsr_sim mklvpt
+     * --sampling ...` instead).
+     */
+    core::EstimatorOptions sampling;
 
     /**
      * When non-empty, jobs source their clusters from per-(workload,

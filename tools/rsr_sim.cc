@@ -11,6 +11,12 @@
  *   rsr_sim run          --workload gcc --policy rsr20 [--jobs N]
  *                        [sample flags] — deferred-replay pipeline whose
  *                        result is bit-identical for any --jobs value
+ *                        [--sampling uniform|ranked-set|two-phase
+ *                         --proxy ipc|bbv --set-size M --strata H
+ *                         --phase1 P --rank-seed X] — estimator sampling
+ *                        policies over a proxy-ranked candidate pool
+ *                        (run, mklvpt, replay, and campaign all accept
+ *                        the sampling flags)
  *   rsr_sim compare      --workload gcc [--policies P1,P2,...] [--jobs N]
  *                        [sample flags] — Table-2-style policy sweep,
  *                        one pool task per policy
@@ -45,6 +51,7 @@
 #include <vector>
 
 #include "core/config_file.hh"
+#include "core/estimator.hh"
 #include "core/livepoint_store.hh"
 #include "core/stats_report.hh"
 #include "func/funcsim.hh"
@@ -52,6 +59,7 @@
 #include "core/sampled_sim.hh"
 #include "core/warmup.hh"
 #include "harness/campaign.hh"
+#include "harness/estimator_run.hh"
 #include "harness/parallel_run.hh"
 #include "harness/shard.hh"
 #include "serve/daemon.hh"
@@ -169,6 +177,20 @@ sampledConfigFor(const ArgParser &args)
     return cfg;
 }
 
+core::EstimatorOptions
+estimatorOptionsFor(const ArgParser &args)
+{
+    core::EstimatorOptions opts;
+    opts.kind = core::samplingPolicyByName(args.get("sampling", "uniform"));
+    opts.proxy = core::proxyKindByName(args.get("proxy", "ipc"));
+    opts.setSize = args.getPositiveU64("set-size", opts.setSize);
+    opts.strata = args.getPositiveU64("strata", opts.strata);
+    opts.phase1PerStratum =
+        args.getPositiveU64("phase1", opts.phase1PerStratum);
+    opts.rankSeed = args.getU64("rank-seed", opts.rankSeed);
+    return opts;
+}
+
 std::unique_ptr<core::WarmupPolicy>
 policyFor(const ArgParser &args, const func::Program &program,
           const core::SampledConfig &cfg, const char *fallback)
@@ -229,17 +251,74 @@ cmdSample(const ArgParser &args)
     return 0;
 }
 
+/**
+ * `run` with a non-uniform --sampling policy: proxy-rank (and pilot,
+ * for two-phase) selection feeding an explicit-schedule measurement
+ * pass. Emits the same CSV shape as the uniform path — `cluster,ipc`
+ * header, full-precision rows, then a summary line starting `policy ` —
+ * so the determinism CI's sed-range diff covers both.
+ */
+int
+cmdRunEstimator(const ArgParser &args, const func::Program &program,
+                const core::SampledConfig &cfg,
+                const core::EstimatorOptions &opts)
+{
+    const std::string policy_name = args.get("policy", "rsr20");
+    const unsigned jobs =
+        static_cast<unsigned>(args.getPositiveU64("jobs", 1));
+    const std::uint64_t steal_seed = args.getU64("steal-seed", 0);
+
+    const auto er = harness::runEstimator(program, policy_name, cfg, opts,
+                                          jobs, steal_seed);
+    const auto &r = er.sampled;
+
+    if (args.has("csv")) {
+        // Full precision so two runs can be diffed bit-for-bit.
+        std::printf("cluster,ipc\n");
+        for (std::size_t i = 0; i < r.clusterIpc.size(); ++i)
+            std::printf("%zu,%.17g\n", i, r.clusterIpc[i]);
+    }
+
+    std::printf("policy %s on %s (%u jobs, %s): IPC estimate %.4f  "
+                "CI [%.4f, %.4f]\n",
+                policy_name.c_str(), args.get("workload").c_str(), jobs,
+                opts.describe().c_str(), er.estimate.mean,
+                er.estimate.ciLow, er.estimate.ciHigh);
+    std::printf("  measured %llu of %llu candidates x %llu insts; "
+                "proxy pass %llu insts; pilot %llu + final %llu "
+                "measured insts; %.3fs\n",
+                static_cast<unsigned long long>(er.schedule.size()),
+                static_cast<unsigned long long>(er.candidateCount),
+                static_cast<unsigned long long>(cfg.regimen.clusterSize),
+                static_cast<unsigned long long>(er.proxyInsts),
+                static_cast<unsigned long long>(er.pilotMeasuredInsts),
+                static_cast<unsigned long long>(r.phases.measureInsts),
+                r.seconds);
+
+    if (args.has("true-ipc")) {
+        const auto full =
+            core::runFull(program, cfg.totalInsts, cfg.machine);
+        std::printf("  true IPC %.4f  relative error %.4f  CI %s\n",
+                    full.ipc(), er.estimate.relativeError(full.ipc()),
+                    er.estimate.passesCi(full.ipc()) ? "pass" : "FAIL");
+    }
+    return 0;
+}
+
 int
 cmdRun(const ArgParser &args)
 {
     const auto program = workloadFor(args);
     const auto cfg = sampledConfigFor(args);
+    const auto opts = estimatorOptionsFor(args);
+    if (opts.kind != core::SamplingPolicyKind::UniformCluster)
+        return cmdRunEstimator(args, program, cfg, opts);
     const auto policy = policyFor(args, program, cfg, "rsr20");
     const unsigned jobs =
         static_cast<unsigned>(args.getPositiveU64("jobs", 1));
 
-    const auto r =
-        harness::runSampledParallel(program, *policy, cfg, jobs);
+    const auto r = harness::runSampledParallel(
+        program, *policy, cfg, jobs, args.getU64("steal-seed", 0));
 
     if (args.has("csv")) {
         // Full precision so two runs can be diffed bit-for-bit.
@@ -287,12 +366,18 @@ cmdMkLvpt(const ArgParser &args)
     const std::string workload = args.get("workload");
     const std::string policy_name = args.get("policy", "rsr40");
     const auto cfg = sampledConfigFor(args);
-    auto policy = core::makePolicyByName(policy_name);
+    const auto opts = estimatorOptionsFor(args);
 
     core::SampledResult front;
-    const auto store = core::LivePointStore::create(
-        program, *policy, cfg, workload, policy_name, &front);
+    const auto store = harness::captureEstimatorStore(
+        program, policy_name, cfg, opts, workload, &front);
     store.saveFile(out);
+
+    if (opts.kind != core::SamplingPolicyKind::UniformCluster)
+        std::printf("sampling %s: captured %zu of %llu candidates\n",
+                    opts.describe().c_str(), store.clusterCount(),
+                    static_cast<unsigned long long>(
+                        store.meta().candidateCount));
 
     std::printf("wrote %s: %zu live-points, %.1f KB (%.1f KB/cluster, "
                 "dedup %.2fx), store hash %016llx\n",
@@ -323,16 +408,21 @@ cmdReplay(const ArgParser &args)
                        "--policy P --out ", path);
     const auto store = core::LivePointStore::loadFile(path);
 
-    // With --workload/--policy given, validate that the store actually
-    // holds the capture these flags (plus the sample flags) describe —
-    // a stale store is an error, never silently replayed.
-    if (args.has("workload") || args.has("policy")) {
+    // With --workload/--policy/--sampling given, validate that the store
+    // actually holds the capture these flags (plus the sample flags)
+    // describe — a stale store is an error, never silently replayed.
+    if (args.has("workload") || args.has("policy") ||
+        args.has("sampling")) {
         const std::string workload =
             args.get("workload", store.meta().workload);
         const std::string policy_name =
             args.get("policy", store.meta().policy);
+        const auto opts = estimatorOptionsFor(args);
+        const auto cfg = sampledConfigFor(args);
         const std::uint64_t want = core::LivePointStore::configHash(
-            workload, policy_name, sampledConfigFor(args));
+            workload, policy_name, cfg, opts,
+            harness::estimatorCandidateCount(cfg.regimen.numClusters,
+                                             opts));
         if (want != store.configHash())
             rsr_throw_user(
                 "live-point store ", path, " is stale: expected config "
@@ -341,7 +431,8 @@ cmdReplay(const ArgParser &args)
                 checksumHex(store.configHash()), " (captured from ",
                 store.meta().workload, "/", store.meta().policy,
                 "); recreate it with: rsr_sim mklvpt --workload ",
-                workload, " --policy ", policy_name, " --out ", path);
+                workload, " --policy ", policy_name, " --sampling ",
+                core::samplingPolicyName(opts.kind), " --out ", path);
     }
 
     auto machine = store.meta().machine;
@@ -359,7 +450,19 @@ cmdReplay(const ArgParser &args)
 
     const unsigned jobs =
         static_cast<unsigned>(args.getPositiveU64("jobs", 1));
-    const auto r = harness::replayStoreParallel(store, machine, jobs);
+    const std::uint64_t steal_seed = args.getU64("steal-seed", 0);
+    // Estimator-annotated stores (index v2) recompute the ranked-set /
+    // stratified estimate from the stored groups; plain stores take the
+    // classic per-cluster path. Both are bit-identical to a direct run.
+    const bool uniform = store.meta().estimator.kind ==
+                         core::SamplingPolicyKind::UniformCluster;
+    const auto r =
+        uniform
+            ? harness::replayStoreParallel(store, machine, jobs,
+                                           steal_seed)
+            : harness::replayEstimatorStore(store, machine, jobs,
+                                            steal_seed)
+                  .sampled;
 
     if (args.has("csv")) {
         // Full precision, same format as `run --csv`, so the two can be
@@ -379,6 +482,11 @@ cmdReplay(const ArgParser &args)
                 "store hash %016llx\n",
                 store.clusterCount(), r.seconds,
                 static_cast<unsigned long long>(store.storeHash()));
+    if (!uniform)
+        std::printf("  sampling %s over %llu candidates\n",
+                    store.meta().estimator.describe().c_str(),
+                    static_cast<unsigned long long>(
+                        store.meta().candidateCount));
     return 0;
 }
 
@@ -579,6 +687,7 @@ cmdCampaign(const ArgParser &args)
     cfg.clusterSize = args.getU64("cluster-size", 2000);
     cfg.seed = args.getU64("seed", cfg.seed);
     cfg.machine = machineFor(args);
+    cfg.sampling = estimatorOptionsFor(args);
     cfg.livepointDir = args.get("livepoints");
     cfg.threads = static_cast<unsigned>(args.getU64("threads", 1));
     cfg.maxRetries = static_cast<unsigned>(args.getU64("retries", 2));
@@ -693,9 +802,11 @@ usage()
         "  true-ipc     --workload W [--insts N] [--machine scaled|paper]\n"
         "  sample       --workload W --policy P [--insts N] [--clusters C]\n"
         "               [--cluster-size S] [--seed X] [--true-ipc] [--csv]\n"
-        "  run          --workload W --policy P [--jobs N] [sample flags]\n"
-        "               (parallel per-cluster replay; bit-identical for\n"
-        "               any --jobs)\n"
+        "  run          --workload W --policy P [--jobs N] "
+        "[--steal-seed X]\n"
+        "               [sample flags] [sampling flags] (parallel\n"
+        "               per-cluster replay; bit-identical for any --jobs\n"
+        "               and --steal-seed)\n"
         "  compare      --workload W [--policies P1,P2,...] [--jobs N]\n"
         "               [sample flags] (policy sweep; defaults to the\n"
         "               full Table-2 matrix)\n"
@@ -704,13 +815,16 @@ usage()
         "  simpoint     --workload W [--insts N] [--interval I] [--max-k K]"
         " [--warm]\n"
         "  mklvpt       --workload W --policy P --out FILE [sample flags]\n"
-        "               (producer: run functional simulation + warming\n"
-        "               once, write a content-addressed live-point store)\n"
+        "               [sampling flags] (producer: run functional\n"
+        "               simulation + warming once, write a\n"
+        "               content-addressed live-point store)\n"
         "  replay       --store FILE [--jobs N] [--csv] "
         "[--set core.<field>=V]\n"
         "               (consumer: measure straight from the store, zero\n"
-        "               functional re-simulation; --workload/--policy +\n"
-        "               sample flags validate the store is not stale)\n"
+        "               functional re-simulation; --workload/--policy/\n"
+        "               --sampling + sample flags validate the store is\n"
+        "               not stale; estimator stores recompute their\n"
+        "               ranked-set / stratified estimate)\n"
         "  campaign     --workloads W1,W2,... --policies P1,P2,... "
         "--out DIR\n"
         "               [--insts N] [--clusters C] [--cluster-size S] "
@@ -721,6 +835,7 @@ usage()
         "[--fault-io P]\n"
         "               [--fault-corrupt P] [--fault-alloc P] "
         "[--shards N]\n"
+        "               [sampling flags]\n"
         "               (SIGINT/SIGTERM stop dispatching, let in-flight\n"
         "               jobs finish, and leave a resumable manifest;\n"
         "               --shards forks N worker processes over one\n"
@@ -745,6 +860,14 @@ usage()
         "  rsr_sim replay --store gcc.lvpt --set core.rob_size=256\n"
         "policies: none smarts scache sbp fp<pct> rsr<pct>[+stale] "
         "rcache<pct> rbp mrrl blrl\n"
+        "sampling flags (run/mklvpt/replay/campaign):\n"
+        "  --sampling uniform|ranked-set|two-phase  estimator policy\n"
+        "  --proxy ipc|bbv       cheap rank: functional-IPC proxy or BBV\n"
+        "                        centroid distance\n"
+        "  --set-size M          ranked-set set size / two-phase\n"
+        "                        candidate oversampling (default 4)\n"
+        "  --strata H --phase1 P two-phase strata and pilot per stratum\n"
+        "  --rank-seed X         seed for set formation and pilot draws\n"
         "exit status: 0 ok, 1 fatal, 2 campaign partially complete\n");
 }
 
@@ -760,7 +883,8 @@ dispatch(const ArgParser &args)
         "fault-seed", "fault-io", "fault-corrupt", "fault-alloc",
         "jobs",      "livepoints", "shards", "port", "queue-capacity",
         "shed-fill", "io-timeout", "result-cache-mb", "store-cache-mb",
-        "journal",   "fault-torn"};
+        "journal",   "fault-torn", "sampling", "proxy", "set-size",
+        "strata",    "phase1",   "rank-seed", "steal-seed"};
     args.requireKnown(allowed);
 
     const std::string cmd = args.command();
