@@ -233,8 +233,11 @@ class GsharePredictor : public Snapshotable
     };
 
     PredictorParams params_;
+    // rsrlint: snap-excluded(derived from params_.phtEntries in the ctor)
     std::uint32_t phtMask;
+    // rsrlint: snap-excluded(derived from params_.historyBits in the ctor)
     std::uint32_t ghrMask;
+    // rsrlint: snap-excluded(derived from params_.btbEntries in the ctor)
     std::uint32_t btbMask;
 
     std::vector<std::uint8_t> pht;
@@ -246,7 +249,9 @@ class GsharePredictor : public Snapshotable
     unsigned rasTop = 0;
     unsigned rasCount = 0;
 
+    // rsrlint: snap-excluded(measurement counters, reset per phase rather than replayed)
     PredictorStats stats_;
+    // rsrlint: snap-excluded(non-owning runtime hook, re-attached by the phase driver)
     ReconstructionClient *recon = nullptr;
 };
 

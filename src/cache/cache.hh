@@ -261,10 +261,13 @@ class Cache : public Snapshotable
     static void placeAt(std::uint8_t *ord, unsigned assoc, std::uint8_t way,
                         unsigned pos);
 
+    // rsrlint: snap-excluded(construction-time config, only cross-checked on restore)
     CacheParams params_;
     unsigned numSets_;
     unsigned assoc_;
+    // rsrlint: snap-excluded(derived from params_.lineBytes in the ctor)
     unsigned lineShift;
+    // rsrlint: snap-excluded(derived from numSets_ in the ctor)
     unsigned setShift;
     /** Per-way tags; way w of set s is slot s*assoc + w. */
     std::vector<std::uint64_t> tags_;
@@ -274,6 +277,7 @@ class Cache : public Snapshotable
     std::vector<std::uint8_t> order_;
     /** Reconstructed blocks per set (they occupy order[0..n-1]). */
     std::vector<std::uint32_t> reconCount_;
+    // rsrlint: snap-excluded(measurement counters, reset per phase rather than replayed)
     CacheStats stats_;
 };
 

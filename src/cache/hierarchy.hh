@@ -109,12 +109,16 @@ class MemoryHierarchy : public Snapshotable
     /** Handle an L1 load/fetch miss: fetch the line through L2. */
     std::uint64_t missToL2(std::uint64_t t, std::uint64_t addr);
 
+    // rsrlint: snap-excluded(construction-time config, geometry lives in each Cache frame)
     HierarchyParams params_;
     Cache il1_;
     Cache dl1_;
     Cache l2_;
+    // rsrlint: snap-excluded(timing-phase state, restarts at each measurement phase)
     Bus l1Bus_;
+    // rsrlint: snap-excluded(timing-phase state, restarts at each measurement phase)
     Bus l2Bus_;
+    // rsrlint: snap-excluded(warm-up diagnostics counter, cleared per phase)
     std::uint64_t warmUpdates_ = 0;
 };
 

@@ -107,6 +107,7 @@ struct Machine : Snapshotable
         in.end();
     }
 
+    // rsrlint: snap-excluded(construction-time config, keyed separately by configHash)
     MachineConfig config;
     cache::MemoryHierarchy hier;
     branch::GsharePredictor bp;

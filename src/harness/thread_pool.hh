@@ -116,6 +116,8 @@ class ThreadPool
     std::vector<std::unique_ptr<Lane>> lanes;
     std::uint64_t stealSeed;
 
+    // rsrlint: lock-order(mu < lane.mu) — pool mutex first, then a lane;
+    // tryGrab takes lane locks alone (see workerLoop's comment).
     std::mutex mu; // guards queued/pending/stopping/firstError
     std::condition_variable cvWork;
     std::condition_variable cvDone;

@@ -1,0 +1,43 @@
+// Seeded violation for lock-order: the documented discipline is pool
+// mutex before any lane mutex, but drainLane() grabs a lane lock and
+// then acquires the pool mutex while still holding it — the inverse
+// nesting that deadlocks against submit().
+#include <cstdint>
+#include <mutex>
+
+namespace rsr
+{
+
+class Pool
+{
+  public:
+    void
+    submit()
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        std::lock_guard<std::mutex> lane_lk(lane_.mu);
+        ++lane_.depth;
+    }
+
+    void
+    drainLane()
+    {
+        std::lock_guard<std::mutex> lane_lk(lane_.mu);
+        std::lock_guard<std::mutex> lk(mu);
+        ++drained_;
+    }
+
+  private:
+    struct Lane
+    {
+        std::mutex mu;
+        std::uint64_t depth = 0;
+    };
+
+    // rsrlint: lock-order(mu < lane.mu)
+    std::mutex mu;
+    Lane lane_;
+    std::uint64_t drained_ = 0;
+};
+
+} // namespace rsr

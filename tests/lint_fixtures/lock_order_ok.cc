@@ -1,0 +1,41 @@
+// Clean twin for lock-order: every path that needs both locks takes the
+// pool mutex first and the lane mutex second, matching the documented
+// discipline; taking a lane lock alone is also fine.
+#include <cstdint>
+#include <mutex>
+
+namespace rsr
+{
+
+class Pool
+{
+  public:
+    void
+    submit()
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        std::lock_guard<std::mutex> lane_lk(lane_.mu);
+        ++lane_.depth;
+    }
+
+    void
+    drainLane()
+    {
+        std::lock_guard<std::mutex> lane_lk(lane_.mu);
+        ++drained_;
+    }
+
+  private:
+    struct Lane
+    {
+        std::mutex mu;
+        std::uint64_t depth = 0;
+    };
+
+    // rsrlint: lock-order(mu < lane.mu)
+    std::mutex mu;
+    Lane lane_;
+    std::uint64_t drained_ = 0;
+};
+
+} // namespace rsr

@@ -458,6 +458,46 @@ TEST_F(EstimatorRun, TwoPhaseStoreSurvivesSerializationRoundTrip)
     expectSameRun(direct, replayed);
 }
 
+TEST_F(EstimatorRun, CaptureAnnotationsSurviveBytesAndRejectReorder)
+{
+    const auto store = captureEstimatorStore(*prog, "rsr40", *cfg,
+                                             rankedOpts(), "twolf");
+    // The v2 index round-trips every capture annotation: estimator
+    // options, candidate-pool size, and the per-cluster groups that
+    // drive rankedSetEstimate() on replay.
+    const auto reloaded =
+        core::LivePointStore::deserialize(store.serialize());
+    EXPECT_EQ(reloaded.meta().estimator.kind,
+              SamplingPolicyKind::RankedSet);
+    EXPECT_EQ(reloaded.meta().candidateCount, 48u);
+    ASSERT_EQ(reloaded.entries().size(), store.entries().size());
+    for (std::size_t i = 0; i < store.entries().size(); ++i)
+        EXPECT_EQ(reloaded.entries()[i].group,
+                  store.entries()[i].group)
+            << i;
+
+    // Reordering two adjacent differing 8-byte words of the index
+    // payload (container header 24 bytes + index frame header 24
+    // bytes) is the byte-level image of a member-order mismatch in
+    // the index's snapshot()/restore() pair; the position-sensitive
+    // index checksum must reject the store rather than misparse it.
+    auto bytes = store.serialize();
+    ASSERT_GE(bytes.size(), 64u);
+    bool swapped = false;
+    for (std::size_t off = 48; off + 16 <= bytes.size() && !swapped;
+         off += 8) {
+        const auto word =
+            bytes.begin() + static_cast<std::ptrdiff_t>(off);
+        if (std::equal(word, word + 8, word + 8))
+            continue;
+        std::swap_ranges(word, word + 8, word + 8);
+        swapped = true;
+    }
+    ASSERT_TRUE(swapped);
+    EXPECT_THROW(core::LivePointStore::deserialize(std::move(bytes)),
+                 CorruptInputError);
+}
+
 TEST_F(EstimatorRun, ConfigHashSeparatesEstimators)
 {
     const auto base = core::LivePointStore::configHash(

@@ -12,10 +12,13 @@
 
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "index.hh"
 #include "lint.hh"
 
 namespace rsrlint
@@ -31,7 +34,10 @@ noSibling(const std::string &)
 
 /**
  * Scan one fixture as if it lived under src/ — or, for serve-zone
- * rules (stem "serve_*"), under src/serve/.
+ * rules (stem "serve_*"), under src/serve/. Both phases run: the
+ * per-file rule catalog and the project rules over a one-file model.
+ * A `<name>.abi` sidecar, when present, plays the committed snapshot
+ * ABI file so snap-version-drift fixtures stay self-contained.
  */
 std::vector<Finding>
 scanFixture(const std::string &name)
@@ -43,7 +49,22 @@ scanFixture(const std::string &name)
                                      : "src/lintcheck/";
     const SourceFile file =
         lexFile(fs_path, zone_dir + name + ".cc");
-    return runRules(file, noSibling);
+    auto findings = runRules(file, noSibling);
+
+    std::map<std::string, SourceFile> files;
+    files.emplace(file.path, file);
+    const ProjectModel model = buildProjectModel(files);
+    AbiTable sidecar;
+    const AbiTable *abi = nullptr;
+    const std::string abi_path =
+        std::string(RSRLINT_FIXTURES) + "/" + name + ".abi";
+    if (std::filesystem::is_regular_file(abi_path)) {
+        sidecar = loadAbiFile(abi_path, "tools/lint/snapshot_abi.txt");
+        abi = &sidecar;
+    }
+    const auto project = runProjectRules(model, files, abi);
+    findings.insert(findings.end(), project.begin(), project.end());
+    return findings;
 }
 
 std::set<std::string>
@@ -96,7 +117,9 @@ INSTANTIATE_TEST_SUITE_P(
                       "det-unordered-iter", "err-exit", "err-assert",
                       "conc-global-state", "conc-unused-mutex",
                       "conc-shared-hot-write", "hot-endl", "hot-throw",
-                      "bad-suppression", "serve-blocking-io"),
+                      "bad-suppression", "serve-blocking-io",
+                      "snap-missing-member", "snap-asymmetry",
+                      "snap-version-drift", "lock-order"),
     [](const ::testing::TestParamInfo<const char *> &info) {
         std::string name = info.param;
         for (char &c : name)
@@ -303,6 +326,234 @@ TEST(RsrLint, RepoTreeStaysCleanAgainstCommittedBaseline)
     // or suppressed with justification, never grandfathered.
     EXPECT_EQ(result.baselined, 0u)
         << "tools/lint/rsrlint_baseline.txt must stay empty";
+}
+
+std::string
+readRepoFile(const std::string &rel)
+{
+    std::ifstream in(std::filesystem::path(RSR_REPO_ROOT) / rel,
+                     std::ios::binary);
+    EXPECT_TRUE(in.good()) << rel;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(RsrLintModel, IndexesRealTreeSnapshotables)
+{
+    LintOptions opts;
+    opts.root = RSR_REPO_ROOT;
+    const ProjectModel model = buildModelForTree(opts);
+    std::vector<std::string> names;
+    for (const SnapType &t : model.types)
+        names.push_back(t.name);
+    EXPECT_EQ(names,
+              (std::vector<std::string>{"Cache", "GsharePredictor",
+                                        "Machine", "MemoryHierarchy"}));
+    for (const SnapType &t : model.types) {
+        EXPECT_TRUE(t.snapshot.found) << t.name;
+        EXPECT_TRUE(t.restore.found) << t.name;
+        EXPECT_TRUE(t.versionKnown)
+            << t.name << ": " << t.versionExpr;
+    }
+    for (const SnapType &t : model.types)
+        if (t.name == "Cache")
+            EXPECT_EQ(t.serializedMembers(),
+                      (std::vector<std::string>{"numSets_", "assoc_",
+                                                "tags_", "flags_",
+                                                "order_",
+                                                "reconCount_"}));
+    // The ThreadPool lock discipline is documented and holds.
+    ASSERT_EQ(model.lockSpecs.size(), 1u);
+    EXPECT_TRUE(model.lockSpecs[0].parsed);
+    EXPECT_EQ(model.lockSpecs[0].before, "mu");
+    EXPECT_EQ(model.lockSpecs[0].after, "lane.mu");
+    EXPECT_TRUE(model.lockInversions.empty());
+}
+
+TEST(RsrLintModel, CommittedSnapshotAbiIsFresh)
+{
+    LintOptions opts;
+    opts.root = RSR_REPO_ROOT;
+    EXPECT_EQ(readRepoFile("tools/lint/snapshot_abi.txt"),
+              renderSnapshotAbi(buildModelForTree(opts)))
+        << "run `rsrlint --update-snapshot-abi` and commit the result";
+}
+
+/**
+ * The acceptance drill for the semantic rules: delete a member
+ * reference from the real Cache::snapshot() and the pair rules must
+ * catch it — from one body as snap-asymmetry, from both bodies as
+ * snap-missing-member.
+ */
+TEST(RsrLintModel, DeletedMemberRefInRealSnapshotIsCaught)
+{
+    const std::string hh_text = readRepoFile("src/cache/cache.hh");
+    std::string cc_text = readRepoFile("src/cache/cache.cc");
+    const std::string snap_ref = "out.putU64(tags_[s * assoc_ + w]);";
+    const std::string rest_ref =
+        "tags_[s * assoc_ + w] = in.getU64();";
+    ASSERT_NE(cc_text.find(snap_ref), std::string::npos);
+    ASSERT_NE(cc_text.find(rest_ref), std::string::npos);
+
+    auto scanPair = [&hh_text](const std::string &cc) {
+        std::map<std::string, SourceFile> files;
+        files.emplace("src/cache/cache.hh",
+                      lexString(hh_text, "src/cache/cache.hh"));
+        files.emplace("src/cache/cache.cc",
+                      lexString(cc, "src/cache/cache.cc"));
+        return runProjectRules(buildProjectModel(files), files,
+                               nullptr);
+    };
+    EXPECT_TRUE(scanPair(cc_text).empty());
+
+    std::string one_sided = cc_text;
+    one_sided.replace(one_sided.find(snap_ref), snap_ref.size(),
+                      "out.putU64(0);");
+    const auto asym = scanPair(one_sided);
+    ASSERT_EQ(asym.size(), 1u);
+    EXPECT_EQ(asym[0].rule, "snap-asymmetry");
+    EXPECT_NE(asym[0].message.find("tags_"), std::string::npos);
+
+    std::string both_sides = one_sided;
+    both_sides.replace(both_sides.find(rest_ref), rest_ref.size(),
+                       "(void)in.getU64();");
+    const auto missing = scanPair(both_sides);
+    ASSERT_EQ(missing.size(), 1u);
+    EXPECT_EQ(missing[0].rule, "snap-missing-member");
+    EXPECT_EQ(missing[0].path, "src/cache/cache.hh");
+    EXPECT_NE(missing[0].message.find("tags_"), std::string::npos);
+}
+
+TEST(RsrLintModel, LockOrderSpecIsScopedToItsTuPair)
+{
+    const std::string inverted = "#include <mutex>\n"
+                                 "namespace rsr {\n"
+                                 "struct Lane { std::mutex mu; };\n"
+                                 "void f(std::mutex &mu, Lane &lane)\n"
+                                 "{\n"
+                                 "    std::lock_guard<std::mutex> a(lane.mu);\n"
+                                 "    std::lock_guard<std::mutex> b(mu);\n"
+                                 "}\n"
+                                 "} // namespace rsr\n";
+    const std::string spec =
+        "// rsrlint: lock-order(mu < lane.mu)\n";
+
+    std::map<std::string, SourceFile> files;
+    files.emplace("src/core/pool.cc",
+                  lexString(spec + inverted, "src/core/pool.cc"));
+    files.emplace("src/core/other.cc",
+                  lexString(inverted, "src/core/other.cc"));
+    const ProjectModel model = buildProjectModel(files);
+    ASSERT_EQ(model.lockSpecs.size(), 1u);
+    // The same inverted nesting exists in both TUs, but the spec only
+    // governs its own pair: exactly one inversion, in pool.cc.
+    ASSERT_EQ(model.lockInversions.size(), 1u);
+    EXPECT_EQ(model.lockInversions[0].path, "src/core/pool.cc");
+    EXPECT_EQ(model.lockInversions[0].acquiring, "mu");
+    EXPECT_EQ(model.lockInversions[0].held, "lane.mu");
+}
+
+TEST(RsrLintModel, SuggestEmitsInsertableMarkerText)
+{
+    namespace fs = std::filesystem;
+    const fs::path root =
+        fs::path(::testing::TempDir()) / "rsrlint_suggest_probe";
+    fs::create_directories(root / "src");
+    fs::copy_file(std::string(RSRLINT_FIXTURES) +
+                      "/snap_missing_member_bad.cc",
+                  root / "src" / "widget.cc",
+                  fs::copy_options::overwrite_existing);
+    LintOptions opts;
+    opts.root = root.string();
+    opts.paths = {"src"};
+    opts.suggest = true;
+    const LintResult result = runLint(opts);
+    ASSERT_EQ(result.findings.size(), 1u);
+    EXPECT_EQ(result.findings[0].rule, "snap-missing-member");
+    ASSERT_EQ(result.suggestions.size(), 1u);
+    EXPECT_NE(result.suggestions[0].find("rsrlint: snap-excluded("),
+              std::string::npos);
+    EXPECT_NE(result.suggestions[0].find("lost_"), std::string::npos);
+    fs::remove_all(root);
+}
+
+TEST(RsrLintModel, UpdateSnapshotAbiGatesOnVersionBump)
+{
+    namespace fs = std::filesystem;
+    const fs::path root =
+        fs::path(::testing::TempDir()) / "rsrlint_abi_probe";
+    fs::create_directories(root / "src");
+    auto gadget = [&root](bool with_z, unsigned version) {
+        std::ofstream out(root / "src" / "gadget.cc");
+        out << "#include <cstdint>\n"
+               "namespace rsr {\n"
+               "class Serializer {\n"
+               "  public:\n"
+               "    void begin(std::uint32_t t, std::uint32_t v);\n"
+               "    void end();\n"
+               "    void putU64(std::uint64_t v);\n"
+               "};\n"
+               "class Deserializer {\n"
+               "  public:\n"
+               "    std::uint32_t begin(std::uint32_t t);\n"
+               "    void end();\n"
+               "    std::uint64_t getU64();\n"
+               "};\n"
+               "class Snapshotable {\n"
+               "  public:\n"
+               "    virtual ~Snapshotable() = default;\n"
+               "    virtual void snapshot(Serializer &out) const = 0;\n"
+               "    virtual void restore(Deserializer &in) = 0;\n"
+               "};\n"
+               "constexpr std::uint32_t gadgetTag = 7;\n"
+               "constexpr std::uint32_t gadgetVersion = "
+            << version
+            << ";\n"
+               "class Gadget : public Snapshotable {\n"
+               "  public:\n"
+               "    void snapshot(Serializer &out) const override {\n"
+               "        out.begin(gadgetTag, gadgetVersion);\n"
+               "        out.putU64(x_);\n"
+            << (with_z ? "        out.putU64(z_);\n" : "")
+            << "        out.end();\n"
+               "    }\n"
+               "    void restore(Deserializer &in) override {\n"
+               "        in.begin(gadgetTag);\n"
+               "        x_ = in.getU64();\n"
+            << (with_z ? "        z_ = in.getU64();\n" : "")
+            << "        in.end();\n"
+               "    }\n"
+               "  private:\n"
+               "    std::uint64_t x_ = 0;\n"
+            << (with_z ? "    std::uint64_t z_ = 0;\n" : "")
+            << "};\n"
+               "} // namespace rsr\n";
+    };
+    LintOptions opts;
+    opts.root = root.string();
+    opts.paths = {"src"};
+    opts.abiPath = "snapshot_abi.txt";
+    std::string report;
+
+    gadget(false, 1);
+    EXPECT_EQ(updateSnapshotAbi(opts, /*checkOnly=*/true, report), 1)
+        << report; // missing file
+    EXPECT_EQ(updateSnapshotAbi(opts, false, report), 0) << report;
+    EXPECT_EQ(updateSnapshotAbi(opts, true, report), 0) << report;
+
+    // Serialized members change at the same version: the check goes
+    // stale and the update refuses until the version constant is
+    // bumped in the code.
+    gadget(true, 1);
+    EXPECT_EQ(updateSnapshotAbi(opts, true, report), 1) << report;
+    EXPECT_EQ(updateSnapshotAbi(opts, false, report), 1) << report;
+    EXPECT_NE(report.find("refusing"), std::string::npos);
+
+    gadget(true, 2);
+    EXPECT_EQ(updateSnapshotAbi(opts, false, report), 0) << report;
+    EXPECT_EQ(updateSnapshotAbi(opts, true, report), 0) << report;
+    fs::remove_all(root);
 }
 
 } // namespace

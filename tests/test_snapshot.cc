@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
+
 #include "branch/predictor.hh"
 #include "cache/cache.hh"
 #include "cache/hierarchy.hh"
@@ -176,6 +179,56 @@ TEST(Snapshot, GeometryMismatchThrowsCorrupt)
     cache::Cache b(other);
     EXPECT_THROW(restoreFromBytes(b, snapshotToBytes(a)),
                  CorruptInputError);
+}
+
+/**
+ * Swap the first pair of adjacent differing 8-byte words in a frame's
+ * payload — the byte-level image of a snapshot()/restore() member-order
+ * mismatch. Returns false if every adjacent pair is identical.
+ */
+bool
+swapAdjacentPayloadWords(std::vector<std::uint8_t> &bytes,
+                         std::size_t payload_start)
+{
+    for (std::size_t off = payload_start; off + 16 <= bytes.size();
+         off += 8) {
+        const auto word = bytes.begin() + static_cast<std::ptrdiff_t>(off);
+        if (std::equal(word, word + 8, word + 8))
+            continue;
+        std::swap_ranges(word, word + 8, word + 8);
+        return true;
+    }
+    return false;
+}
+
+TEST(Snapshot, ReorderedCachePayloadWordsThrowCorrupt)
+{
+    cache::Cache a(smallCacheParams()), b(smallCacheParams());
+    Rng rng(17);
+    for (int i = 0; i < 2000; ++i)
+        a.access(rng.below(512) * 64, rng.chance(0.4));
+    auto bytes = snapshotToBytes(a);
+    // Frame header is 24 bytes (tag, version, length, checksum); the
+    // member stream follows. The FNV payload checksum is position-
+    // sensitive, so reordered members cannot restore silently — the
+    // runtime complement of rsrlint's snap-asymmetry order check.
+    ASSERT_TRUE(swapAdjacentPayloadWords(bytes, 24));
+    EXPECT_THROW(restoreFromBytes(b, bytes), CorruptInputError);
+}
+
+TEST(Snapshot, ReorderedPredictorPayloadWordsThrowCorrupt)
+{
+    branch::GsharePredictor a(smallPredictorParams()),
+        b(smallPredictorParams());
+    Rng rng(18);
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t pc = 0x4000 + 4 * rng.below(1024);
+        a.warmApply(pc, isa::BranchKind::Conditional, rng.chance(0.6),
+                    pc + 64);
+    }
+    auto bytes = snapshotToBytes(a);
+    ASSERT_TRUE(swapAdjacentPayloadWords(bytes, 24));
+    EXPECT_THROW(restoreFromBytes(b, bytes), CorruptInputError);
 }
 
 TEST(Snapshot, TrailingBytesThrowCorrupt)

@@ -24,11 +24,14 @@
  * "cannot measure scaling here" must not fail the gate.
  *
  * Exit status: 0 within tolerance (or skipped), 1 regression or bad
- * input, 3 incomparable records.
+ * input, 2 error (unreadable file, malformed JSON, bad flags),
+ * 3 incomparable records. `bench_compare --help` documents the same
+ * table for CI authors.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <map>
 #include <string>
 
@@ -48,13 +51,29 @@ loadRecord(const std::string &path)
         std::string(bytes.begin(), bytes.end()));
 }
 
-} // namespace
+constexpr const char *usage_text =
+    "usage: bench_compare --baseline FILE --current FILE"
+    " [--tolerance 0.15]\n"
+    "\n"
+    "Compare the machine-normalized norm_* metrics of a freshly\n"
+    "measured hot-loop benchmark record against the committed\n"
+    "baseline. Improvements never fail; the baseline is refreshed\n"
+    "deliberately, not ratcheted automatically.\n"
+    "\n"
+    "exit status:\n"
+    "  0  every norm_* metric within tolerance, or the scaling\n"
+    "     comparison was honestly skipped"
+    " (parallel_scaling_valid=false)\n"
+    "  1  regression, metric missing from the current record, bad\n"
+    "     baseline value, or no norm_* metrics to compare\n"
+    "  2  error: unreadable file, malformed JSON, or bad flags\n"
+    "  3  INCOMPARABLE records: jobs mismatch, or cores mismatch\n"
+    "     between parallel-scaling records\n";
 
 int
-main(int argc, char **argv)
+run(rsr::ArgParser &args)
 {
     using namespace rsr;
-    ArgParser args(argc, argv);
     const std::string base_path = args.get("baseline");
     const std::string cur_path = args.get("current");
     const double tolerance = args.getDouble("tolerance", 0.15);
@@ -157,4 +176,22 @@ main(int argc, char **argv)
                    : "perf-smoke: REGRESSION",
                 tolerance * 100.0);
     return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    rsr::ArgParser args(argc, argv);
+    if (args.has("help")) {
+        std::printf("%s", usage_text);
+        return 0;
+    }
+    try {
+        return run(args);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "bench_compare: %s\n", e.what());
+        return 2;
+    }
 }

@@ -1,0 +1,930 @@
+#include "index.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace rsrlint
+{
+
+namespace
+{
+
+std::string
+squeeze(const std::string &s)
+{
+    std::string out;
+    bool space = false;
+    for (char c : s) {
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            space = !out.empty();
+            continue;
+        }
+        if (space)
+            out += ' ';
+        space = false;
+        out += c;
+    }
+    return out;
+}
+
+std::vector<std::size_t>
+lineStarts(const std::string &code)
+{
+    std::vector<std::size_t> starts{0};
+    for (std::size_t i = 0; i < code.size(); ++i)
+        if (code[i] == '\n')
+            starts.push_back(i + 1);
+    return starts;
+}
+
+std::size_t
+lineOf(const std::vector<std::size_t> &starts, std::size_t pos)
+{
+    const auto it = std::upper_bound(starts.begin(), starts.end(), pos);
+    return static_cast<std::size_t>(it - starts.begin()) - 1;
+}
+
+/** Index of the '}' matching the '{' at @p open, or npos. */
+std::size_t
+matchBrace(const std::string &code, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < code.size(); ++i) {
+        if (code[i] == '{')
+            ++depth;
+        else if (code[i] == '}' && --depth == 0)
+            return i;
+    }
+    return std::string::npos;
+}
+
+/** Index of the ')' matching the '(' at @p open, or npos. */
+std::size_t
+matchParen(const std::string &code, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < code.size(); ++i) {
+        if (code[i] == '(')
+            ++depth;
+        else if (code[i] == ')' && --depth == 0)
+            return i;
+    }
+    return std::string::npos;
+}
+
+/** Split @p args at commas outside any (), [], {}, <> nesting. */
+std::vector<std::string>
+splitTopLevel(const std::string &args)
+{
+    std::vector<std::string> out;
+    int depth = 0;
+    std::string cur;
+    for (char c : args) {
+        if (c == '(' || c == '[' || c == '{' || c == '<')
+            ++depth;
+        else if (c == ')' || c == ']' || c == '}' || c == '>')
+            --depth;
+        if (c == ',' && depth == 0) {
+            out.push_back(squeeze(cur));
+            cur.clear();
+            continue;
+        }
+        cur += c;
+    }
+    if (!squeeze(cur).empty())
+        out.push_back(squeeze(cur));
+    return out;
+}
+
+/** Path stem: `src/cache/cache.hh` -> `src/cache/cache`. */
+std::string
+stemOf(const std::string &path)
+{
+    const auto slash = path.rfind('/');
+    const auto dot = path.rfind('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return path;
+    return path.substr(0, dot);
+}
+
+/** One lexed file plus its joined code and line-offset table. */
+struct FileText
+{
+    const SourceFile *file = nullptr;
+    std::string code;
+    std::vector<std::size_t> starts;
+};
+
+bool
+isSnapshotSig(const std::string &heading)
+{
+    static const std::regex re(
+        R"(\bsnapshot\s*\([^)]*\bSerializer\s*&)");
+    return std::regex_search(heading, re);
+}
+
+bool
+isRestoreSig(const std::string &heading)
+{
+    static const std::regex re(
+        R"(\brestore\s*\([^)]*\bDeserializer\s*&)");
+    return std::regex_search(heading, re);
+}
+
+/**
+ * Classify a class-scope statement heading as a data-member
+ * declaration: not a function/alias/nested type/static, ending in a
+ * plain identifier (optionally with array brackets / an initializer).
+ */
+std::optional<std::pair<std::string, std::string>> // {name, type}
+classifyMember(const std::string &raw)
+{
+    std::string s = squeeze(raw);
+    if (s.empty() || s.find('(') != std::string::npos)
+        return std::nullopt;
+    static const std::regex skip(
+        R"(^(static|using|typedef|friend|template|enum|class|struct|union|operator|extern|static_assert|public|private|protected)\b)");
+    if (std::regex_search(s, skip))
+        return std::nullopt;
+    const auto eq = s.find('=');
+    if (eq != std::string::npos)
+        s = squeeze(s.substr(0, eq));
+    static const std::regex name_re(
+        R"(^(.*[^\w])([A-Za-z_]\w*)\s*((\[[^\]]*\])*)\s*$)");
+    std::smatch m;
+    if (!std::regex_match(s, m, name_re))
+        return std::nullopt;
+    const std::string type = squeeze(m[1]);
+    if (type.empty())
+        return std::nullopt;
+    return std::make_pair(m[2].str(), type);
+}
+
+/** Attach `rsrlint: snap-excluded(<why>)` markers to members. */
+void
+applyExclusions(SnapType &type, const SourceFile &file)
+{
+    static const std::regex marker_re(
+        R"(rsrlint:\s*snap-excluded\(([^)]*)\))");
+    auto markerOn = [&](std::size_t idx, std::string &reason) {
+        if (idx >= file.lines.size())
+            return false;
+        std::smatch m;
+        if (!std::regex_search(file.lines[idx].comment, m, marker_re))
+            return false;
+        reason = squeeze(m[1]);
+        return true;
+    };
+    for (SnapMember &mem : type.members) {
+        std::string reason;
+        if (markerOn(mem.line, reason)) {
+            mem.excluded = true;
+            mem.excludeReason = reason;
+            continue;
+        }
+        // An immediately preceding comment-only line also counts.
+        if (mem.line > 0 &&
+            squeeze(file.lines[mem.line - 1].code).empty() &&
+            markerOn(mem.line - 1, reason)) {
+            mem.excluded = true;
+            mem.excludeReason = reason;
+        }
+    }
+}
+
+/**
+ * Record member references of @p type inside the body text
+ * [bodyOpen, bodyClose] of @p ft, ordered by first occurrence.
+ */
+void
+extractRefs(SnapMethod &method, const SnapType &type,
+            const FileText &ft, std::size_t bodyOpen,
+            std::size_t bodyClose)
+{
+    const std::string body =
+        ft.code.substr(bodyOpen, bodyClose - bodyOpen + 1);
+    std::vector<std::pair<std::size_t, std::string>> hits;
+    for (const SnapMember &mem : type.members) {
+        const std::regex word_re("\\b" + mem.name + "\\b");
+        std::smatch m;
+        if (std::regex_search(body, m, word_re))
+            hits.push_back(
+                {static_cast<std::size_t>(m.position()), mem.name});
+    }
+    std::sort(hits.begin(), hits.end());
+    for (const auto &[pos, name] : hits) {
+        method.refs.push_back(name);
+        method.refLines.push_back(lineOf(ft.starts, bodyOpen + pos));
+    }
+}
+
+/** Pull `begin(tag, version)` argument expressions from a body. */
+void
+extractTagVersion(SnapType &type, const std::string &body)
+{
+    static const std::regex begin_re(R"(\bbegin\s*\()");
+    std::smatch m;
+    if (!std::regex_search(body, m, begin_re))
+        return;
+    const std::size_t open = static_cast<std::size_t>(m.position()) +
+                             static_cast<std::size_t>(m.length()) - 1;
+    const std::size_t close = matchParen(body, open);
+    if (close == std::string::npos)
+        return;
+    const std::vector<std::string> args =
+        splitTopLevel(body.substr(open + 1, close - open - 1));
+    if (args.size() >= 1)
+        type.tagExpr = args[0];
+    if (args.size() >= 2)
+        type.versionExpr = args[1];
+}
+
+/** Parse a decimal or 0x literal. */
+bool
+parseNumber(const std::string &s, std::uint64_t &out)
+{
+    static const std::regex num_re(R"(^(0[xX][0-9a-fA-F]+|[0-9]+)$)");
+    if (!std::regex_match(s, num_re))
+        return false;
+    out = std::stoull(s, nullptr, 0);
+    return true;
+}
+
+/**
+ * Resolve the numeric value of the snapshot version expression by
+ * searching the type's translation-unit pair for `<ident> = <number>`.
+ */
+void
+resolveVersion(SnapType &type,
+               const std::map<std::string, FileText> &texts)
+{
+    if (type.versionExpr.empty())
+        return;
+    if (parseNumber(type.versionExpr, type.version)) {
+        type.versionKnown = true;
+        return;
+    }
+    // Strip any `Class::` qualification off the identifier.
+    std::string ident = type.versionExpr;
+    const auto colon = ident.rfind("::");
+    if (colon != std::string::npos)
+        ident = ident.substr(colon + 2);
+    static const std::regex id_re(R"(^[A-Za-z_]\w*$)");
+    if (!std::regex_match(ident, id_re))
+        return;
+
+    std::set<std::string> stems{stemOf(type.declPath)};
+    if (type.snapshot.found)
+        stems.insert(stemOf(type.snapshot.path));
+    if (type.restore.found)
+        stems.insert(stemOf(type.restore.path));
+    const std::regex def_re("\\b" + ident +
+                            R"(\s*=\s*(0[xX][0-9a-fA-F]+|[0-9]+)\b)");
+    for (const auto &[path, ft] : texts) {
+        if (!stems.count(stemOf(path)))
+            continue;
+        std::smatch m;
+        if (std::regex_search(ft.code, m, def_re)) {
+            if (parseNumber(m[1], type.version))
+                type.versionKnown = true;
+            return;
+        }
+    }
+}
+
+/**
+ * Locate an out-of-line `Class::method(...) {` body for @p type in any
+ * indexed file. Returns true and fills @p method / body bounds.
+ */
+bool
+findOutOfLineBody(const std::string &className, const char *method,
+                  const std::map<std::string, FileText> &texts,
+                  SnapMethod &out, const FileText *&outFt,
+                  std::size_t &bodyOpen, std::size_t &bodyClose)
+{
+    const std::regex sig_re("\\b" + className + "\\s*::\\s*" + method +
+                            "\\s*\\(");
+    for (const auto &[path, ft] : texts) {
+        std::smatch m;
+        if (!std::regex_search(ft.code, m, sig_re))
+            continue;
+        const std::size_t sigPos =
+            static_cast<std::size_t>(m.position());
+        const std::size_t open = sigPos +
+                                 static_cast<std::size_t>(m.length()) -
+                                 1;
+        const std::size_t closeParen = matchParen(ft.code, open);
+        if (closeParen == std::string::npos)
+            continue;
+        // Skip const/override/noexcept decoration; require a body.
+        std::size_t q = closeParen + 1;
+        while (q < ft.code.size() && ft.code[q] != '{' &&
+               ft.code[q] != ';')
+            ++q;
+        if (q >= ft.code.size() || ft.code[q] != '{')
+            continue; // a declaration, keep looking
+        const std::size_t close = matchBrace(ft.code, q);
+        if (close == std::string::npos)
+            continue;
+        out.found = true;
+        out.path = path;
+        out.line = lineOf(ft.starts, sigPos);
+        outFt = &ft;
+        bodyOpen = q;
+        bodyClose = close;
+        return true;
+    }
+    return false;
+}
+
+/**
+ * Scan one class body for data members and inline snapshot()/restore()
+ * bodies. Nested-type bodies, method bodies, and brace initializers
+ * are skipped by brace matching, so only class-scope statements are
+ * classified.
+ */
+void
+parseClassBody(SnapType &type, const FileText &ft,
+               std::size_t bodyOpen, std::size_t bodyClose)
+{
+    const std::string &code = ft.code;
+    std::string stmt;
+    std::size_t stmtStart = 0;
+    static const std::regex nested_re(
+        R"((^|\s)(class|struct|enum|union)(\s|$))");
+    static const std::regex label_re(
+        R"(^(public|private|protected)\s*:$)");
+
+    // Inline bodies can precede the member declarations (Machine puts
+    // its members last), so record body bounds now and extract member
+    // references only once the full member list is known.
+    struct PendingBody
+    {
+        bool isSnapshot;
+        std::size_t sigPos, open, close;
+    };
+    std::vector<PendingBody> pending;
+
+    std::size_t i = bodyOpen + 1;
+    while (i < bodyClose) {
+        const char c = code[i];
+        if (c == '{') {
+            const std::string h = squeeze(stmt);
+            const std::size_t close = matchBrace(code, i);
+            if (close == std::string::npos || close > bodyClose)
+                return; // malformed; stop rather than mis-scan
+            if (isSnapshotSig(h) && !type.snapshot.found) {
+                type.snapshot.found = true;
+                type.snapshot.path = ft.file->path;
+                type.snapshot.line = lineOf(ft.starts, stmtStart);
+                pending.push_back({true, stmtStart, i, close});
+                stmt.clear();
+            } else if (isRestoreSig(h) && !type.restore.found) {
+                type.restore.found = true;
+                type.restore.path = ft.file->path;
+                type.restore.line = lineOf(ft.starts, stmtStart);
+                pending.push_back({false, stmtStart, i, close});
+                stmt.clear();
+            } else if (h.find('(') != std::string::npos) {
+                stmt.clear(); // some other method body
+            } else if (std::regex_search(h, nested_re)) {
+                // nested type: keep the heading so the trailing ';'
+                // classifies (and rejects) it
+            } else {
+                // brace initializer of a member: keep the heading
+            }
+            i = close + 1;
+            continue;
+        }
+        if (c == ';') {
+            if (auto mem = classifyMember(stmt)) {
+                SnapMember m;
+                m.name = mem->first;
+                m.type = mem->second;
+                m.line = lineOf(ft.starts, stmtStart);
+                type.members.push_back(std::move(m));
+            }
+            stmt.clear();
+            ++i;
+            continue;
+        }
+        if (stmt.empty() &&
+            std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (stmt.empty())
+            stmtStart = i;
+        stmt += c;
+        if (c == ':' && std::regex_match(squeeze(stmt), label_re))
+            stmt.clear(); // access label
+        ++i;
+    }
+
+    for (const PendingBody &b : pending) {
+        SnapMethod &m = b.isSnapshot ? type.snapshot : type.restore;
+        extractRefs(m, type, ft, b.open, b.close);
+        if (b.isSnapshot)
+            extractTagVersion(type,
+                              code.substr(b.open,
+                                          b.close - b.open + 1));
+    }
+}
+
+/** Find Snapshotable class heads in one file. */
+void
+indexSnapTypes(const FileText &ft,
+               const std::map<std::string, FileText> &texts,
+               std::vector<SnapType> &out)
+{
+    const std::string &code = ft.code;
+    static const std::regex head_re(
+        R"(\b(class|struct)\s+([A-Za-z_]\w*))");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                        head_re);
+         it != std::sregex_iterator(); ++it) {
+        const std::string name = (*it)[2];
+        std::size_t p = static_cast<std::size_t>(it->position()) +
+                        static_cast<std::size_t>(it->length());
+        // Scan to the class-head terminator.
+        std::size_t open = std::string::npos;
+        for (std::size_t q = p; q < code.size(); ++q) {
+            if (code[q] == '{') {
+                open = q;
+                break;
+            }
+            if (code[q] == ';' || code[q] == ')' || code[q] == '>' ||
+                code[q] == '(')
+                break; // fwd decl, template param, cast, ...
+        }
+        if (open == std::string::npos)
+            continue;
+        std::string head = squeeze(code.substr(p, open - p));
+        if (head.rfind("final", 0) == 0)
+            head = squeeze(head.substr(5));
+        if (head.empty() || head[0] != ':')
+            continue; // no base clause
+        static const std::regex base_re(R"(\bSnapshotable\b)");
+        if (!std::regex_search(head, base_re))
+            continue;
+        const std::size_t close = matchBrace(code, open);
+        if (close == std::string::npos)
+            continue;
+
+        SnapType type;
+        type.name = name;
+        type.declPath = ft.file->path;
+        type.declLine = lineOf(
+            ft.starts, static_cast<std::size_t>(it->position()));
+        parseClassBody(type, ft, open, close);
+        applyExclusions(type, *ft.file);
+
+        const FileText *bodyFt = nullptr;
+        std::size_t bo = 0, bc = 0;
+        if (!type.snapshot.found &&
+            findOutOfLineBody(name, "snapshot", texts, type.snapshot,
+                              bodyFt, bo, bc)) {
+            extractRefs(type.snapshot, type, *bodyFt, bo, bc);
+            extractTagVersion(type,
+                              bodyFt->code.substr(bo, bc - bo + 1));
+        }
+        if (!type.restore.found &&
+            findOutOfLineBody(name, "restore", texts, type.restore,
+                              bodyFt, bo, bc))
+            extractRefs(type.restore, type, *bodyFt, bo, bc);
+
+        resolveVersion(type, texts);
+        out.push_back(std::move(type));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lock-order indexing.
+// ---------------------------------------------------------------------
+
+/**
+ * Map a lock expression to the spec token it belongs to: a bare
+ * identifier (after stripping `this->`) matches a bare token of the
+ * same name; `foo.mu` / `lanes[i]->mu` match a dotted token whose
+ * field part is `mu`. Unmatched expressions are not tracked.
+ */
+std::string
+classifyLockExpr(const std::string &raw,
+                 const std::set<std::string> &tokens)
+{
+    std::string e = squeeze(raw);
+    while (!e.empty() && (e[0] == '&' || e[0] == '*'))
+        e = squeeze(e.substr(1));
+    if (e.rfind("this->", 0) == 0)
+        e = e.substr(6);
+    static const std::regex bare_re(R"(^[A-Za-z_]\w*$)");
+    if (std::regex_match(e, bare_re)) {
+        for (const std::string &t : tokens)
+            if (t.find('.') == std::string::npos && t == e)
+                return t;
+        return {};
+    }
+    static const std::regex field_re(
+        R"((?:\.|->)\s*([A-Za-z_]\w*)\s*$)");
+    std::smatch m;
+    if (!std::regex_search(e, m, field_re))
+        return {};
+    const std::string field = m[1];
+    for (const std::string &t : tokens) {
+        const auto dot = t.find('.');
+        if (dot != std::string::npos && t.substr(dot + 1) == field)
+            return t;
+    }
+    return {};
+}
+
+struct LockEvent
+{
+    std::size_t pos = 0;
+    enum Kind
+    {
+        Acquire,
+        Unlock,
+        Relock,
+    } kind = Acquire;
+    std::string var;
+    std::vector<std::string> exprs; // Acquire only
+};
+
+/** Scan one file for inversions of the TU pair's lock-order specs. */
+void
+scanLockOrder(const FileText &ft,
+              const std::vector<const LockOrderSpec *> &specs,
+              std::vector<LockInversion> &out)
+{
+    std::set<std::string> tokens;
+    for (const LockOrderSpec *s : specs) {
+        tokens.insert(s->before);
+        tokens.insert(s->after);
+    }
+    const std::string &code = ft.code;
+
+    std::vector<LockEvent> events;
+    static const std::regex guard_re(
+        R"(\b(?:std\s*::\s*)?(lock_guard|unique_lock|scoped_lock|shared_lock)\b)");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                        guard_re);
+         it != std::sregex_iterator(); ++it) {
+        std::size_t p = static_cast<std::size_t>(it->position()) +
+                        static_cast<std::size_t>(it->length());
+        auto skipWs = [&] {
+            while (p < code.size() &&
+                   std::isspace(static_cast<unsigned char>(code[p])))
+                ++p;
+        };
+        skipWs();
+        if (p < code.size() && code[p] == '<') {
+            int depth = 0;
+            for (; p < code.size(); ++p) {
+                if (code[p] == '<')
+                    ++depth;
+                else if (code[p] == '>' && --depth == 0) {
+                    ++p;
+                    break;
+                }
+            }
+        }
+        skipWs();
+        std::string var;
+        while (p < code.size() &&
+               (std::isalnum(static_cast<unsigned char>(code[p])) ||
+                code[p] == '_'))
+            var += code[p++];
+        skipWs();
+        if (var.empty() || p >= code.size() || code[p] != '(')
+            continue; // a type mention, not a guard declaration
+        const std::size_t close = matchParen(code, p);
+        if (close == std::string::npos)
+            continue;
+        const std::string args =
+            code.substr(p + 1, close - p - 1);
+        if (args.find("defer_lock") != std::string::npos)
+            continue; // deferred: nothing acquired here
+        LockEvent ev;
+        ev.pos = static_cast<std::size_t>(it->position());
+        ev.kind = LockEvent::Acquire;
+        ev.var = var;
+        for (const std::string &a : splitTopLevel(args)) {
+            if (a.find("adopt_lock") != std::string::npos ||
+                a.find("try_to_lock") != std::string::npos)
+                continue;
+            ev.exprs.push_back(a);
+        }
+        events.push_back(std::move(ev));
+    }
+    static const std::regex manual_re(
+        R"(\b([A-Za-z_]\w*)\s*\.\s*(unlock|lock)\s*\()");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                        manual_re);
+         it != std::sregex_iterator(); ++it) {
+        LockEvent ev;
+        ev.pos = static_cast<std::size_t>(it->position());
+        ev.kind = (*it)[2] == "unlock" ? LockEvent::Unlock
+                                       : LockEvent::Relock;
+        ev.var = (*it)[1];
+        events.push_back(std::move(ev));
+    }
+    std::sort(events.begin(), events.end(),
+              [](const LockEvent &a, const LockEvent &b) {
+                  return a.pos < b.pos;
+              });
+
+    struct Held
+    {
+        int depth;
+        std::string token;
+        std::size_t line;
+        std::string var;
+    };
+    std::vector<Held> held;
+    std::map<std::string, std::vector<std::string>> varTokens;
+    int depth = 0;
+    std::size_t ev = 0;
+    for (std::size_t i = 0; i <= code.size(); ++i) {
+        while (ev < events.size() && events[ev].pos <= i) {
+            const LockEvent &e = events[ev++];
+            if (e.kind == LockEvent::Unlock) {
+                held.erase(std::remove_if(held.begin(), held.end(),
+                                          [&](const Held &h) {
+                                              return h.var == e.var;
+                                          }),
+                           held.end());
+                continue;
+            }
+            std::vector<std::string> acquired;
+            if (e.kind == LockEvent::Relock) {
+                const auto vt = varTokens.find(e.var);
+                if (vt == varTokens.end())
+                    continue;
+                acquired = vt->second;
+            } else {
+                for (const std::string &expr : e.exprs) {
+                    const std::string t =
+                        classifyLockExpr(expr, tokens);
+                    if (!t.empty())
+                        acquired.push_back(t);
+                }
+                varTokens[e.var] = acquired;
+            }
+            const std::size_t line = lineOf(ft.starts, e.pos);
+            // Check every token against locks already held *before*
+            // this statement: a multi-lock scoped_lock deadlock-avoids
+            // among its own arguments, so those pairs are exempt.
+            for (const std::string &t : acquired)
+                for (const LockOrderSpec *s : specs) {
+                    if (!s->parsed || t != s->before)
+                        continue;
+                    for (const Held &h : held)
+                        if (h.token == s->after) {
+                            LockInversion inv;
+                            inv.path = ft.file->path;
+                            inv.line = line;
+                            inv.acquiring = t;
+                            inv.held = h.token;
+                            inv.heldLine = h.line;
+                            inv.spec = *s;
+                            out.push_back(std::move(inv));
+                        }
+                }
+            for (const std::string &t : acquired)
+                held.push_back({depth, t, line, e.var});
+        }
+        if (i >= code.size())
+            break;
+        if (code[i] == '{') {
+            ++depth;
+        } else if (code[i] == '}') {
+            --depth;
+            held.erase(std::remove_if(held.begin(), held.end(),
+                                      [&](const Held &h) {
+                                          return h.depth > depth;
+                                      }),
+                       held.end());
+        }
+    }
+}
+
+void
+indexLockOrder(const std::map<std::string, FileText> &texts,
+               ProjectModel &model)
+{
+    static const std::regex spec_re(
+        R"(rsrlint:\s*lock-order\(([^)]*)\))");
+    static const std::regex parse_re(
+        R"(^\s*([\w.]+)\s*<\s*([\w.]+)\s*$)");
+    std::map<std::string, std::vector<std::size_t>> specsByStem;
+    for (const auto &[path, ft] : texts) {
+        const std::vector<SourceLine> &lines = ft.file->lines;
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+            std::smatch m;
+            if (!std::regex_search(lines[i].comment, m, spec_re))
+                continue;
+            LockOrderSpec spec;
+            spec.path = path;
+            spec.line = i;
+            spec.raw = squeeze(m[1]);
+            std::smatch p;
+            if (std::regex_match(spec.raw, p, parse_re)) {
+                spec.parsed = true;
+                spec.before = p[1];
+                spec.after = p[2];
+            }
+            specsByStem[stemOf(path)].push_back(
+                model.lockSpecs.size());
+            model.lockSpecs.push_back(std::move(spec));
+        }
+    }
+    for (const auto &[stem, indices] : specsByStem) {
+        std::vector<const LockOrderSpec *> specs;
+        for (std::size_t idx : indices)
+            if (model.lockSpecs[idx].parsed)
+                specs.push_back(&model.lockSpecs[idx]);
+        if (specs.empty())
+            continue;
+        for (const auto &[path, ft] : texts) {
+            if (stemOf(path) != stem)
+                continue;
+            scanLockOrder(ft, specs, model.lockInversions);
+        }
+    }
+}
+
+} // namespace
+
+ProjectModel
+buildProjectModel(const std::map<std::string, SourceFile> &files)
+{
+    std::map<std::string, FileText> texts;
+    for (const auto &[path, file] : files) {
+        FileText ft;
+        ft.file = &file;
+        ft.code = file.joinedCode();
+        ft.starts = lineStarts(ft.code);
+        texts.emplace(path, std::move(ft));
+    }
+
+    ProjectModel model;
+    for (const auto &[path, ft] : texts)
+        indexSnapTypes(ft, texts, model.types);
+    std::sort(model.types.begin(), model.types.end(),
+              [](const SnapType &a, const SnapType &b) {
+                  return std::tie(a.name, a.declPath) <
+                         std::tie(b.name, b.declPath);
+              });
+    indexLockOrder(texts, model);
+    return model;
+}
+
+std::string
+fnv64Hex(const std::string &text)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+AbiTable
+parseAbiText(const std::string &text, const std::string &path)
+{
+    AbiTable table;
+    table.path = path;
+    static const std::regex line_re(
+        R"(^(\w+)\s+v(\d+)\s+(\S+)\s+fnv64:([0-9a-f]{16})\s*$)");
+    std::istringstream in(text);
+    std::string line;
+    std::size_t idx = 0;
+    for (; std::getline(in, line); ++idx) {
+        const auto a = line.find_first_not_of(" \t\r");
+        if (a == std::string::npos || line[a] == '#')
+            continue;
+        std::smatch m;
+        if (!std::regex_match(line, m, line_re))
+            throw std::runtime_error(
+                path + ":" + std::to_string(idx + 1) +
+                ": malformed snapshot ABI line (expected `<Type> "
+                "v<version> <m1,m2,...> fnv64:<16 hex>`)");
+        AbiEntry e;
+        e.type = m[1];
+        e.version = std::stoull(m[2]);
+        e.members = m[3] == "-" ? std::string() : m[3].str();
+        e.fingerprint = m[4];
+        e.line = idx;
+        table.entries.push_back(std::move(e));
+    }
+    return table;
+}
+
+AbiTable
+loadAbiFile(const std::string &fsPath, const std::string &relPath)
+{
+    std::ifstream in(fsPath);
+    if (!in)
+        throw std::runtime_error("rsrlint: cannot read snapshot ABI " +
+                                 fsPath);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parseAbiText(ss.str(), relPath);
+}
+
+std::string
+renderSnapshotAbi(const ProjectModel &model)
+{
+    std::ostringstream os;
+    os << "# rsrlint snapshot ABI: the serialized-member list of every\n"
+          "# Snapshotable type, fingerprinted so snap-version-drift can\n"
+          "# turn \"bump snapshotVersion when the payload changes\" into\n"
+          "# a gate. Regenerate with `rsrlint --update-snapshot-abi`\n"
+          "# (it refuses if a member list changed without a version\n"
+          "# bump); CI verifies freshness with `--update-snapshot-abi\n"
+          "# --check`. Never edit entries by hand.\n";
+    for (const SnapType &t : model.types) {
+        if (!t.snapshot.found)
+            continue;
+        std::string members;
+        for (const std::string &m : t.serializedMembers()) {
+            if (!members.empty())
+                members += ",";
+            members += m;
+        }
+        os << t.name << " v" << (t.versionKnown ? t.version : 0)
+           << " " << (members.empty() ? "-" : members) << " fnv64:"
+           << fnv64Hex(members) << "\n";
+    }
+    return os.str();
+}
+
+std::string
+dumpModel(const ProjectModel &model)
+{
+    std::ostringstream os;
+    os << "project model: " << model.types.size()
+       << " Snapshotable type(s), " << model.lockSpecs.size()
+       << " lock-order spec(s), " << model.lockInversions.size()
+       << " inversion(s)\n";
+    for (const SnapType &t : model.types) {
+        os << "\n" << t.name << " (" << t.declPath << ":"
+           << t.declLine + 1 << ")\n";
+        os << "  version: "
+           << (t.versionExpr.empty() ? "?" : t.versionExpr);
+        if (t.versionKnown)
+            os << " = " << t.version;
+        os << "\n  tag: " << (t.tagExpr.empty() ? "?" : t.tagExpr)
+           << "\n";
+        auto method = [&](const char *name, const SnapMethod &m) {
+            os << "  " << name << ": ";
+            if (!m.found) {
+                os << "(not found)\n";
+                return;
+            }
+            os << m.path << ":" << m.line + 1 << " refs=[";
+            for (std::size_t i = 0; i < m.refs.size(); ++i)
+                os << (i ? "," : "") << m.refs[i];
+            os << "]\n";
+        };
+        method("snapshot", t.snapshot);
+        method("restore", t.restore);
+        os << "  members:\n";
+        for (const SnapMember &m : t.members) {
+            os << "    " << m.name << " : " << m.type;
+            if (m.excluded)
+                os << "  [snap-excluded: " << m.excludeReason << "]";
+            os << "\n";
+        }
+        std::string members;
+        for (const std::string &m : t.serializedMembers())
+            members += (members.empty() ? "" : ",") + m;
+        os << "  serialized: " << (members.empty() ? "-" : members)
+           << " fnv64:" << fnv64Hex(members) << "\n";
+    }
+    for (const LockOrderSpec &s : model.lockSpecs) {
+        os << "\nlock-order spec at " << s.path << ":" << s.line + 1
+           << ": " << s.raw << (s.parsed ? "" : "  [unparseable]")
+           << "\n";
+    }
+    for (const LockInversion &inv : model.lockInversions)
+        os << "lock inversion at " << inv.path << ":" << inv.line + 1
+           << ": acquires '" << inv.acquiring << "' holding '"
+           << inv.held << "'\n";
+    return os.str();
+}
+
+} // namespace rsrlint

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Phase 1 of the two-phase rsrlint analyzer: build the cross-TU
+ * ProjectModel (model.hh) from a map of lexed files. `x.hh <-> x.cc`
+ * pairs are resolved by path stem, so a member declared in a header is
+ * matched against snapshot()/restore() bodies defined out-of-line in
+ * the paired source file. The same header also hosts the snapshot-ABI
+ * file helpers shared by the snap-version-drift rule and the
+ * `--update-snapshot-abi` / `--dump-model` CLI modes.
+ */
+
+#ifndef RSRLINT_INDEX_HH
+#define RSRLINT_INDEX_HH
+
+#include <map>
+#include <string>
+
+#include "lexer.hh"
+#include "model.hh"
+
+namespace rsrlint
+{
+
+/**
+ * Index every lexed file into a ProjectModel: Snapshotable types with
+ * members, exclusion markers, snapshot()/restore() reference sequences,
+ * resolved versions, plus lock-order specs and observed inversions.
+ */
+ProjectModel buildProjectModel(
+    const std::map<std::string, SourceFile> &files);
+
+/** FNV-1a-64 of @p text, as the 16-hex-digit string the ABI file uses. */
+std::string fnv64Hex(const std::string &text);
+
+/**
+ * Parse snapshot_abi.txt content. Lines are
+ * `<Type> v<version> <m1,m2,...> fnv64:<16 hex>`; blank lines and
+ * `#` comments are skipped. Malformed lines throw std::runtime_error
+ * naming @p path and the line number.
+ */
+AbiTable parseAbiText(const std::string &text, const std::string &path);
+
+/** Read and parse the ABI file at @p fsPath (record @p relPath). */
+AbiTable loadAbiFile(const std::string &fsPath,
+                     const std::string &relPath);
+
+/**
+ * Render the model's current snapshot ABI in the committed file format,
+ * one sorted line per Snapshotable type whose snapshot() was found.
+ */
+std::string renderSnapshotAbi(const ProjectModel &model);
+
+/** Human-readable model dump for `rsrlint --dump-model`. */
+std::string dumpModel(const ProjectModel &model);
+
+} // namespace rsrlint
+
+#endif // RSRLINT_INDEX_HH

@@ -9,6 +9,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "index.hh"
+
 namespace fs = std::filesystem;
 
 namespace rsrlint
@@ -105,6 +107,90 @@ fixEndl(const fs::path &path)
     return count;
 }
 
+/** Collect and lex every source file in options' scan paths. */
+std::map<std::string, SourceFile>
+lexTree(const LintOptions &options)
+{
+    const fs::path root(options.root);
+
+    // Collect candidate files in sorted order so output, baselines, and
+    // exit codes are stable across filesystems.
+    std::vector<fs::path> files;
+    for (const std::string &p : options.paths) {
+        const fs::path base = root / p;
+        if (fs::is_regular_file(base)) {
+            files.push_back(base);
+            continue;
+        }
+        if (!fs::is_directory(base))
+            throw std::runtime_error("rsrlint: no such path: " +
+                                     base.string());
+        for (auto it = fs::recursive_directory_iterator(base);
+             it != fs::recursive_directory_iterator(); ++it) {
+            if (it->is_directory() &&
+                skipDir(it->path().filename().string())) {
+                it.disable_recursion_pending();
+                continue;
+            }
+            if (it->is_regular_file() && isSourceFile(it->path()))
+                files.push_back(it->path());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    std::map<std::string, SourceFile> lexed; // rel path -> file
+    for (const fs::path &f : files) {
+        const std::string rel = relPath(f, root);
+        lexed.emplace(rel, lexFile(f.string(), rel));
+    }
+    return lexed;
+}
+
+/** Load the snapshot ABI table, or nullopt when absent/disabled. */
+const AbiTable *
+loadAbiIfPresent(const LintOptions &options, AbiTable &storage)
+{
+    if (options.abiPath.empty())
+        return nullptr;
+    const fs::path p = fs::path(options.root) / options.abiPath;
+    if (!fs::is_regular_file(p))
+        return nullptr;
+    storage = loadAbiFile(p.string(), options.abiPath);
+    return &storage;
+}
+
+/**
+ * One `--suggest` line per surviving snap-missing-member finding: the
+ * exact marker to paste above the declaration (applies nothing).
+ */
+std::vector<std::string>
+makeSuggestions(const ProjectModel &model,
+                const std::vector<Finding> &findings)
+{
+    std::vector<std::string> out;
+    for (const Finding &f : findings) {
+        if (f.rule != "snap-missing-member")
+            continue;
+        std::string member;
+        for (const SnapType &t : model.types) {
+            if (t.declPath != f.path)
+                continue;
+            for (const SnapMember &m : t.members)
+                if (m.line + 1 == f.line)
+                    member = m.name;
+        }
+        out.push_back(
+            f.path + ":" + std::to_string(f.line) +
+            ": insert on the line above '" + f.lineText +
+            "':\n    // rsrlint: snap-excluded(<why '" +
+            (member.empty() ? "this member" : member) +
+            "' needs no serialization>)\n  ... or serialize it in "
+            "both snapshot() and restore().");
+    }
+    return out;
+}
+
 } // namespace
 
 std::set<std::string>
@@ -137,38 +223,8 @@ runLint(const LintOptions &options)
 {
     const fs::path root(options.root);
 
-    // Collect candidate files in sorted order so output, baselines, and
-    // exit codes are stable across filesystems.
-    std::vector<fs::path> files;
-    for (const std::string &p : options.paths) {
-        const fs::path base = root / p;
-        if (fs::is_regular_file(base)) {
-            files.push_back(base);
-            continue;
-        }
-        if (!fs::is_directory(base))
-            throw std::runtime_error("rsrlint: no such path: " +
-                                     base.string());
-        for (auto it = fs::recursive_directory_iterator(base);
-             it != fs::recursive_directory_iterator(); ++it) {
-            if (it->is_directory() &&
-                skipDir(it->path().filename().string())) {
-                it.disable_recursion_pending();
-                continue;
-            }
-            if (it->is_regular_file() && isSourceFile(it->path()))
-                files.push_back(it->path());
-        }
-    }
-    std::sort(files.begin(), files.end());
-    files.erase(std::unique(files.begin(), files.end()), files.end());
-
     // Lex everything first so cross-TU rules can see sibling files.
-    std::map<std::string, SourceFile> lexed; // rel path -> file
-    for (const fs::path &f : files) {
-        const std::string rel = relPath(f, root);
-        lexed.emplace(rel, lexFile(f.string(), rel));
-    }
+    std::map<std::string, SourceFile> lexed = lexTree(options);
     std::map<std::string, SourceFile> extraFiles;
     auto sibling = [&lexed, &extraFiles,
                     &root](const std::string &rel) -> const SourceFile * {
@@ -209,6 +265,27 @@ runLint(const LintOptions &options)
         }
     }
 
+    // Phase 2: the cross-TU semantic rules over the project model.
+    const ProjectModel model = buildProjectModel(lexed);
+    AbiTable abiStorage;
+    const AbiTable *abi = loadAbiIfPresent(options, abiStorage);
+    std::vector<Finding> projectFindings;
+    for (Finding &f : runProjectRules(model, lexed, abi)) {
+        if (baseline.count(baselineKey(f))) {
+            ++result.baselined;
+            continue;
+        }
+        projectFindings.push_back(f);
+        result.findings.push_back(std::move(f));
+    }
+    if (options.suggest)
+        result.suggestions = makeSuggestions(model, projectFindings);
+    std::sort(result.findings.begin(), result.findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  return std::tie(a.path, a.line, a.rule, a.message) <
+                         std::tie(b.path, b.line, b.rule, b.message);
+              });
+
     if (options.fix) {
         std::sort(fixTargets.begin(), fixTargets.end());
         fixTargets.erase(
@@ -235,6 +312,88 @@ runLint(const LintOptions &options)
     return result;
 }
 
+ProjectModel
+buildModelForTree(const LintOptions &options)
+{
+    return buildProjectModel(lexTree(options));
+}
+
+int
+updateSnapshotAbi(const LintOptions &options, bool checkOnly,
+                  std::string &report)
+{
+    if (options.abiPath.empty())
+        throw std::runtime_error(
+            "rsrlint: --update-snapshot-abi needs a non-empty --abi "
+            "path");
+    const ProjectModel model = buildModelForTree(options);
+    const std::string fresh = renderSnapshotAbi(model);
+    const fs::path p = fs::path(options.root) / options.abiPath;
+
+    std::string existing;
+    bool haveExisting = false;
+    if (fs::is_regular_file(p)) {
+        std::ifstream in(p, std::ios::binary);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        existing = ss.str();
+        haveExisting = true;
+    }
+
+    if (checkOnly) {
+        if (haveExisting && existing == fresh) {
+            report = options.abiPath + ": fresh (" +
+                     std::to_string(model.types.size()) + " type(s))";
+            return 0;
+        }
+        report = options.abiPath +
+                 (haveExisting ? ": STALE" : ": MISSING") +
+                 " — run `rsrlint --update-snapshot-abi` and commit "
+                 "the result";
+        return 1;
+    }
+
+    // The gate: a changed member list at an unchanged version must be
+    // fixed in the code (bump snapshotVersion), not papered over here.
+    if (haveExisting) {
+        const AbiTable old = parseAbiText(existing, options.abiPath);
+        for (const SnapType &t : model.types) {
+            if (!t.snapshot.found || !t.versionKnown)
+                continue;
+            const AbiEntry *e = old.entry(t.name);
+            if (!e)
+                continue;
+            std::string members;
+            for (const std::string &m : t.serializedMembers())
+                members += (members.empty() ? "" : ",") + m;
+            if (e->members != members && e->version == t.version) {
+                report =
+                    "refusing to update " + options.abiPath + ": '" +
+                    t.name + "' changed its serialized members (" +
+                    (e->members.empty() ? "-" : e->members) + " -> " +
+                    (members.empty() ? "-" : members) +
+                    ") without bumping its version (still v" +
+                    std::to_string(t.version) +
+                    ") — bump the snapshotVersion constant first";
+                return 1;
+            }
+        }
+    }
+
+    if (haveExisting && existing == fresh) {
+        report = options.abiPath + ": already fresh";
+        return 0;
+    }
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    if (!out)
+        throw std::runtime_error("rsrlint: cannot write " +
+                                 p.string());
+    out << fresh;
+    report = options.abiPath + ": updated (" +
+             std::to_string(model.types.size()) + " type(s))";
+    return 0;
+}
+
 std::string
 formatHuman(const LintResult &result)
 {
@@ -249,6 +408,8 @@ formatHuman(const LintResult &result)
     if (result.fixed)
         os << ", " << result.fixed << " fixed";
     os << "\n";
+    for (const std::string &s : result.suggestions)
+        os << "suggest: " << s << "\n";
     return os.str();
 }
 

@@ -1,9 +1,12 @@
 /**
  * @file
  * The rsrlint driver: walks the requested subtrees, lexes every C++
- * source file, runs the rule catalog (rules.hh), subtracts a committed
- * baseline, and optionally applies mechanical fixes. The same entry
- * points back both the CLI (rsrlint_main.cc) and the test suite.
+ * source file, runs the per-file rule catalog (rules.hh), builds the
+ * cross-TU project model (index.hh) and runs the semantic snapshot and
+ * lock-order rules over it, subtracts a committed baseline, and
+ * optionally applies mechanical fixes or prints marker suggestions.
+ * The same entry points back both the CLI (rsrlint_main.cc) and the
+ * test suite.
  */
 
 #ifndef RSRLINT_LINT_HH
@@ -30,6 +33,17 @@ struct LintOptions
     std::string writeBaselinePath;
     /** Apply mechanical fixes for fixable rules (hot-endl). */
     bool fix = false;
+    /**
+     * Snapshot ABI file (relative to root) backing snap-version-drift;
+     * the rule is skipped when the file does not exist. Empty disables
+     * it outright.
+     */
+    std::string abiPath = "tools/lint/snapshot_abi.txt";
+    /**
+     * Print exact `// rsrlint: snap-excluded(...)` marker suggestions
+     * for surviving snap-missing-member findings; applies nothing.
+     */
+    bool suggest = false;
 };
 
 struct LintResult
@@ -42,6 +56,8 @@ struct LintResult
     std::size_t filesScanned = 0;
     /** Mechanical fixes applied (only with LintOptions::fix). */
     std::size_t fixed = 0;
+    /** Marker suggestions (only with LintOptions::suggest). */
+    std::vector<std::string> suggestions;
 };
 
 /**
@@ -56,6 +72,19 @@ std::string baselineKey(const Finding &finding);
 
 /** Run the lint pass. Throws std::runtime_error on I/O failure. */
 LintResult runLint(const LintOptions &options);
+
+/** Lex the tree per @p options and build the cross-TU project model. */
+ProjectModel buildModelForTree(const LintOptions &options);
+
+/**
+ * Regenerate (or, with @p checkOnly, verify) the snapshot ABI file at
+ * options.abiPath from the current tree. Returns the process exit
+ * code: 0 when the file is fresh (or was updated), 1 when the check
+ * failed or a member-list change without a matching snapshotVersion
+ * bump makes the update refuse. @p report receives a human summary.
+ */
+int updateSnapshotAbi(const LintOptions &options, bool checkOnly,
+                      std::string &report);
 
 /** Render findings for humans (one `path:line: [rule] message` each). */
 std::string formatHuman(const LintResult &result);

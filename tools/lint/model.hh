@@ -1,0 +1,192 @@
+/**
+ * @file
+ * The rsrlint *project model*: the cross-translation-unit facts phase 1
+ * (index.hh) extracts from the lexed tree and phase 2 (the snap-* and
+ * lock-order rules in rules.hh) reasons about. The model is deliberately
+ * lexical — it is built from the comment-stripped, literal-blanked
+ * SourceFile text, not from a real C++ parse — so it stays dependency-
+ * free, but it captures exactly the invariants this repository's
+ * serialization contract needs:
+ *
+ *   - which types inherit Snapshotable, with their data members in
+ *     declaration order and any `rsrlint: snap-excluded(<why>)` markers;
+ *   - which members each snapshot()/restore() body references, in
+ *     first-occurrence order, with the begin(tag, version) identifiers
+ *     and the resolved numeric version;
+ *   - documented lock-order specs (a `lock-order(a < b)` marker) and
+ *     the guard acquisitions observed in their translation-unit pair.
+ */
+
+#ifndef RSRLINT_MODEL_HH
+#define RSRLINT_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rsrlint
+{
+
+/** One data member of a Snapshotable type, in declaration order. */
+struct SnapMember
+{
+    std::string name;
+    /** Declared type text, whitespace-squeezed (for --dump-model). */
+    std::string type;
+    /** 0-based line of the declaration in declPath's file. */
+    std::size_t line = 0;
+    /** Carries a `rsrlint: snap-excluded(<why>)` marker. */
+    bool excluded = false;
+    std::string excludeReason;
+};
+
+/** One snapshot() or restore() body located in the tree. */
+struct SnapMethod
+{
+    bool found = false;
+    /** File holding the body (header for inline, source otherwise). */
+    std::string path;
+    /** 0-based line where the body's signature starts. */
+    std::size_t line = 0;
+    /**
+     * Member names referenced anywhere in the body, ordered by first
+     * occurrence. Any mention counts — serialization calls, geometry
+     * validation, error messages — so validate-then-assign restore
+     * styles do not read as asymmetric.
+     */
+    std::vector<std::string> refs;
+    /** 0-based line (in `path`) of each ref's first occurrence. */
+    std::vector<std::size_t> refLines;
+
+    bool references(const std::string &member) const
+    {
+        for (const std::string &r : refs)
+            if (r == member)
+                return true;
+        return false;
+    }
+
+    /** First-occurrence line of @p member, or `line` if unknown. */
+    std::size_t refLine(const std::string &member) const
+    {
+        for (std::size_t i = 0; i < refs.size(); ++i)
+            if (refs[i] == member && i < refLines.size())
+                return refLines[i];
+        return line;
+    }
+};
+
+/** One type with a direct Snapshotable base. */
+struct SnapType
+{
+    std::string name;
+    /** File and 0-based line of the class-head. */
+    std::string declPath;
+    std::size_t declLine = 0;
+    std::vector<SnapMember> members;
+    SnapMethod snapshot;
+    SnapMethod restore;
+    /** Arguments of `begin(tag, version)` in the snapshot body. */
+    std::string tagExpr;
+    std::string versionExpr;
+    /** Numeric snapshotVersion, when resolvable in the TU pair. */
+    bool versionKnown = false;
+    std::uint64_t version = 0;
+
+    const SnapMember *member(const std::string &name_) const
+    {
+        for (const SnapMember &m : members)
+            if (m.name == name_)
+                return &m;
+        return nullptr;
+    }
+
+    /**
+     * The serialized-member list: snapshot()'s first-occurrence member
+     * references, excluded members dropped. This is what the committed
+     * snapshot ABI file fingerprints.
+     */
+    std::vector<std::string> serializedMembers() const
+    {
+        std::vector<std::string> out;
+        for (const std::string &r : snapshot.refs) {
+            const SnapMember *m = member(r);
+            if (m && !m->excluded)
+                out.push_back(r);
+        }
+        return out;
+    }
+};
+
+/** A documented lock order, declared by a `lock-order(b < a)` marker. */
+struct LockOrderSpec
+{
+    /**
+     * Lock class tokens. A bare identifier (`mu`) matches unqualified
+     * uses of exactly that name (including `this->mu`); a dotted token
+     * (`lane.mu`) matches any qualified access whose final field is the
+     * part after the dot (`lane->mu`, `lanes[i]->mu`, `victim.mu`).
+     */
+    std::string before;
+    std::string after;
+    /** Where the spec marker lives (0-based line). */
+    std::string path;
+    std::size_t line = 0;
+    /** Raw marker text, kept for malformed-spec diagnostics. */
+    std::string raw;
+    bool parsed = false;
+};
+
+/** One observed inversion of a documented lock order. */
+struct LockInversion
+{
+    /** File and 0-based line of the offending acquisition. */
+    std::string path;
+    std::size_t line = 0;
+    /** Lock-class token being acquired (the spec's `before` side). */
+    std::string acquiring;
+    /** Lock-class token already held (the spec's `after` side). */
+    std::string held;
+    std::size_t heldLine = 0;
+    /** The spec that was inverted. */
+    LockOrderSpec spec;
+};
+
+/** Everything phase 2 needs, extracted once per lint run. */
+struct ProjectModel
+{
+    std::vector<SnapType> types;
+    std::vector<LockOrderSpec> lockSpecs;
+    std::vector<LockInversion> lockInversions;
+};
+
+/** One line of tools/lint/snapshot_abi.txt. */
+struct AbiEntry
+{
+    std::string type;
+    std::uint64_t version = 0;
+    /** Comma-joined serialized-member list. */
+    std::string members;
+    /** fnv64 hex fingerprint recorded in the file. */
+    std::string fingerprint;
+    /** 0-based line in the ABI file (for diagnostics). */
+    std::size_t line = 0;
+};
+
+struct AbiTable
+{
+    std::string path;
+    std::vector<AbiEntry> entries;
+
+    const AbiEntry *entry(const std::string &type) const
+    {
+        for (const AbiEntry &e : entries)
+            if (e.type == type)
+                return &e;
+        return nullptr;
+    }
+};
+
+} // namespace rsrlint
+
+#endif // RSRLINT_MODEL_HH

@@ -1,12 +1,22 @@
 /**
  * @file
  * rsrlint CLI. Exit status: 0 when no findings survive the baseline,
- * 1 when findings remain, 2 on usage or I/O errors.
+ * 1 when findings remain (or --update-snapshot-abi refuses / --check
+ * finds the ABI file stale), 2 on usage or I/O errors.
  *
  *   rsrlint [--root DIR] [--baseline FILE] [--write-baseline FILE]
- *           [--json] [--fix] [--list-rules] [paths...]
+ *           [--abi FILE] [--json] [--fix] [--suggest] [--list-rules]
+ *           [--dump-model] [--update-snapshot-abi [--check]]
+ *           [paths...]
  *
  * Paths default to src, tools, and bench under --root (default `.`).
+ * --dump-model prints the cross-TU project model (Snapshotable types,
+ * members, snapshot/restore references, lock-order specs) and exits;
+ * --update-snapshot-abi regenerates tools/lint/snapshot_abi.txt
+ * (refusing when a serialized-member list changed without a version
+ * bump), and with --check only verifies that the file is fresh;
+ * --suggest prints ready-to-paste `// rsrlint: snap-excluded(...)`
+ * markers for snap-missing-member findings without applying anything.
  */
 
 #include <cstdio>
@@ -14,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "index.hh"
 #include "lint.hh"
 
 namespace
@@ -24,8 +35,9 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--root DIR] [--baseline FILE] "
-                 "[--write-baseline FILE] [--json] [--fix] "
-                 "[--list-rules] [paths...]\n",
+                 "[--write-baseline FILE] [--abi FILE] [--json] "
+                 "[--fix] [--suggest] [--list-rules] [--dump-model] "
+                 "[--update-snapshot-abi [--check]] [paths...]\n",
                  argv0);
     return 2;
 }
@@ -45,6 +57,9 @@ main(int argc, char **argv)
 {
     rsrlint::LintOptions opts;
     bool json = false;
+    bool dumpModel = false;
+    bool updateAbi = false;
+    bool check = false;
     std::vector<std::string> paths;
 
     for (int i = 1; i < argc; ++i) {
@@ -72,10 +87,23 @@ main(int argc, char **argv)
             if (!v)
                 return 2;
             opts.writeBaselinePath = v;
+        } else if (arg == "--abi") {
+            const char *v = value("--abi");
+            if (!v)
+                return 2;
+            opts.abiPath = v;
         } else if (arg == "--json") {
             json = true;
         } else if (arg == "--fix") {
             opts.fix = true;
+        } else if (arg == "--suggest") {
+            opts.suggest = true;
+        } else if (arg == "--dump-model") {
+            dumpModel = true;
+        } else if (arg == "--update-snapshot-abi") {
+            updateAbi = true;
+        } else if (arg == "--check") {
+            check = true;
         } else if (arg == "--list-rules") {
             listRules();
             return 0;
@@ -92,8 +120,26 @@ main(int argc, char **argv)
     }
     if (!paths.empty())
         opts.paths = paths;
+    if (check && !updateAbi) {
+        std::fprintf(stderr,
+                     "rsrlint: --check only makes sense with "
+                     "--update-snapshot-abi\n");
+        return usage(argv[0]);
+    }
 
     try {
+        if (dumpModel) {
+            std::cout << rsrlint::dumpModel(
+                rsrlint::buildModelForTree(opts));
+            return 0;
+        }
+        if (updateAbi) {
+            std::string report;
+            const int rc =
+                rsrlint::updateSnapshotAbi(opts, check, report);
+            std::cout << report << "\n";
+            return rc;
+        }
         const rsrlint::LintResult result = rsrlint::runLint(opts);
         if (json)
             std::cout << rsrlint::formatJson(result);

@@ -7,6 +7,8 @@
 #include <set>
 #include <tuple>
 
+#include "index.hh"
+
 namespace rsrlint
 {
 
@@ -610,6 +612,24 @@ ruleCatalog()
          "no throw statements in files marked 'rsrlint: hot' "
          "(rsr_assert is allowed; it is cold when passing)",
          false},
+        {"snap-missing-member", "snapshot",
+         "every data member of a Snapshotable type must be referenced "
+         "in snapshot()/restore(), or carry a '// rsrlint: "
+         "snap-excluded(<why>)' marker",
+         false},
+        {"snap-asymmetry", "snapshot",
+         "snapshot() and restore() must touch the same members in the "
+         "same relative order; framed payloads are positional",
+         false},
+        {"snap-version-drift", "snapshot",
+         "changing a type's serialized-member list requires bumping "
+         "its snapshotVersion and refreshing "
+         "tools/lint/snapshot_abi.txt (--update-snapshot-abi)",
+         false},
+        {"lock-order", "concurrency",
+         "guard acquisitions must respect the TU pair's documented "
+         "'// rsrlint: lock-order(a < b)' spec",
+         false},
         {"bad-suppression", "meta",
          "every rsrlint: allow()/allow-file() must name a real rule; "
          "a typo silently disables nothing",
@@ -700,6 +720,231 @@ runRules(const SourceFile &file,
               [](const Finding &a, const Finding &b) {
                   return std::tie(a.path, a.line, a.rule) <
                          std::tie(b.path, b.line, b.rule);
+              });
+    return out;
+}
+
+namespace
+{
+
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const std::string &n : names)
+        out += (out.empty() ? "" : ",") + n;
+    return out.empty() ? std::string("-") : out;
+}
+
+} // namespace
+
+std::vector<Finding>
+runProjectRules(const ProjectModel &model,
+                const std::map<std::string, SourceFile> &files,
+                const AbiTable *abi)
+{
+    std::vector<Finding> out;
+    // Emit honouring suppressions when the target file was lexed (the
+    // snapshot ABI file itself is not a source file, so findings
+    // anchored there are never suppressible).
+    auto emitAt = [&](const std::string &rule, const std::string &path,
+                      std::size_t idx, const std::string &msg) {
+        const auto it = files.find(path);
+        if (it != files.end()) {
+            emit(it->second, out, rule, idx, msg);
+            return;
+        }
+        Finding f;
+        f.rule = rule;
+        f.path = path;
+        f.line = idx + 1;
+        f.message = msg;
+        out.push_back(std::move(f));
+    };
+
+    for (const SnapType &t : model.types) {
+        // With only one body visible the scan cannot judge the pair —
+        // flag the missing half and skip the member-level checks.
+        if (t.snapshot.found != t.restore.found) {
+            const SnapMethod &have =
+                t.snapshot.found ? t.snapshot : t.restore;
+            emitAt("snap-asymmetry", have.path, have.line,
+                   "Snapshotable type '" + t.name + "' defines " +
+                       (t.snapshot.found ? "snapshot()" : "restore()") +
+                       " but its " +
+                       (t.snapshot.found ? "restore()" : "snapshot()") +
+                       " body was not found in the scanned paths — "
+                       "every Snapshotable needs both halves of the "
+                       "pair");
+            continue;
+        }
+        if (!t.snapshot.found)
+            continue; // neither body visible (e.g. lone header scan)
+
+        // snap-missing-member: a data member referenced in neither
+        // body is silently dropped state — store replay would diverge.
+        for (const SnapMember &m : t.members) {
+            if (m.excluded || t.snapshot.references(m.name) ||
+                t.restore.references(m.name))
+                continue;
+            emitAt("snap-missing-member", t.declPath, m.line,
+                   "data member '" + m.name + "' of Snapshotable '" +
+                       t.name +
+                       "' is referenced in neither snapshot() nor "
+                       "restore() — serialize it in both, or mark the "
+                       "declaration '// rsrlint: snap-excluded(<why>)' "
+                       "if it is derived or construction-time state");
+        }
+
+        // snap-asymmetry: presence in one body but not the other, or
+        // a different relative order of the common members.
+        std::vector<std::string> snapSeq, restSeq;
+        for (const SnapMember &m : t.members) {
+            if (m.excluded)
+                continue;
+            const bool inSnap = t.snapshot.references(m.name);
+            const bool inRest = t.restore.references(m.name);
+            if (inSnap && !inRest)
+                emitAt("snap-asymmetry", t.snapshot.path,
+                       t.snapshot.refLine(m.name),
+                       "member '" + m.name + "' of '" + t.name +
+                           "' appears in snapshot() but not in "
+                           "restore() — restored state would silently "
+                           "keep its constructed value");
+            else if (inRest && !inSnap)
+                emitAt("snap-asymmetry", t.restore.path,
+                       t.restore.refLine(m.name),
+                       "member '" + m.name + "' of '" + t.name +
+                           "' appears in restore() but not in "
+                           "snapshot() — restore would read bytes "
+                           "snapshot never wrote");
+        }
+        for (const std::string &r : t.snapshot.refs) {
+            const SnapMember *m = t.member(r);
+            if (m && !m->excluded && t.restore.references(r))
+                snapSeq.push_back(r);
+        }
+        for (const std::string &r : t.restore.refs) {
+            const SnapMember *m = t.member(r);
+            if (m && !m->excluded && t.snapshot.references(r))
+                restSeq.push_back(r);
+        }
+        if (snapSeq != restSeq)
+            emitAt("snap-asymmetry", t.restore.path, t.restore.line,
+                   "snapshot() and restore() of '" + t.name +
+                       "' touch members in different relative orders "
+                       "(snapshot: " + joinNames(snapSeq) +
+                       "; restore: " + joinNames(restSeq) +
+                       ") — framed payloads are positional, reorder "
+                       "one side to match the other");
+
+        // snap-version-drift: the committed ABI table is the gate that
+        // turns "bump snapshotVersion when the payload changes" from
+        // convention into an error.
+        if (!abi)
+            continue;
+        if (!t.versionKnown) {
+            emitAt("snap-version-drift", t.declPath, t.declLine,
+                   "cannot resolve the snapshot version expression '" +
+                       (t.versionExpr.empty() ? std::string("?")
+                                              : t.versionExpr) +
+                       "' of '" + t.name +
+                       "' to a number — snap-version-drift needs a "
+                       "`<ident> = <number>` constant in the TU pair");
+            continue;
+        }
+        const std::vector<std::string> serialized =
+            t.serializedMembers();
+        std::string members;
+        for (const std::string &m : serialized)
+            members += (members.empty() ? "" : ",") + m;
+        const AbiEntry *e = abi->entry(t.name);
+        if (!e) {
+            emitAt("snap-version-drift", t.declPath, t.declLine,
+                   "Snapshotable '" + t.name + "' has no entry in " +
+                       abi->path +
+                       " — run `rsrlint --update-snapshot-abi` and "
+                       "commit the refreshed file");
+            continue;
+        }
+        if (e->fingerprint != fnv64Hex(e->members))
+            emitAt("snap-version-drift", abi->path, e->line,
+                   "corrupt ABI entry for '" + t.name +
+                       "': recorded fingerprint does not match the "
+                       "recorded member list — regenerate the file "
+                       "with `rsrlint --update-snapshot-abi`, never "
+                       "edit it by hand");
+        if (e->members == members) {
+            if (e->version != t.version)
+                emitAt("snap-version-drift", t.declPath, t.declLine,
+                       "'" + t.name + "' is at version " +
+                           std::to_string(t.version) + " but " +
+                           abi->path + " records v" +
+                           std::to_string(e->version) +
+                           " — refresh the file with `rsrlint "
+                           "--update-snapshot-abi`");
+        } else if (e->version == t.version) {
+            emitAt("snap-version-drift", t.declPath, t.declLine,
+                   "serialized members of '" + t.name +
+                       "' changed (" +
+                       (e->members.empty() ? "-" : e->members) +
+                       " -> " + (members.empty() ? "-" : members) +
+                       ") without bumping '" +
+                       (t.versionExpr.empty() ? "snapshotVersion"
+                                              : t.versionExpr) +
+                       "' — old stores would be misread as the new "
+                       "layout; bump the version constant and run "
+                       "`rsrlint --update-snapshot-abi`");
+        } else {
+            emitAt("snap-version-drift", t.declPath, t.declLine,
+                   "serialized members of '" + t.name +
+                       "' changed and the version was bumped to " +
+                       std::to_string(t.version) + ", but " +
+                       abi->path + " still records v" +
+                       std::to_string(e->version) +
+                       " — refresh it with `rsrlint "
+                       "--update-snapshot-abi`");
+        }
+    }
+    if (abi) {
+        for (const AbiEntry &e : abi->entries) {
+            bool known = false;
+            for (const SnapType &t : model.types)
+                if (t.name == e.type)
+                    known = true;
+            if (!known)
+                emitAt("snap-version-drift", abi->path, e.line,
+                       "stale ABI entry for '" + e.type +
+                           "': no Snapshotable of that name exists — "
+                           "remove it with `rsrlint "
+                           "--update-snapshot-abi`");
+        }
+    }
+
+    // lock-order: documented acquisition-order specs and their
+    // observed inversions (both indexed in phase 1).
+    for (const LockOrderSpec &s : model.lockSpecs)
+        if (!s.parsed)
+            emitAt("lock-order", s.path, s.line,
+                   "unparseable lock-order spec '" + s.raw +
+                       "' — expected `rsrlint: lock-order(a < b)` "
+                       "where each side is a bare lock name or "
+                       "`owner.field`");
+    for (const LockInversion &inv : model.lockInversions)
+        emitAt("lock-order", inv.path, inv.line,
+               "acquiring '" + inv.acquiring + "' while '" + inv.held +
+                   "' is already held (since line " +
+                   std::to_string(inv.heldLine + 1) +
+                   ") inverts the documented order '" +
+                   inv.spec.before + " < " + inv.spec.after +
+                   "' (spec at " + inv.spec.path + ":" +
+                   std::to_string(inv.spec.line + 1) +
+                   ") — deadlock risk");
+
+    std::sort(out.begin(), out.end(),
+              [](const Finding &a, const Finding &b) {
+                  return std::tie(a.path, a.line, a.rule, a.message) <
+                         std::tie(b.path, b.line, b.rule, b.message);
               });
     return out;
 }

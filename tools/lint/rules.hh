@@ -6,23 +6,30 @@
  *
  *   determinism     det-random, det-wallclock, det-unordered-iter
  *   error handling  err-exit, err-assert
- *   concurrency     conc-global-state, conc-unused-mutex
+ *   concurrency     conc-global-state, conc-unused-mutex, lock-order
  *   hot path        hot-endl, hot-throw
  *   serve           serve-blocking-io
+ *   snapshot        snap-missing-member, snap-asymmetry,
+ *                   snap-version-drift
  *
- * Each rule applies only inside its *zone* — a set of path prefixes —
- * so tools may exit() and benches may read the wall clock while library
- * code under src/ may do neither.
+ * Each per-file rule applies only inside its *zone* — a set of path
+ * prefixes — so tools may exit() and benches may read the wall clock
+ * while library code under src/ may do neither. The snapshot family and
+ * lock-order are *project rules* (runProjectRules): they run over the
+ * cross-TU ProjectModel built by index.hh rather than over one file at
+ * a time.
  */
 
 #ifndef RSRLINT_RULES_HH
 #define RSRLINT_RULES_HH
 
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "lexer.hh"
+#include "model.hh"
 
 namespace rsrlint
 {
@@ -75,6 +82,19 @@ std::vector<Finding>
 runRules(const SourceFile &file,
          const std::function<const SourceFile *(const std::string &)>
              &sibling);
+
+/**
+ * Phase 2 of the two-phase analyzer: run the semantic rule family
+ * (snap-missing-member, snap-asymmetry, snap-version-drift, lock-order)
+ * over the cross-TU @p model. @p files maps rel path -> lexed file so
+ * inline `rsrlint: allow(...)` suppressions keep working; @p abi is the
+ * parsed snapshot ABI table, or nullptr to skip snap-version-drift
+ * (e.g. single-fixture scans). Suppressions are already honoured.
+ */
+std::vector<Finding>
+runProjectRules(const ProjectModel &model,
+                const std::map<std::string, SourceFile> &files,
+                const AbiTable *abi);
 
 } // namespace rsrlint
 
